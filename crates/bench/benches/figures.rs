@@ -1,0 +1,129 @@
+//! Criterion wrappers around reduced-scale versions of every paper
+//! figure, so `cargo bench` exercises the entire regeneration harness.
+//! (Full-resolution figures come from the `cras-bench` binaries.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cras_sim::Duration;
+use cras_workload as wl;
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = wl::fig6::Fig6Config {
+        max_streams: 5,
+        step: 4,
+        measure: Duration::from_secs(5),
+        seed: 61,
+    };
+    c.bench_function("figures/fig6_reduced", |b| {
+        b.iter(|| black_box(wl::fig6::run(&cfg)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = wl::fig7::Fig7Config {
+        trace: Duration::from_secs(6),
+        ..wl::fig7::Fig7Config::default()
+    };
+    c.bench_function("figures/fig7_reduced", |b| {
+        b.iter(|| black_box(wl::fig7::run(&cfg)))
+    });
+}
+
+fn bench_fig8_fig9(c: &mut Criterion) {
+    let mut f8 = wl::admission_acc::AccuracyConfig::fig8();
+    f8.max_streams = 4;
+    f8.step = 3;
+    f8.measure = Duration::from_secs(5);
+    c.bench_function("figures/fig8_reduced", |b| {
+        b.iter(|| black_box(wl::admission_acc::run(&f8)))
+    });
+    let mut f9 = wl::admission_acc::AccuracyConfig::fig9();
+    f9.max_streams = 2;
+    f9.measure = Duration::from_secs(5);
+    c.bench_function("figures/fig9_reduced", |b| {
+        b.iter(|| black_box(wl::admission_acc::run(&f9)))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = wl::fig10::Fig10Config {
+        trace: Duration::from_secs(6),
+        ..wl::fig10::Fig10Config::default()
+    };
+    c.bench_function("figures/fig10_reduced", |b| {
+        b.iter(|| black_box(wl::fig10::run(&cfg)))
+    });
+}
+
+fn bench_fig12_table4(c: &mut Criterion) {
+    c.bench_function("figures/fig12_table4_calibration", |b| {
+        b.iter(|| {
+            let cal = wl::fig12::run_calibration();
+            black_box((wl::fig12::fig12(&cal), wl::fig12::table4(&cal)))
+        })
+    });
+}
+
+fn bench_tables_and_ablations(c: &mut Criterion) {
+    let cal = wl::fig12::run_calibration();
+    let params = cal.params;
+    c.bench_function("figures/table3_capacity", |b| {
+        b.iter(|| black_box((wl::capacity::table3(params), wl::capacity::figure(params))))
+    });
+    c.bench_function("figures/ablate", |b| {
+        b.iter(|| black_box(wl::ablate::run(params)))
+    });
+    c.bench_function("figures/frag_reduced", |b| {
+        b.iter(|| black_box(wl::frag::run(4, Duration::from_secs(5), 13)))
+    });
+    c.bench_function("figures/vbr_reduced", |b| {
+        b.iter(|| black_box(wl::vbr::run(Duration::from_secs(5), 14)))
+    });
+    c.bench_function("figures/qos_reduced", |b| {
+        b.iter(|| {
+            black_box(wl::qos::run(
+                Duration::from_secs(8),
+                Duration::from_secs(4),
+                15,
+            ))
+        })
+    });
+    c.bench_function("figures/disk_sched_reduced", |b| {
+        b.iter(|| black_box(wl::disk_sched::run(150, 8, 16)))
+    });
+    c.bench_function("figures/faults_reduced", |b| {
+        b.iter(|| {
+            black_box(wl::faults::sweep(
+                &[0.0, 0.2],
+                4,
+                Duration::from_secs(5),
+                17,
+            ))
+        })
+    });
+    c.bench_function("figures/multi_reduced", |b| {
+        b.iter(|| black_box(wl::multi::run(Duration::from_secs(6), 18)))
+    });
+    c.bench_function("figures/editing_reduced", |b| {
+        b.iter(|| black_box(wl::editing::run(Duration::from_secs(6), 19)))
+    });
+    c.bench_function("figures/measured_capacity_reduced", |b| {
+        b.iter(|| {
+            black_box(wl::measured_capacity::validate(
+                &[0.5],
+                2,
+                Duration::from_secs(5),
+                20,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6, bench_fig7, bench_fig8_fig9, bench_fig10,
+              bench_fig12_table4, bench_tables_and_ablations
+}
+criterion_main!(benches);

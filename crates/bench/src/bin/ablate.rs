@@ -1,0 +1,12 @@
+//! Regenerates the admission-model ablation.
+
+use cras_bench::write_result;
+use cras_workload::ablate::run;
+use cras_workload::fig12::run_calibration;
+
+fn main() {
+    let cal = run_calibration();
+    let (t, _points) = run(cal.params);
+    println!("{}", t.render());
+    write_result("ablate", &t.to_json());
+}

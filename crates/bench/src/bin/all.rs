@@ -1,0 +1,124 @@
+//! Runs every figure/table regeneration in sequence (pass --quick for a
+//! fast smoke run). Equivalent to running each dedicated binary.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload as wl;
+
+fn main() {
+    let quick = quick_mode();
+    let secs = |q: u64, f: u64| Duration::from_secs(if quick { q } else { f });
+
+    let cal = wl::fig12::run_calibration();
+    for (name, text, json) in [
+        {
+            let t = wl::fig12::table4(&cal);
+            ("table4", t.render(), t.to_json())
+        },
+        {
+            let t = wl::capacity::table3(cal.params);
+            ("table3", t.render(), t.to_json())
+        },
+        {
+            let f = wl::fig12::fig12(&cal);
+            ("fig12", f.render(), f.to_json())
+        },
+        {
+            let f = wl::capacity::figure(cal.params);
+            ("capacity", f.render(), f.to_json())
+        },
+        {
+            let (t, _) = wl::ablate::run(cal.params);
+            ("ablate", t.render(), t.to_json())
+        },
+    ] {
+        println!("{text}");
+        write_result(name, &json);
+    }
+
+    let fig6 = wl::fig6::run(&wl::fig6::Fig6Config {
+        max_streams: if quick { 13 } else { 25 },
+        step: if quick { 4 } else { 1 },
+        measure: secs(10, 20),
+        ..wl::fig6::Fig6Config::default()
+    });
+    println!("{}", fig6.render());
+    write_result("fig6", &fig6.to_json());
+
+    let (fig7, c7, u7) = wl::fig7::run(&wl::fig7::Fig7Config {
+        trace: secs(15, 60),
+        ..wl::fig7::Fig7Config::default()
+    });
+    println!("{}", fig7.render());
+    println!(
+        "# CRAS delay mean/max: {:.4}/{:.4}s; UFS: {:.4}/{:.4}s",
+        c7.0, c7.1, u7.0, u7.1
+    );
+    write_result("fig7", &fig7.to_json());
+
+    for (name, mut cfg) in [
+        ("fig8", wl::admission_acc::AccuracyConfig::fig8()),
+        ("fig9", wl::admission_acc::AccuracyConfig::fig9()),
+    ] {
+        if quick {
+            cfg.measure = Duration::from_secs(10);
+            cfg.step = if name == "fig8" { 4 } else { 2 };
+        }
+        let f = wl::admission_acc::run(&cfg);
+        println!("{}", f.render());
+        write_result(name, &f.to_json());
+    }
+
+    let (fig10, fp, rr) = wl::fig10::run(&wl::fig10::Fig10Config {
+        trace: secs(15, 60),
+        ..wl::fig10::Fig10Config::default()
+    });
+    println!("{}", fig10.render());
+    println!("# FP max {:.4}s vs RR max {:.4}s", fp.1, rr.1);
+    write_result("fig10", &fig10.to_json());
+
+    let (frag_t, _) = wl::frag::run(if quick { 6 } else { 8 }, secs(10, 20), 0x5EED);
+    println!("{}", frag_t.render());
+    write_result("frag", &frag_t.to_json());
+
+    let (vbr_t, _, _) = wl::vbr::run(secs(10, 30), 0x5BB);
+    println!("{}", vbr_t.render());
+    write_result("vbr", &vbr_t.to_json());
+
+    let (qos_t, _) = wl::qos::run(secs(12, 30), secs(6, 15), 0x05);
+    println!("{}", qos_t.render());
+    write_result("qos", &qos_t.to_json());
+
+    let (faults_t, _) = wl::faults::sweep(&[0.0, 0.01, 0.05, 0.2, 0.6], 8, secs(10, 20), 0xFA17);
+    println!("{}", faults_t.render());
+    write_result("faults", &faults_t.to_json());
+
+    let intervals: &[f64] = if quick {
+        &[0.5]
+    } else {
+        &[0.25, 0.5, 1.0, 1.5]
+    };
+    let (mc_t, _) = wl::measured_capacity::validate(intervals, 3, secs(10, 20), 0xCA11);
+    println!("{}", mc_t.render());
+    write_result("measured_capacity", &mc_t.to_json());
+
+    let (deploy_t, _) = wl::deploy::run(30.0);
+    println!("{}", deploy_t.render());
+    write_result("deploy", &deploy_t.to_json());
+
+    let (ds_t, _) = wl::disk_sched::run(if quick { 300 } else { 2000 }, 16, 0xD15C);
+    println!("{}", ds_t.render());
+    write_result("disk_sched", &ds_t.to_json());
+
+    let (multi_t, _, _) = wl::multi::run(secs(12, 30), 0x2C25);
+    println!("{}", multi_t.render());
+    write_result("multi", &multi_t.to_json());
+
+    let (edit_t, _, _) = wl::editing::run(secs(12, 30), 0xED17);
+    println!("{}", edit_t.render());
+    write_result("editing", &edit_t.to_json());
+
+    let (buf_t, _, _) = wl::buffer_ablation::run(if quick { 15.0 } else { 30.0 }, 10.0, 0xB0F);
+    println!("{}", buf_t.render());
+    write_result("buffer_ablation", &buf_t.to_json());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §2.4 buffer-design ablation.
+
+use cras_bench::write_result;
+use cras_workload::buffer_ablation::run;
+
+fn main() {
+    let (t, _td, _ff) = run(30.0, 10.0, 0xB0F);
+    println!("{}", t.render());
+    write_result("buffer_ablation", &t.to_json());
+}

@@ -1,0 +1,13 @@
+//! Regenerates the §3.1 capacity claim: streams vs initial delay.
+
+use cras_bench::write_result;
+use cras_workload::capacity::figure;
+use cras_workload::fig12::run_calibration;
+
+fn main() {
+    let cal = run_calibration();
+    let fig = figure(cal.params);
+    println!("{}", fig.render());
+    println!("# paper claim: 3 s initial delay supports >25 MPEG1 streams (~70% of bandwidth)");
+    write_result("capacity", &fig.to_json());
+}

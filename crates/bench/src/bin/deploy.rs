@@ -1,0 +1,10 @@
+//! Regenerates the Figure 5 deployment-cost ablation.
+
+use cras_bench::write_result;
+use cras_workload::deploy::run;
+
+fn main() {
+    let (t, _costs) = run(30.0);
+    println!("{}", t.render());
+    write_result("deploy", &t.to_json());
+}

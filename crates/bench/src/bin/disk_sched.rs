@@ -1,0 +1,11 @@
+//! Regenerates the head-scheduling ablation.
+
+use cras_bench::{quick_mode, write_result};
+use cras_workload::disk_sched::run;
+
+fn main() {
+    let ops = if quick_mode() { 300 } else { 2000 };
+    let (t, _outs) = run(ops, 16, 0xD15C);
+    println!("{}", t.render());
+    write_result("disk_sched", &t.to_json());
+}

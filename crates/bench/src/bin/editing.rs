@@ -1,0 +1,16 @@
+//! Regenerates the editing-while-playing experiment.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::editing::run;
+
+fn main() {
+    let measure = if quick_mode() {
+        Duration::from_secs(12)
+    } else {
+        Duration::from_secs(30)
+    };
+    let (t, _cras, _ufs) = run(measure, 0xED17);
+    println!("{}", t.render());
+    write_result("editing", &t.to_json());
+}

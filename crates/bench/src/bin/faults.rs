@@ -1,0 +1,16 @@
+//! Regenerates the transient-fault-injection ablation.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::faults::sweep;
+
+fn main() {
+    let measure = if quick_mode() {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(20)
+    };
+    let (t, _outs) = sweep(&[0.0, 0.01, 0.05, 0.2, 0.6], 8, measure, 0xFA17);
+    println!("{}", t.render());
+    write_result("faults", &t.to_json());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 12: measured seek curve and its linear fit.
+
+use cras_bench::write_result;
+use cras_workload::fig12::{fig12, run_calibration};
+
+fn main() {
+    let cal = run_calibration();
+    let fig = fig12(&cal);
+    println!("{}", fig.render());
+    println!(
+        "# linear fit: alpha = {:.3} us/cyl, beta = {:.3} ms",
+        cal.fit.0 * 1e6,
+        cal.fit.1 * 1e3
+    );
+    write_result("fig12", &fig.to_json());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 7: per-frame delay under background disk load.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::fig7::{run, Fig7Config};
+
+fn main() {
+    let cfg = if quick_mode() {
+        Fig7Config {
+            trace: Duration::from_secs(15),
+            ..Fig7Config::default()
+        }
+    } else {
+        Fig7Config::default()
+    };
+    let (fig, cras, ufs) = run(&cfg);
+    println!("{}", fig.render());
+    println!("# CRAS delay: mean {:.4}s max {:.4}s", cras.0, cras.1);
+    println!("# UFS  delay: mean {:.4}s max {:.4}s", ufs.0, ufs.1);
+    write_result("fig7", &fig.to_json());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 8: admission accuracy, 1.5 Mbps streams.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::admission_acc::{run, AccuracyConfig};
+
+fn main() {
+    let mut cfg = AccuracyConfig::fig8();
+    if quick_mode() {
+        cfg.max_streams = 8;
+        cfg.step = 2;
+        cfg.measure = Duration::from_secs(10);
+    }
+    let fig = run(&cfg);
+    println!("{}", fig.render());
+    write_result("fig8", &fig.to_json());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 9: admission accuracy, 6 Mbps streams.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::admission_acc::{run, AccuracyConfig};
+
+fn main() {
+    let mut cfg = AccuracyConfig::fig9();
+    if quick_mode() {
+        cfg.measure = Duration::from_secs(10);
+    }
+    let fig = run(&cfg);
+    println!("{}", fig.render());
+    write_result("fig9", &fig.to_json());
+}

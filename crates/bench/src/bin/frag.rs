@@ -1,0 +1,16 @@
+//! Regenerates the §3.2 fragmentation ablation.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::frag::run;
+
+fn main() {
+    let (streams, measure) = if quick_mode() {
+        (6, Duration::from_secs(10))
+    } else {
+        (8, Duration::from_secs(20))
+    };
+    let (t, _outs) = run(streams, measure, 0x5EED);
+    println!("{}", t.render());
+    write_result("frag", &t.to_json());
+}

@@ -1,0 +1,16 @@
+//! Validates the admitted capacity by simulation at several intervals.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::measured_capacity::validate;
+
+fn main() {
+    let (intervals, measure): (&[f64], _) = if quick_mode() {
+        (&[0.5], Duration::from_secs(10))
+    } else {
+        (&[0.25, 0.5, 1.0, 1.5], Duration::from_secs(20))
+    };
+    let (t, _points) = validate(intervals, 3, measure, 0xCA11);
+    println!("{}", t.render());
+    write_result("measured_capacity", &t.to_json());
+}

@@ -1,0 +1,16 @@
+//! Regenerates the §2.6 multiple-servers experiment.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::multi::run;
+
+fn main() {
+    let measure = if quick_mode() {
+        Duration::from_secs(12)
+    } else {
+        Duration::from_secs(30)
+    };
+    let (t, _one, _two) = run(measure, 0x2C25);
+    println!("{}", t.render());
+    write_result("multi", &t.to_json());
+}

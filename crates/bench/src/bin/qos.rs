@@ -1,0 +1,16 @@
+//! Regenerates the dynamic-QOS rate-change scenario.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::qos::run;
+
+fn main() {
+    let (total, switch) = if quick_mode() {
+        (Duration::from_secs(12), Duration::from_secs(6))
+    } else {
+        (Duration::from_secs(30), Duration::from_secs(15))
+    };
+    let (t, _out) = run(total, switch, 0x05);
+    println!("{}", t.render());
+    write_result("qos", &t.to_json());
+}

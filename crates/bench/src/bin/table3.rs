@@ -1,0 +1,13 @@
+//! Regenerates Tables 1/3: admission parameters with resolved values,
+//! plus the §2.1 server-memory claim.
+
+use cras_bench::write_result;
+use cras_workload::capacity::table3;
+use cras_workload::fig12::run_calibration;
+
+fn main() {
+    let cal = run_calibration();
+    let t = table3(cal.params);
+    println!("{}", t.render());
+    write_result("table3", &t.to_json());
+}

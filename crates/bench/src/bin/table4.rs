@@ -1,0 +1,11 @@
+//! Regenerates Table 4: measured disk parameters (Appendix A).
+
+use cras_bench::write_result;
+use cras_workload::fig12::{run_calibration, table4};
+
+fn main() {
+    let cal = run_calibration();
+    let t = table4(&cal);
+    println!("{}", t.render());
+    write_result("table4", &t.to_json());
+}

@@ -1,0 +1,16 @@
+//! Regenerates the §3.2 VBR buffer-waste ablation.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::vbr::run;
+
+fn main() {
+    let measure = if quick_mode() {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(30)
+    };
+    let (t, _cbr, _vbr) = run(measure, 0x5BB);
+    println!("{}", t.render());
+    write_result("vbr", &t.to_json());
+}

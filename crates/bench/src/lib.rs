@@ -1,0 +1,39 @@
+//! `cras-bench` — the regeneration harness.
+//!
+//! One binary per evaluation artifact (`cargo run -p cras-bench --release
+//! --bin fig6` etc.); each prints the paper-style rows/series and writes
+//! JSON under `results/`. Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+use std::fs;
+use std::path::Path;
+
+/// Writes a JSON artifact under `results/`, creating the directory.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the harness should fail loudly.
+pub fn write_result(name: &str, json: &str) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, json).expect("write result file");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Returns true when `--quick` was passed (reduced sweeps for smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_mode_defaults_off() {
+        assert!(!super::quick_mode());
+    }
+}

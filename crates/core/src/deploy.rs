@@ -1,0 +1,85 @@
+//! Deployment configurations — the paper's Figure 5.
+//!
+//! "User-level implementation of a continuous media storage system allows
+//! us to customize the system easily": CRAS may run beside the full Unix
+//! server, beside RTS (the embedded-systems server), or linked directly
+//! into the application. What changes between them, for the quantities
+//! this reproduction measures, is the cost of a client↔server interaction:
+//! a full Mach IPC round trip, a lightweight RTS IPC, or a function call.
+//! `crs_get` costs nothing extra in all modes — it reads the shared
+//! buffer.
+
+use cras_sim::Duration;
+
+/// How CRAS is deployed relative to its client (Figure 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeployMode {
+    /// Standalone server next to the Unix server (the typical layout).
+    #[default]
+    UnixServer,
+    /// Standalone server next to RTS, the small embedded-systems server.
+    Rts,
+    /// Linked into the application's address space.
+    Linked,
+}
+
+impl DeployMode {
+    /// Cost of a control call (`crs_open`, `crs_start`, ...) from the
+    /// client to CRAS.
+    ///
+    /// Constants are representative mid-90s numbers: a Mach IPC round
+    /// trip on a P5-100 cost on the order of 100 µs; RTS IPC about a
+    /// third of that; a function call effectively nothing at the
+    /// simulation's resolution.
+    pub fn control_call_cost(&self) -> Duration {
+        match self {
+            DeployMode::UnixServer => Duration::from_micros(100),
+            DeployMode::Rts => Duration::from_micros(35),
+            DeployMode::Linked => Duration::from_micros(2),
+        }
+    }
+
+    /// Cost of `crs_get`: shared-memory access, identical in every mode.
+    pub fn get_cost(&self) -> Duration {
+        Duration::from_micros(2)
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeployMode::UnixServer => "unix-server",
+            DeployMode::Rts => "rts",
+            DeployMode::Linked => "linked",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_costs_ordered() {
+        assert!(DeployMode::UnixServer.control_call_cost() > DeployMode::Rts.control_call_cost());
+        assert!(DeployMode::Rts.control_call_cost() > DeployMode::Linked.control_call_cost());
+    }
+
+    #[test]
+    fn get_is_mode_independent() {
+        assert_eq!(
+            DeployMode::UnixServer.get_cost(),
+            DeployMode::Linked.get_cost()
+        );
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let labels = [
+            DeployMode::UnixServer.label(),
+            DeployMode::Rts.label(),
+            DeployMode::Linked.label(),
+        ];
+        let set: std::collections::BTreeSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! `cras-core` — CRAS, the paper's Constant Rate Access Server.
+//!
+//! "CRAS provides a single function, a constant rate retrieval for
+//! playback. This makes the size of CRAS compact." The pieces, one module
+//! each:
+//!
+//! * [`admission`] — the closed-form admission test (paper §2.3,
+//!   Appendices B/C) plus a multi-command ablation model.
+//! * [`clock`] — per-stream logical clocks (`crs_start/stop/seek`, rate
+//!   changes).
+//! * [`tdbuffer`] — the time-driven shared memory buffer (§2.4,
+//!   Figure 4): timestamp-keyed, auto-discarding, the mechanism behind
+//!   dynamic QOS control.
+//! * [`stream`] — per-stream state and the byte-range → disk-extent
+//!   mapping resolved at `crs_open`.
+//! * [`server`] — the five-thread server state machine: interval
+//!   scheduling, ≤256 KB cylinder-ordered reads, the I/O-done queue,
+//!   deadline warnings.
+//! * [`writer`] — the §4 constant-rate *writing* extension.
+//! * [`deploy`] — the Figure 5 deployment configurations.
+//! * [`api`] — the Table 2 `crs_*` client interface, verbatim.
+//! * [`fifo`] — the traditional FIFO buffer kept as the §2.4 ablation
+//!   baseline.
+//!
+//! The server is deliberately I/O-free: it plans reads and accepts
+//! completions; `cras-sys` wires it to the simulated disk, CPU and
+//! clients.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod api;
+pub mod clock;
+pub mod deploy;
+pub mod fifo;
+pub mod server;
+pub mod stream;
+pub mod tdbuffer;
+pub mod writer;
+
+pub use admission::{Admission, AdmissionError, AdmissionModel, StreamParams, MAX_READ_BYTES};
+pub use api::{crs_close, crs_get, crs_open, crs_seek, crs_start, crs_stop, CrsSession};
+pub use clock::LogicalClock;
+pub use deploy::DeployMode;
+pub use fifo::FifoBuffer;
+pub use server::{CrasServer, IntervalReport, ReadId, ReadReq, ServerConfig, ServerStats};
+pub use stream::{DiskRun, Stream, StreamId};
+pub use tdbuffer::{BufferStats, BufferedChunk, TimeDrivenBuffer};
+pub use writer::{Recorder, WriteId, WriteReq};

@@ -1,0 +1,863 @@
+//! The CRAS server: open/close, the periodic request scheduler, and the
+//! I/O-done path.
+//!
+//! The paper's five threads map onto this state machine as follows; the
+//! orchestrator (`cras-sys`) gives each its CPU time and routes events:
+//!
+//! * **request manager** — [`CrasServer::open`] / [`CrasServer::close`]
+//!   (admission test, buffer sizing);
+//! * **request scheduler** — [`CrasServer::interval_tick`]: posts the
+//!   previous interval's data from the I/O-done queue into the
+//!   time-driven buffers, then issues the next interval's reads in
+//!   cylinder order;
+//! * **I/O done manager** — [`CrasServer::io_done`]: accepts completion
+//!   notifications into the I/O-done queue;
+//! * **deadline manager** — overrun detection in `interval_tick` (a
+//!   warning counter, like the paper's);
+//! * **signal handler** — administrative stop/seek paths
+//!   ([`CrasServer::stop`], [`CrasServer::seek`]).
+
+use std::collections::{BTreeMap, HashMap};
+
+use cras_disk::calibrate::DiskParams;
+use cras_disk::geometry::BlockNo;
+use cras_media::ChunkTable;
+use cras_sim::{Duration, Instant};
+use cras_ufs::Extent;
+
+use crate::admission::{Admission, AdmissionError, AdmissionModel, StreamParams, MAX_READ_BYTES};
+use crate::clock::LogicalClock;
+use crate::stream::{Stream, StreamId};
+use crate::tdbuffer::{BufferedChunk, TimeDrivenBuffer};
+
+/// Fixed (non-buffer) server footprint: "CRAS consumes about (250KB +
+/// total buffer space) of physical memory."
+pub const SERVER_FIXED_BYTES: u64 = 250 * 1024;
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// The interval time `T`.
+    pub interval: Duration,
+    /// Memory budget for stream buffers (the admission test's limit).
+    pub buffer_budget: u64,
+    /// The time-driven buffer's jitter allowance `J`.
+    pub jitter: Duration,
+    /// Maximum bytes per disk command.
+    pub max_read_bytes: u64,
+    /// Overhead model for admission.
+    pub model: AdmissionModel,
+    /// Initial delay in intervals before a started stream's clock runs
+    /// (2 = classic double buffering; the paper's 1 s at `T` = 0.5 s).
+    pub initial_delay_intervals: u32,
+    /// Per-stream cap on outstanding pre-fetch batches. When a stream
+    /// already has this many batches in flight (the disk is behind), the
+    /// scheduler skips issuing more for it this interval — bounding the
+    /// backlog when the server is run past its admitted load, as the
+    /// Figure 6 sweep deliberately does.
+    pub max_outstanding_batches: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            interval: Duration::from_millis(500),
+            buffer_budget: 8 << 20,
+            jitter: Duration::from_millis(100),
+            max_read_bytes: MAX_READ_BYTES,
+            model: AdmissionModel::Paper,
+            initial_delay_intervals: 2,
+            max_outstanding_batches: 2,
+        }
+    }
+}
+
+/// Identifies one disk read issued by the server.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ReadId(pub u64);
+
+/// One disk read request for the orchestrator to submit (real-time class).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadReq {
+    /// Read id (returned in [`CrasServer::io_done`]).
+    pub id: ReadId,
+    /// Owning stream.
+    pub stream: StreamId,
+    /// First 512-byte disk block.
+    pub block: BlockNo,
+    /// Length in 512-byte blocks.
+    pub nblocks: u32,
+}
+
+/// What one `interval_tick` did.
+#[derive(Clone, Debug)]
+pub struct IntervalReport {
+    /// Interval number (0-based).
+    pub index: u64,
+    /// Reads to submit, already sorted in cylinder (block) order.
+    pub reqs: Vec<ReadReq>,
+    /// Chunks posted into client buffers at the start of this interval.
+    pub posted_chunks: usize,
+    /// Whether the previous interval's I/O had not all completed — a
+    /// deadline miss (the paper logs a warning).
+    pub overran: bool,
+    /// The admission test's calculated I/O time for the streams active in
+    /// this interval, seconds (Figure 8/9 denominator). Zero when no reads
+    /// were issued.
+    pub calculated_io_time: f64,
+}
+
+/// A point-in-time report on one stream (diagnostics / experiments).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamReport {
+    /// Whether the logical clock is running.
+    pub running: bool,
+    /// Clock rate multiplier.
+    pub rate: f64,
+    /// Media time up to which pre-fetches have been issued.
+    pub prefetch_cursor: Duration,
+    /// Buffer capacity in bytes.
+    pub buffer_capacity: u64,
+    /// Current buffer occupancy in bytes.
+    pub buffer_bytes: u64,
+    /// Buffer counters (puts/hits/misses/discards/max occupancy).
+    pub buffer: crate::tdbuffer::BufferStats,
+}
+
+/// Aggregate server statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Interval ticks executed.
+    pub intervals: u64,
+    /// Disk reads issued.
+    pub reads_issued: u64,
+    /// Bytes requested from disk.
+    pub bytes_requested: u64,
+    /// Chunks posted to buffers.
+    pub chunks_posted: u64,
+    /// Deadline (interval overrun) warnings.
+    pub deadline_misses: u64,
+}
+
+struct PendingBatch {
+    stream: StreamId,
+    chunk_lo: u32,
+    chunk_hi: u32,
+    remaining: usize,
+    issued_at: Instant,
+}
+
+struct FetchedBatch {
+    stream: StreamId,
+    chunk_lo: u32,
+    chunk_hi: u32,
+    completed_at: Instant,
+}
+
+/// The CRAS server.
+pub struct CrasServer {
+    cfg: ServerConfig,
+    admission: Admission,
+    streams: BTreeMap<u32, Stream>,
+    next_stream: u32,
+    pending: HashMap<u64, PendingBatch>,
+    read_to_batch: HashMap<u64, u64>,
+    done: Vec<FetchedBatch>,
+    next_read: u64,
+    next_batch: u64,
+    stats: ServerStats,
+}
+
+impl CrasServer {
+    /// Creates a server over measured disk parameters.
+    pub fn new(disk: DiskParams, cfg: ServerConfig) -> CrasServer {
+        CrasServer {
+            admission: Admission::new(disk, cfg.model),
+            cfg,
+            streams: BTreeMap::new(),
+            next_stream: 0,
+            pending: HashMap::new(),
+            read_to_batch: HashMap::new(),
+            done: Vec::new(),
+            next_read: 0,
+            next_batch: 0,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// The admission evaluator.
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Number of open streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Read access to a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream does not exist.
+    pub fn stream(&self, id: StreamId) -> &Stream {
+        self.streams.get(&id.0).expect("no such stream")
+    }
+
+    /// Admission parameters of every open stream.
+    pub fn active_params(&self) -> Vec<StreamParams> {
+        self.streams.values().map(|s| s.params).collect()
+    }
+
+    /// Wired memory consumed: fixed footprint plus all buffer capacity.
+    pub fn memory_bytes(&self) -> u64 {
+        SERVER_FIXED_BYTES
+            + self
+                .streams
+                .values()
+                .map(|s| s.buffer.capacity())
+                .sum::<u64>()
+    }
+
+    /// `crs_open`: admission-test a new stream and allocate its buffer.
+    ///
+    /// The caller supplies the control-file chunk table and the extent map
+    /// resolved through UFS; worst-case rate and max chunk size drive the
+    /// admission test.
+    pub fn open(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<Extent>,
+    ) -> Result<StreamId, AdmissionError> {
+        let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
+        let mut all = self.active_params();
+        all.push(params);
+        let t = self.cfg.interval.as_secs_f64();
+        self.admission.admit(t, &all, self.cfg.buffer_budget)?;
+        Ok(self.install_stream(name, table, extents, params))
+    }
+
+    /// Opens a stream *without* the admission test — the Figure 6 sweep
+    /// measures achieved throughput past the admitted load. Real
+    /// deployments use [`CrasServer::open`].
+    pub fn open_unchecked(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<Extent>,
+    ) -> StreamId {
+        let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
+        self.install_stream(name, table, extents, params)
+    }
+
+    fn install_stream(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<Extent>,
+        params: StreamParams,
+    ) -> StreamId {
+        let t = self.cfg.interval.as_secs_f64();
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        let buffer_bytes = self.admission.buffer_for(t, &params);
+        self.streams.insert(
+            id.0,
+            Stream {
+                id,
+                name: name.to_string(),
+                table,
+                extents,
+                params,
+                clock: LogicalClock::new(),
+                buffer: TimeDrivenBuffer::new(buffer_bytes, self.cfg.jitter),
+                prefetch_cursor: Duration::ZERO,
+            },
+        );
+        id
+    }
+
+    /// `crs_close`: releases the stream and its buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream does not exist.
+    pub fn close(&mut self, id: StreamId) {
+        self.streams.remove(&id.0).expect("no such stream");
+        // Orphan any in-flight batches; their completions become no-ops.
+        self.pending.retain(|_, b| b.stream != id);
+        self.done.retain(|b| b.stream != id);
+    }
+
+    /// `crs_start`: starts pre-fetching; the logical clock begins after
+    /// the configured initial delay. Returns the playback start time.
+    pub fn start(&mut self, id: StreamId, now: Instant) -> Instant {
+        let delay = self.cfg.interval * self.cfg.initial_delay_intervals as u64;
+        let begin = now + delay;
+        let s = self.streams.get_mut(&id.0).expect("no such stream");
+        s.clock.start(begin);
+        begin
+    }
+
+    /// `crs_stop`: stops the logical clock; pre-fetching ceases at the
+    /// frozen position.
+    pub fn stop(&mut self, id: StreamId, now: Instant) {
+        let s = self.streams.get_mut(&id.0).expect("no such stream");
+        s.clock.stop(now);
+    }
+
+    /// `crs_seek`: repositions the logical clock; buffered data is stale
+    /// and dropped, in-flight pre-fetches are orphaned, and pre-fetching
+    /// resumes from the new position.
+    pub fn seek(&mut self, id: StreamId, now: Instant, to: Duration) {
+        let s = self.streams.get_mut(&id.0).expect("no such stream");
+        s.clock.seek(now, to);
+        s.buffer.clear();
+        s.prefetch_cursor = to;
+        // Pre-seek fetches would post chunks the clock has abandoned
+        // (possibly colliding with the refetched range): drop them.
+        self.pending.retain(|_, b| b.stream != id);
+        self.done.retain(|b| b.stream != id);
+    }
+
+    /// Changes a stream's retrieval rate (fast forward: "CRAS needs to
+    /// retrieve all the video frames at twice the normal speed"),
+    /// re-running the admission test at the scaled rate.
+    pub fn set_rate(
+        &mut self,
+        id: StreamId,
+        now: Instant,
+        rate: f64,
+    ) -> Result<(), AdmissionError> {
+        assert!(rate > 0.0 && rate.is_finite(), "bad rate");
+        let t = self.cfg.interval.as_secs_f64();
+        let base = {
+            let s = self.streams.get(&id.0).expect("no such stream");
+            StreamParams::new(s.table.worst_rate() * rate, s.params.chunk)
+        };
+        let all: Vec<StreamParams> = self
+            .streams
+            .values()
+            .map(|s| if s.id == id { base } else { s.params })
+            .collect();
+        self.admission.admit(t, &all, self.cfg.buffer_budget)?;
+        let need = self.admission.buffer_for(t, &base);
+        let s = self.streams.get_mut(&id.0).expect("no such stream");
+        s.params = base;
+        s.clock.set_rate(now, rate);
+        // Resize in both directions: growing keeps the guarantee at the
+        // higher rate, shrinking keeps the wired memory equal to what the
+        // admission test accounted for.
+        if need != s.buffer.capacity() {
+            s.buffer = TimeDrivenBuffer::new(need, self.cfg.jitter);
+        }
+        Ok(())
+    }
+
+    /// `crs_get` (client side): the chunk at `media_time` from the
+    /// stream's time-driven buffer. No server communication happens in the
+    /// real system; here it is a read-mostly buffer probe.
+    pub fn get(&mut self, id: StreamId, media_time: Duration) -> Option<BufferedChunk> {
+        let s = self.streams.get_mut(&id.0).expect("no such stream");
+        s.buffer.get(media_time)
+    }
+
+    /// A diagnostic report for one stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream does not exist.
+    pub fn stream_report(&self, id: StreamId) -> StreamReport {
+        let s = self.stream(id);
+        StreamReport {
+            running: s.clock.is_running(),
+            rate: s.clock.rate(),
+            prefetch_cursor: s.prefetch_cursor,
+            buffer_capacity: s.buffer.capacity(),
+            buffer_bytes: s.buffer.bytes(),
+            buffer: s.buffer.stats(),
+        }
+    }
+
+    /// Media time of the stream's *server* clock at `now`.
+    pub fn media_time(&self, id: StreamId, now: Instant) -> Duration {
+        self.stream(id).clock.media_time(now)
+    }
+
+    /// The periodic request-scheduler pass at the start of interval
+    /// `index` (real time `now`): posts completed data, detects overruns,
+    /// and plans the next interval's reads.
+    pub fn interval_tick(&mut self, now: Instant) -> IntervalReport {
+        let index = self.stats.intervals;
+        self.stats.intervals += 1;
+
+        // Deadline manager: anything still pending from the last interval
+        // missed its deadline.
+        let overran = !self.pending.is_empty();
+        if overran {
+            self.stats.deadline_misses += 1;
+        }
+
+        // Phase 1: post the previous interval's data into the buffers.
+        let mut posted = 0usize;
+        for batch in std::mem::take(&mut self.done) {
+            let Some(s) = self.streams.get_mut(&batch.stream.0) else {
+                continue; // Closed while in flight.
+            };
+            let media_now = s.clock.media_time(now);
+            for i in batch.chunk_lo..=batch.chunk_hi {
+                let c = *s.table.get(i).expect("batch chunk in table");
+                s.buffer.put(
+                    BufferedChunk {
+                        index: c.index,
+                        timestamp: c.timestamp,
+                        duration: c.duration,
+                        size: c.size,
+                        posted_at: now,
+                    },
+                    media_now,
+                );
+                posted += 1;
+            }
+        }
+        self.stats.chunks_posted += posted as u64;
+
+        // Phase 2: plan reads for data needed by the end of the *next*
+        // interval (fetched this interval, posted at the next tick).
+        let horizon = now + self.cfg.interval * 2;
+        let mut reqs: Vec<ReadReq> = Vec::new();
+        let mut active: Vec<StreamParams> = Vec::new();
+        let stream_ids: Vec<u32> = self.streams.keys().copied().collect();
+        for sid in stream_ids {
+            let outstanding = self
+                .pending
+                .values()
+                .filter(|b| b.stream == StreamId(sid))
+                .count();
+            if outstanding >= self.cfg.max_outstanding_batches {
+                // The disk is behind for this stream; do not pile on.
+                continue;
+            }
+            let (runs, lo, hi, params) = {
+                let s = self.streams.get_mut(&sid).expect("iterating keys");
+                if !s.clock.is_running() {
+                    continue;
+                }
+                let target = s.clock.media_time(horizon).min(s.table.total_duration());
+                if target <= s.prefetch_cursor {
+                    continue;
+                }
+                let chunks = s.table.chunks_in(s.prefetch_cursor, target);
+                s.prefetch_cursor = target;
+                if chunks.is_empty() {
+                    continue;
+                }
+                let lo = chunks.first().expect("non-empty").index;
+                let hi = chunks.last().expect("non-empty").index;
+                let byte_lo = chunks.first().expect("non-empty").file_offset;
+                let last = chunks.last().expect("non-empty");
+                let byte_hi = last.file_offset + last.size as u64;
+                let runs = Stream::split_runs(
+                    s.byte_range_to_runs(byte_lo, byte_hi),
+                    self.cfg.max_read_bytes,
+                );
+                (runs, lo, hi, s.params)
+            };
+            active.push(params);
+            let batch_id = self.next_batch;
+            self.next_batch += 1;
+            self.pending.insert(
+                batch_id,
+                PendingBatch {
+                    stream: StreamId(sid),
+                    chunk_lo: lo,
+                    chunk_hi: hi,
+                    remaining: runs.len(),
+                    issued_at: now,
+                },
+            );
+            for r in runs {
+                let id = ReadId(self.next_read);
+                self.next_read += 1;
+                self.read_to_batch.insert(id.0, batch_id);
+                self.stats.reads_issued += 1;
+                self.stats.bytes_requested += r.nblocks as u64 * 512;
+                reqs.push(ReadReq {
+                    id,
+                    stream: StreamId(sid),
+                    block: r.block,
+                    nblocks: r.nblocks,
+                });
+            }
+        }
+        // Cylinder order: C-SCAN-friendly ascending block order.
+        reqs.sort_by_key(|r| r.block);
+        let calculated = if active.is_empty() {
+            0.0
+        } else {
+            self.admission
+                .calculated_io_time(self.cfg.interval.as_secs_f64(), &active)
+        };
+        IntervalReport {
+            index,
+            reqs,
+            posted_chunks: posted,
+            overran,
+            calculated_io_time: calculated,
+        }
+    }
+
+    /// I/O-done manager: records a completed read. When a stream's whole
+    /// batch is in, it is queued for posting at the next tick; returns
+    /// `Some((stream, issued_at))` at that moment.
+    pub fn io_done(&mut self, read: ReadId, now: Instant) -> Option<(StreamId, Instant)> {
+        let Some(batch_id) = self.read_to_batch.remove(&read.0) else {
+            return None; // Stream closed while in flight.
+        };
+        let batch = self.pending.get_mut(&batch_id)?;
+        batch.remaining -= 1;
+        if batch.remaining > 0 {
+            return None;
+        }
+        let batch = self.pending.remove(&batch_id).expect("present above");
+        let result = (batch.stream, batch.issued_at);
+        self.done.push(FetchedBatch {
+            stream: batch.stream,
+            chunk_lo: batch.chunk_lo,
+            chunk_hi: batch.chunk_hi,
+            completed_at: now,
+        });
+        let _ = self.done.last().map(|b| b.completed_at); // Recorded for future use.
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use cras_media::StreamProfile;
+    use cras_sim::Rng;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+    fn at(v: u64) -> Instant {
+        Instant::ZERO + ms(v)
+    }
+
+    /// A 10-second MPEG1-like movie mapped to one contiguous extent.
+    fn movie_table(secs: f64) -> (ChunkTable, Vec<Extent>) {
+        let mut rng = Rng::new(9);
+        let table = cras_media::generate_chunks(&StreamProfile::mpeg1(), secs, &mut rng);
+        let nblocks = table.total_bytes().div_ceil(512) as u32;
+        let extents = vec![Extent {
+            file_offset: 0,
+            disk_block: 10_000,
+            nblocks,
+        }];
+        (table, extents)
+    }
+
+    fn server() -> CrasServer {
+        CrasServer::new(DiskParams::paper_table4(), ServerConfig::default())
+    }
+
+    #[test]
+    fn open_admits_and_allocates_buffer() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        // B_i = 2*(0.5*187500 + 6250) = 200 000 (+- f64 rounding of the
+        // generated table's worst rate).
+        let cap = srv.stream(id).buffer.capacity();
+        assert!((199_999..=200_002).contains(&cap), "B_i = {cap}");
+        assert_eq!(srv.memory_bytes(), SERVER_FIXED_BYTES + cap);
+    }
+
+    #[test]
+    fn open_rejects_on_memory() {
+        let mut cfg = ServerConfig::default();
+        cfg.buffer_budget = 300_000;
+        let mut srv = CrasServer::new(DiskParams::paper_table4(), cfg);
+        let (t, e) = movie_table(10.0);
+        srv.open("a", t.clone(), e.clone()).unwrap();
+        let err = srv.open("b", t, e);
+        assert!(matches!(err, Err(AdmissionError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn idle_tick_issues_nothing() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let _id = srv.open("m", t, e).unwrap();
+        let rep = srv.interval_tick(at(0));
+        assert!(rep.reqs.is_empty());
+        assert_eq!(rep.posted_chunks, 0);
+        assert!(!rep.overran);
+    }
+
+    #[test]
+    fn start_then_prefetch_pipeline() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        let begin = srv.start(id, at(0));
+        assert_eq!(begin, at(1000)); // 2 intervals of 0.5 s.
+
+        // Tick 0 at t=0: clock starts at 1.0 s; horizon = 1.0 s => media 0.
+        let rep0 = srv.interval_tick(at(0));
+        assert!(rep0.reqs.is_empty(), "nothing needed yet");
+
+        // Tick 1 at t=0.5: horizon = 1.5 s => media [0, 0.5).
+        let rep1 = srv.interval_tick(at(500));
+        assert!(!rep1.reqs.is_empty());
+        let bytes: u64 = rep1.reqs.iter().map(|r| r.nblocks as u64 * 512).sum();
+        // ~0.5 s of 187.5 KB/s, block-rounded.
+        assert!((90_000..110_000).contains(&bytes), "bytes = {bytes}");
+        // All reads <= 256 KB and sorted by block.
+        assert!(rep1
+            .reqs
+            .iter()
+            .all(|r| r.nblocks as u64 * 512 <= 256 * 1024));
+        assert!(rep1.reqs.windows(2).all(|w| w[0].block <= w[1].block));
+
+        // Complete them; chunks post at tick 2 and frame 0 is gettable at
+        // media time 0 (real time 1.0 s).
+        for r in &rep1.reqs {
+            srv.io_done(r.id, at(700));
+        }
+        let rep2 = srv.interval_tick(at(1000));
+        assert!(rep2.posted_chunks > 0);
+        assert!(!rep2.overran);
+        let got = srv.get(id, Duration::ZERO).expect("first frame buffered");
+        assert_eq!(got.index, 0);
+    }
+
+    #[test]
+    fn overrun_detected_when_io_lags() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let rep1 = srv.interval_tick(at(500));
+        assert!(!rep1.reqs.is_empty());
+        // Do NOT complete the reads: next tick must flag an overrun.
+        let rep2 = srv.interval_tick(at(1000));
+        assert!(rep2.overran);
+        assert_eq!(srv.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn stop_freezes_prefetch() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let r1 = srv.interval_tick(at(500));
+        for r in &r1.reqs {
+            srv.io_done(r.id, at(600));
+        }
+        srv.stop(id, at(700));
+        // Further ticks do not fetch beyond the frozen clock.
+        let r2 = srv.interval_tick(at(1000));
+        let r3 = srv.interval_tick(at(1500));
+        // Clock froze at media 0 (it had not started); horizon stays 0.
+        assert!(r2.reqs.is_empty() && r3.reqs.is_empty());
+    }
+
+    #[test]
+    fn stop_then_restart_resumes_where_it_left_off() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let r1 = srv.interval_tick(at(500));
+        for r in &r1.reqs {
+            srv.io_done(r.id, at(600));
+        }
+        srv.interval_tick(at(1000));
+        let r2 = srv.interval_tick(at(1000));
+        for r in &r2.reqs {
+            srv.io_done(r.id, at(1100));
+        }
+        let cursor_before = srv.stream(id).prefetch_cursor;
+        srv.stop(id, at(1100));
+        // Paused: no new fetches over several intervals.
+        let paused: usize = (3..6)
+            .map(|k| srv.interval_tick(at(k * 500)).reqs.len())
+            .sum();
+        assert_eq!(paused, 0);
+        assert_eq!(srv.stream(id).prefetch_cursor, cursor_before);
+        // Restart: the clock re-arms (media resumes at its frozen
+        // position after the initial delay). Already-prefetched data is
+        // reused — no refetch until the horizon passes the cursor...
+        srv.start(id, at(3000));
+        let resumed_early = srv.interval_tick(at(3500));
+        assert!(resumed_early.reqs.is_empty(), "buffered data is reused");
+        // ...then fetching continues from the frozen cursor, not zero.
+        let resumed = srv.interval_tick(at(4500));
+        assert!(!resumed.reqs.is_empty());
+        assert!(srv.stream(id).prefetch_cursor > cursor_before);
+    }
+
+    #[test]
+    fn seek_clears_buffer_and_refetches() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let r1 = srv.interval_tick(at(500));
+        for r in &r1.reqs {
+            srv.io_done(r.id, at(600));
+        }
+        srv.interval_tick(at(1000)); // Posts media [0, 0.5).
+        assert!(srv.get(id, Duration::ZERO).is_some());
+        srv.seek(id, at(1100), Duration::from_secs(5));
+        assert!(srv.stream(id).buffer.is_empty());
+        // Next tick prefetches from 5 s.
+        let r = srv.interval_tick(at(1500));
+        assert!(!r.reqs.is_empty());
+        // The refetched range starts at ~5 s into the file:
+        // 5 s * 187 500 B/s / 512 B ≈ block 1831 after the extent start.
+        let min_block = r.reqs.iter().map(|q| q.block).min().unwrap();
+        assert!(min_block >= 10_000 + 1700, "min block = {min_block}");
+    }
+
+    #[test]
+    fn seek_orphans_inflight_batches() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let r1 = srv.interval_tick(at(500));
+        assert!(!r1.reqs.is_empty());
+        // Seek while the interval's reads are still in flight.
+        srv.seek(id, at(600), Duration::from_secs(5));
+        for r in &r1.reqs {
+            assert!(
+                srv.io_done(r.id, at(700)).is_none(),
+                "stale read must be orphaned"
+            );
+        }
+        // The next tick posts nothing stale and refetches from 5 s.
+        let r2 = srv.interval_tick(at(1000));
+        assert_eq!(r2.posted_chunks, 0);
+        assert!(!r2.overran, "orphaned batches are not overruns");
+        assert!(!r2.reqs.is_empty());
+    }
+
+    #[test]
+    fn prefetch_stops_at_end_of_movie() {
+        let mut srv = server();
+        let (t, e) = movie_table(1.0); // 1-second movie.
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        let mut total_bytes = 0u64;
+        for k in 0..10u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            for r in &rep.reqs {
+                total_bytes += r.nblocks as u64 * 512;
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+        }
+        // Only ~1 s of data (187.5 KB) ever fetched, rounded to blocks.
+        assert!(total_bytes < 200_000, "fetched {total_bytes}");
+        let s = srv.stream(id);
+        assert_eq!(s.prefetch_cursor, s.table.total_duration());
+    }
+
+    #[test]
+    fn close_orphans_inflight_io() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let r1 = srv.interval_tick(at(500));
+        assert!(!r1.reqs.is_empty());
+        srv.close(id);
+        // Completions for the closed stream are ignored.
+        for r in &r1.reqs {
+            assert!(srv.io_done(r.id, at(600)).is_none());
+        }
+        assert_eq!(srv.stream_count(), 0);
+        let rep = srv.interval_tick(at(1000));
+        assert_eq!(rep.posted_chunks, 0);
+        assert!(!rep.overran);
+    }
+
+    #[test]
+    fn set_rate_readmits() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.set_rate(id, at(0), 2.0).unwrap();
+        assert!((srv.stream(id).params.rate - 375_000.0).abs() < 1.0);
+        // Buffer regrown for the doubled rate.
+        assert!(srv.stream(id).buffer.capacity() > 200_000);
+        // Returning to normal speed shrinks it back to the admitted size.
+        srv.set_rate(id, at(0), 1.0).unwrap();
+        assert!(
+            (199_999..=200_002).contains(&srv.stream(id).buffer.capacity()),
+            "capacity {}",
+            srv.stream(id).buffer.capacity()
+        );
+        srv.set_rate(id, at(0), 2.0).unwrap();
+        // An absurd rate is rejected and leaves state intact.
+        let err = srv.set_rate(id, at(0), 100.0);
+        assert!(err.is_err());
+        assert!((srv.stream(id).params.rate - 375_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn stream_report_reflects_state() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        let r0 = srv.stream_report(id);
+        assert!(!r0.running);
+        assert_eq!(r0.buffer_bytes, 0);
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        for r in &rep.reqs {
+            srv.io_done(r.id, at(700));
+        }
+        srv.interval_tick(at(1000));
+        let r1 = srv.stream_report(id);
+        assert!(r1.running);
+        assert!(r1.buffer_bytes > 0);
+        assert!(r1.prefetch_cursor > Duration::ZERO);
+        assert!(r1.buffer.puts > 0);
+    }
+
+    #[test]
+    fn calculated_io_time_reported_when_active() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(rep.calculated_io_time > 0.0);
+        assert!(rep.calculated_io_time < 0.5);
+        let _ = id;
+    }
+}

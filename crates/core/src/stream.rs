@@ -1,0 +1,246 @@
+//! Per-stream server state: chunk table, extent map, logical clock,
+//! time-driven buffer, and the byte-range → disk-extent mapping.
+
+use cras_disk::geometry::BlockNo;
+use cras_media::ChunkTable;
+use cras_sim::Duration;
+use cras_ufs::Extent;
+
+use crate::admission::StreamParams;
+use crate::clock::LogicalClock;
+use crate::tdbuffer::TimeDrivenBuffer;
+
+/// Identifies an open stream within one CRAS server.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StreamId(pub u32);
+
+/// A physically contiguous disk run backing part of a byte range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskRun {
+    /// First 512-byte disk block.
+    pub block: BlockNo,
+    /// Length in 512-byte blocks.
+    pub nblocks: u32,
+}
+
+/// Server-side state of one open stream.
+#[derive(Clone, Debug)]
+pub struct Stream {
+    /// Stream id.
+    pub id: StreamId,
+    /// Movie name (diagnostics).
+    pub name: String,
+    /// The control-file chunk table.
+    pub table: ChunkTable,
+    /// Extent map resolved at open time — CRAS never touches UFS metadata
+    /// during retrieval.
+    pub extents: Vec<Extent>,
+    /// Admission parameters this stream was admitted with.
+    pub params: StreamParams,
+    /// The stream's logical clock.
+    pub clock: LogicalClock,
+    /// The time-driven shared memory buffer.
+    pub buffer: TimeDrivenBuffer,
+    /// Media time up to which pre-fetches have been issued
+    /// (`T_read_ahead` in Figure 4).
+    pub prefetch_cursor: Duration,
+}
+
+impl Stream {
+    /// Maps the file byte range `[lo, hi)` onto disk-block runs, merging
+    /// physically adjacent pieces. Ranges are rounded outward to 512-byte
+    /// block boundaries (the device transfers whole blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or extends past the mapped file.
+    pub fn byte_range_to_runs(&self, lo: u64, hi: u64) -> Vec<DiskRun> {
+        assert!(lo < hi, "empty byte range");
+        let mapped: u64 = self.extents.iter().map(|e| e.bytes()).sum();
+        assert!(
+            hi <= mapped,
+            "byte range beyond extent map: {hi} > {mapped}"
+        );
+        let mut runs: Vec<DiskRun> = Vec::new();
+        for e in &self.extents {
+            let e_lo = e.file_offset;
+            let e_hi = e.file_offset + e.bytes();
+            let a = lo.max(e_lo);
+            let b = hi.min(e_hi);
+            if a >= b {
+                continue;
+            }
+            // Block-align within the extent.
+            let rel_lo = (a - e_lo) / 512;
+            let rel_hi = (b - e_lo).div_ceil(512);
+            let block = e.disk_block + rel_lo;
+            let nblocks = (rel_hi - rel_lo) as u32;
+            match runs.last_mut() {
+                Some(last) if last.block + last.nblocks as u64 == block => {
+                    last.nblocks += nblocks;
+                }
+                _ => runs.push(DiskRun { block, nblocks }),
+            }
+        }
+        runs
+    }
+
+    /// Splits runs so that no single disk command exceeds `max_bytes`
+    /// ("CRAS optimizes throughput by reading ... up to 256K bytes at a
+    /// time ... If the size of contiguous blocks is less ... CRAS reads
+    /// the smaller blocks instead").
+    pub fn split_runs(runs: Vec<DiskRun>, max_bytes: u64) -> Vec<DiskRun> {
+        let max_blocks = (max_bytes / 512).max(1) as u32;
+        let mut out = Vec::with_capacity(runs.len());
+        for r in runs {
+            let mut block = r.block;
+            let mut left = r.nblocks;
+            while left > 0 {
+                let take = left.min(max_blocks);
+                out.push(DiskRun {
+                    block,
+                    nblocks: take,
+                });
+                block += take as u64;
+                left -= take;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cras_media::StreamProfile;
+    use cras_sim::Rng;
+
+    fn stream_with_extents(extents: Vec<Extent>) -> Stream {
+        let mut rng = Rng::new(1);
+        let table = cras_media::generate_chunks(&StreamProfile::mpeg1(), 1.0, &mut rng);
+        Stream {
+            id: StreamId(0),
+            name: "t".into(),
+            table,
+            extents,
+            params: StreamParams::new(187_500.0, 6_250.0),
+            clock: LogicalClock::new(),
+            buffer: TimeDrivenBuffer::new(200_000, Duration::from_millis(100)),
+            prefetch_cursor: Duration::ZERO,
+        }
+    }
+
+    fn ext(file_offset: u64, disk_block: u64, nblocks: u32) -> Extent {
+        Extent {
+            file_offset,
+            disk_block,
+            nblocks,
+        }
+    }
+
+    #[test]
+    fn single_extent_subrange() {
+        let s = stream_with_extents(vec![ext(0, 1000, 100)]); // 51 200 B.
+        let runs = s.byte_range_to_runs(1024, 2048);
+        assert_eq!(
+            runs,
+            vec![DiskRun {
+                block: 1002,
+                nblocks: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn unaligned_range_rounds_outward() {
+        let s = stream_with_extents(vec![ext(0, 1000, 100)]);
+        let runs = s.byte_range_to_runs(100, 700);
+        // Bytes 100..700 live in blocks 0 and 1.
+        assert_eq!(
+            runs,
+            vec![DiskRun {
+                block: 1000,
+                nblocks: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn range_spanning_discontiguous_extents() {
+        let s = stream_with_extents(vec![ext(0, 1000, 16), ext(8192, 5000, 16)]);
+        let runs = s.byte_range_to_runs(4096, 12288);
+        assert_eq!(
+            runs,
+            vec![
+                DiskRun {
+                    block: 1008,
+                    nblocks: 8
+                },
+                DiskRun {
+                    block: 5000,
+                    nblocks: 8
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn adjacent_extents_merge() {
+        // Extents contiguous on disk merge into one run.
+        let s = stream_with_extents(vec![ext(0, 1000, 16), ext(8192, 1016, 16)]);
+        let runs = s.byte_range_to_runs(0, 16384);
+        assert_eq!(
+            runs,
+            vec![DiskRun {
+                block: 1000,
+                nblocks: 32
+            }]
+        );
+    }
+
+    #[test]
+    fn split_respects_256k() {
+        let runs = vec![DiskRun {
+            block: 0,
+            nblocks: 1200,
+        }];
+        let split = Stream::split_runs(runs, 256 * 1024); // 512 blocks.
+        assert_eq!(split.len(), 3);
+        assert_eq!(split[0].nblocks, 512);
+        assert_eq!(split[1].nblocks, 512);
+        assert_eq!(split[2].nblocks, 176);
+        assert_eq!(split[1].block, 512);
+        let total: u32 = split.iter().map(|r| r.nblocks).sum();
+        assert_eq!(total, 1200);
+    }
+
+    #[test]
+    fn split_leaves_small_runs_alone() {
+        let runs = vec![
+            DiskRun {
+                block: 0,
+                nblocks: 10,
+            },
+            DiskRun {
+                block: 100,
+                nblocks: 512,
+            },
+        ];
+        let split = Stream::split_runs(runs.clone(), 256 * 1024);
+        assert_eq!(split, runs);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond extent map")]
+    fn out_of_range_panics() {
+        let s = stream_with_extents(vec![ext(0, 1000, 16)]);
+        s.byte_range_to_runs(0, 9000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty byte range")]
+    fn empty_range_panics() {
+        let s = stream_with_extents(vec![ext(0, 1000, 16)]);
+        s.byte_range_to_runs(5, 5);
+    }
+}

@@ -1,0 +1,348 @@
+//! The time-driven shared memory buffer (paper §2.4, Figure 4).
+//!
+//! A per-stream buffer keyed by media timestamps instead of FIFO order.
+//! CRAS puts chunks in with their timestamps; the client reads "the data
+//! at the location pointed to by `T_now`" of its own logical clock; and
+//! the buffer "removes the media data automatically when the timestamp
+//! becomes greater than the logical clock's current time" — more
+//! precisely, everything with `timestamp < T_discard = T_now − J` is
+//! discarded, where `J` absorbs small jitters.
+//!
+//! This is what lets a client change its consumption rate (dynamic QOS)
+//! without any feedback protocol: the server keeps filling at the stream
+//! rate; obsolete frames age out by timestamp; the client samples whatever
+//! media time it wants.
+
+use std::collections::BTreeMap;
+
+use cras_sim::{Duration, Instant};
+
+/// One buffered chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferedChunk {
+    /// Chunk index within the stream.
+    pub index: u32,
+    /// Media timestamp.
+    pub timestamp: Duration,
+    /// Presentation duration.
+    pub duration: Duration,
+    /// Size in bytes.
+    pub size: u32,
+    /// Real time at which the chunk became visible to the client.
+    pub posted_at: Instant,
+}
+
+/// Counters for buffer behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Chunks inserted.
+    pub puts: u64,
+    /// Successful gets.
+    pub hits: u64,
+    /// Gets that found no chunk for the requested time.
+    pub misses: u64,
+    /// Chunks discarded as obsolete.
+    pub discarded: u64,
+    /// Maximum byte occupancy observed.
+    pub max_bytes: u64,
+}
+
+/// A time-driven buffer for one stream.
+///
+/// # Examples
+///
+/// ```
+/// use cras_core::{BufferedChunk, TimeDrivenBuffer};
+/// use cras_sim::{Duration, Instant};
+///
+/// let mut buf = TimeDrivenBuffer::new(64 << 10, Duration::from_millis(100));
+/// buf.put(
+///     BufferedChunk {
+///         index: 0,
+///         timestamp: Duration::ZERO,
+///         duration: Duration::from_millis(33),
+///         size: 6_250,
+///         posted_at: Instant::ZERO,
+///     },
+///     Duration::ZERO,
+/// );
+/// // crs_get by logical time:
+/// assert_eq!(buf.get(Duration::from_millis(10)).unwrap().index, 0);
+/// // Once the logical clock passes the jitter window, it ages out:
+/// buf.discard_obsolete(Duration::from_millis(200));
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimeDrivenBuffer {
+    /// Keyed by timestamp nanoseconds.
+    entries: BTreeMap<u64, BufferedChunk>,
+    capacity_bytes: u64,
+    bytes: u64,
+    jitter: Duration,
+    stats: BufferStats,
+}
+
+impl TimeDrivenBuffer {
+    /// Creates a buffer with byte capacity `capacity_bytes` (the
+    /// admission test's `B_i`) and jitter allowance `J`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(capacity_bytes: u64, jitter: Duration) -> TimeDrivenBuffer {
+        assert!(capacity_bytes > 0, "zero-capacity buffer");
+        TimeDrivenBuffer {
+            entries: BTreeMap::new(),
+            capacity_bytes,
+            bytes: 0,
+            jitter,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Current occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of buffered chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no chunks are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Discards everything with `timestamp < media_now − J`.
+    pub fn discard_obsolete(&mut self, media_now: Duration) {
+        let t_discard = media_now.saturating_sub(self.jitter);
+        // Split off the still-valid suffix; what remains is obsolete.
+        let keep = self.entries.split_off(&t_discard.as_nanos());
+        for (_, e) in std::mem::replace(&mut self.entries, keep) {
+            self.bytes -= e.size as u64;
+            self.stats.discarded += 1;
+        }
+    }
+
+    /// Inserts a chunk (server side), discarding obsolete entries first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk does not fit even after discarding — the
+    /// admission test's `B_i = 2·A_i` bound makes that a server bug, and
+    /// the paper's design guarantees "the buffer always has enough space
+    /// for storing media data retrieved from disks".
+    pub fn put(&mut self, chunk: BufferedChunk, media_now: Duration) {
+        self.discard_obsolete(media_now);
+        assert!(
+            self.bytes + chunk.size as u64 <= self.capacity_bytes,
+            "time-driven buffer overflow: {} + {} > {} (admission bug)",
+            self.bytes,
+            chunk.size,
+            self.capacity_bytes
+        );
+        let prev = self.entries.insert(chunk.timestamp.as_nanos(), chunk);
+        assert!(prev.is_none(), "duplicate chunk timestamp");
+        self.bytes += chunk.size as u64;
+        self.stats.puts += 1;
+        self.stats.max_bytes = self.stats.max_bytes.max(self.bytes);
+    }
+
+    /// Client-side `crs_get`: the chunk whose `[timestamp, timestamp +
+    /// duration)` interval contains `media_time`, without any
+    /// communication with the server.
+    pub fn get(&mut self, media_time: Duration) -> Option<BufferedChunk> {
+        let found = self
+            .entries
+            .range(..=media_time.as_nanos())
+            .next_back()
+            .map(|(_, e)| *e)
+            .filter(|e| media_time < e.timestamp + e.duration);
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Read-only probe used by tests and occupancy metrics.
+    pub fn peek(&self, media_time: Duration) -> Option<&BufferedChunk> {
+        self.entries
+            .range(..=media_time.as_nanos())
+            .next_back()
+            .map(|(_, e)| e)
+            .filter(|e| media_time < e.timestamp + e.duration)
+    }
+
+    /// The earliest buffered timestamp.
+    pub fn first_timestamp(&self) -> Option<Duration> {
+        self.entries
+            .keys()
+            .next()
+            .map(|&ns| Duration::from_nanos(ns))
+    }
+
+    /// The latest buffered timestamp (the paper's `T_read_ahead` frontier).
+    pub fn last_timestamp(&self) -> Option<Duration> {
+        self.entries
+            .keys()
+            .next_back()
+            .map(|&ns| Duration::from_nanos(ns))
+    }
+
+    /// Empties the buffer (on `crs_seek`, buffered data is stale).
+    pub fn clear(&mut self) {
+        self.stats.discarded += self.entries.len() as u64;
+        self.entries.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn chunk(i: u32, ts_ms: u64, dur_ms: u64, size: u32) -> BufferedChunk {
+        BufferedChunk {
+            index: i,
+            timestamp: ms(ts_ms),
+            duration: ms(dur_ms),
+            size,
+            posted_at: Instant::ZERO,
+        }
+    }
+
+    fn buf() -> TimeDrivenBuffer {
+        TimeDrivenBuffer::new(100_000, ms(100))
+    }
+
+    #[test]
+    fn put_get_same_time() {
+        let mut b = buf();
+        b.put(chunk(0, 0, 33, 6250), Duration::ZERO);
+        let got = b.get(ms(0)).unwrap();
+        assert_eq!(got.index, 0);
+        // Mid-frame also resolves to frame 0.
+        assert_eq!(b.get(ms(32)).unwrap().index, 0);
+        // Past the frame: miss.
+        assert!(b.get(ms(33)).is_none());
+        assert_eq!(b.stats().hits, 2);
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn client_can_skip_frames() {
+        // The dynamic-QOS case: 30 fps in the buffer, client samples at
+        // 10 fps and uses one of every three frames.
+        let mut b = buf();
+        for i in 0..30 {
+            b.put(chunk(i, i as u64 * 33, 33, 1000), Duration::ZERO);
+        }
+        let got: Vec<u32> = (0..10)
+            .filter_map(|k| b.get(ms(k * 99)).map(|c| c.index))
+            .collect();
+        assert_eq!(got, vec![0, 3, 6, 9, 12, 15, 18, 21, 24, 27]);
+    }
+
+    #[test]
+    fn obsolete_discarded_by_media_clock() {
+        let mut b = buf();
+        for i in 0..10 {
+            b.put(chunk(i, i as u64 * 100, 100, 1000), Duration::ZERO);
+        }
+        assert_eq!(b.len(), 10);
+        // Clock at 500 ms, J = 100 ms: discard ts < 400 ms.
+        b.discard_obsolete(ms(500));
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.first_timestamp(), Some(ms(400)));
+        assert_eq!(b.stats().discarded, 4);
+        assert_eq!(b.bytes(), 6000);
+    }
+
+    #[test]
+    fn put_reclaims_before_inserting() {
+        let mut b = TimeDrivenBuffer::new(3000, Duration::ZERO);
+        b.put(chunk(0, 0, 100, 1000), Duration::ZERO);
+        b.put(chunk(1, 100, 100, 1000), Duration::ZERO);
+        b.put(chunk(2, 200, 100, 1000), Duration::ZERO);
+        // Full. Advancing the clock to 200 ms frees ts<200 (two chunks).
+        b.put(chunk(3, 300, 100, 1000), ms(200));
+        assert_eq!(b.len(), 2);
+        assert!(b.peek(ms(250)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_is_a_bug() {
+        let mut b = TimeDrivenBuffer::new(1500, Duration::ZERO);
+        b.put(chunk(0, 0, 100, 1000), Duration::ZERO);
+        b.put(chunk(1, 100, 100, 1000), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_timestamp_panics() {
+        let mut b = buf();
+        b.put(chunk(0, 0, 100, 10), Duration::ZERO);
+        b.put(chunk(1, 0, 100, 10), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_window_keeps_recent_past() {
+        let mut b = buf(); // J = 100 ms.
+        b.put(chunk(0, 0, 33, 10), Duration::ZERO);
+        // Clock at 90 ms: ts 0 is within J, stays.
+        b.discard_obsolete(ms(90));
+        assert_eq!(b.len(), 1);
+        b.discard_obsolete(ms(101));
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn clear_on_seek() {
+        let mut b = buf();
+        for i in 0..5 {
+            b.put(chunk(i, i as u64 * 100, 100, 10), Duration::ZERO);
+        }
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+        assert_eq!(b.stats().discarded, 5);
+    }
+
+    #[test]
+    fn max_occupancy_tracked() {
+        let mut b = buf();
+        b.put(chunk(0, 0, 100, 40_000), Duration::ZERO);
+        b.put(chunk(1, 100, 100, 30_000), Duration::ZERO);
+        b.discard_obsolete(ms(1000));
+        assert_eq!(b.stats().max_bytes, 70_000);
+        assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn last_timestamp_is_read_ahead_frontier() {
+        let mut b = buf();
+        assert!(b.last_timestamp().is_none());
+        b.put(chunk(0, 0, 100, 10), Duration::ZERO);
+        b.put(chunk(1, 100, 100, 10), Duration::ZERO);
+        assert_eq!(b.last_timestamp(), Some(ms(100)));
+    }
+}

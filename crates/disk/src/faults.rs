@@ -1,0 +1,121 @@
+//! Fault injection: transient per-operation slowdowns.
+//!
+//! Real drives occasionally retry a read (thermal recalibration, ECC
+//! retries, bad-sector remapping) and stall the operation for tens of
+//! milliseconds. The paper's deadline-manager thread exists exactly for
+//! such events ("executes the recovery action from a missed deadline");
+//! injecting them exercises that path and the time-driven buffer's
+//! tolerance.
+//!
+//! Faults are deterministic: a seeded PRNG decides, per operation,
+//! whether to add a retry penalty.
+
+use cras_sim::{Duration, Rng};
+
+/// A transient-slowdown injector.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    /// Probability that an operation takes a retry penalty.
+    prob: f64,
+    /// Penalty added to a faulted operation (e.g. one or two extra
+    /// revolutions plus recalibration).
+    penalty: Duration,
+    rng: Rng,
+    injected: u64,
+    ops_seen: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn new(prob: f64, penalty: Duration, seed: u64) -> FaultInjector {
+        assert!((0.0..=1.0).contains(&prob), "bad fault probability");
+        FaultInjector {
+            prob,
+            penalty,
+            rng: Rng::new(seed),
+            injected: 0,
+            ops_seen: 0,
+        }
+    }
+
+    /// A typical retry profile: 1% of operations stall ~25 ms (three
+    /// revolutions plus recalibration).
+    pub fn typical(seed: u64) -> FaultInjector {
+        FaultInjector::new(0.01, Duration::from_millis(25), seed)
+    }
+
+    /// Decides the extra delay (possibly zero) for the next operation.
+    pub fn sample(&mut self) -> Duration {
+        self.ops_seen += 1;
+        if self.prob > 0.0 && self.rng.chance(self.prob) {
+            self.injected += 1;
+            self.penalty
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Operations that took the penalty.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Operations observed.
+    pub fn ops_seen(&self) -> u64 {
+        self.ops_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_faults() {
+        let mut f = FaultInjector::new(0.0, Duration::from_millis(25), 1);
+        for _ in 0..1000 {
+            assert_eq!(f.sample(), Duration::ZERO);
+        }
+        assert_eq!(f.injected(), 0);
+        assert_eq!(f.ops_seen(), 1000);
+    }
+
+    #[test]
+    fn certain_probability_always_faults() {
+        let mut f = FaultInjector::new(1.0, Duration::from_millis(10), 2);
+        for _ in 0..100 {
+            assert_eq!(f.sample(), Duration::from_millis(10));
+        }
+        assert_eq!(f.injected(), 100);
+    }
+
+    #[test]
+    fn rate_is_approximately_honoured() {
+        let mut f = FaultInjector::new(0.05, Duration::from_millis(25), 3);
+        for _ in 0..20_000 {
+            f.sample();
+        }
+        let rate = f.injected() as f64 / f.ops_seen() as f64;
+        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut f = FaultInjector::new(0.1, Duration::from_millis(5), seed);
+            (0..64).map(|_| f.sample().as_nanos()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad fault probability")]
+    fn invalid_probability_panics() {
+        FaultInjector::new(1.5, Duration::ZERO, 1);
+    }
+}

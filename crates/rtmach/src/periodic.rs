@@ -1,0 +1,230 @@
+//! Periodic real-time threads and deadline bookkeeping.
+//!
+//! Real-Time Mach's periodic threads release at fixed intervals and report
+//! missed deadlines through a deadline notification port; CRAS's deadline
+//! manager thread "executes the recovery action from a missed deadline.
+//! Currently, CRAS notifies a warning message when a deadline is missed."
+//!
+//! [`PeriodicState`] tracks releases, completions and misses for one
+//! periodic activity (e.g. CRAS's request-scheduler thread with period =
+//! the interval time).
+
+use cras_sim::{Duration, Instant};
+
+/// Static description of a periodic activity.
+#[derive(Clone, Copy, Debug)]
+pub struct PeriodicSpec {
+    /// Release period.
+    pub period: Duration,
+    /// Offset of the first release from time zero.
+    pub offset: Duration,
+    /// Relative deadline (from release). Usually equal to `period` for
+    /// CRAS: interval *k*'s pre-fetches must finish before interval *k*+1.
+    pub deadline: Duration,
+}
+
+impl PeriodicSpec {
+    /// A spec with deadline equal to the period and zero offset.
+    pub fn simple(period: Duration) -> PeriodicSpec {
+        PeriodicSpec {
+            period,
+            offset: Duration::ZERO,
+            deadline: period,
+        }
+    }
+}
+
+/// What happened at a completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlineVerdict {
+    /// Completed at or before the absolute deadline.
+    Met,
+    /// Completed after the absolute deadline.
+    Missed {
+        /// How late completion was.
+        by: Duration,
+    },
+}
+
+/// Dynamic state of one periodic activity.
+#[derive(Clone, Debug)]
+pub struct PeriodicState {
+    spec: PeriodicSpec,
+    releases: u64,
+    completions: u64,
+    misses: u64,
+    current_release: Option<Instant>,
+    worst_lateness: Duration,
+    total_response: Duration,
+}
+
+impl PeriodicState {
+    /// Creates the state machine for a spec.
+    pub fn new(spec: PeriodicSpec) -> PeriodicState {
+        PeriodicState {
+            spec,
+            releases: 0,
+            completions: 0,
+            misses: 0,
+            current_release: None,
+            worst_lateness: Duration::ZERO,
+            total_response: Duration::ZERO,
+        }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> PeriodicSpec {
+        self.spec
+    }
+
+    /// Absolute time of release number `k` (0-based).
+    pub fn release_time(&self, k: u64) -> Instant {
+        Instant::ZERO + self.spec.offset + self.spec.period * k
+    }
+
+    /// The next release time (the one not yet released).
+    pub fn next_release(&self) -> Instant {
+        self.release_time(self.releases)
+    }
+
+    /// Records release number `releases` occurring; returns its absolute
+    /// deadline.
+    ///
+    /// If the previous release never completed, it is counted as a miss
+    /// (overrun) — the paper's CRAS logs a warning and carries on.
+    pub fn release(&mut self) -> Instant {
+        if self.current_release.is_some() {
+            self.misses += 1;
+            self.current_release = None;
+        }
+        let t = self.next_release();
+        self.releases += 1;
+        self.current_release = Some(t);
+        t + self.spec.deadline
+    }
+
+    /// Records the current release completing at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no release is outstanding.
+    pub fn complete(&mut self, now: Instant) -> DeadlineVerdict {
+        let released = self
+            .current_release
+            .take()
+            .expect("complete without release");
+        self.completions += 1;
+        self.total_response += now.saturating_since(released);
+        let deadline = released + self.spec.deadline;
+        if now <= deadline {
+            DeadlineVerdict::Met
+        } else {
+            let by = now.since(deadline);
+            self.misses += 1;
+            if by > self.worst_lateness {
+                self.worst_lateness = by;
+            }
+            DeadlineVerdict::Missed { by }
+        }
+    }
+
+    /// Number of releases so far.
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+
+    /// Number of completions so far.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Number of deadline misses (late completions plus overruns).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Worst observed lateness.
+    pub fn worst_lateness(&self) -> Duration {
+        self.worst_lateness
+    }
+
+    /// Mean response time (release → completion) over all completions.
+    pub fn mean_response(&self) -> Duration {
+        if self.completions == 0 {
+            Duration::ZERO
+        } else {
+            self.total_response / self.completions
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+    fn at(v: u64) -> Instant {
+        Instant::ZERO + ms(v)
+    }
+
+    #[test]
+    fn release_times_are_periodic() {
+        let s = PeriodicState::new(PeriodicSpec {
+            period: ms(500),
+            offset: ms(100),
+            deadline: ms(500),
+        });
+        assert_eq!(s.release_time(0), at(100));
+        assert_eq!(s.release_time(3), at(1600));
+    }
+
+    #[test]
+    fn met_deadline() {
+        let mut s = PeriodicState::new(PeriodicSpec::simple(ms(500)));
+        let dl = s.release();
+        assert_eq!(dl, at(500));
+        assert_eq!(s.complete(at(300)), DeadlineVerdict::Met);
+        assert_eq!(s.misses(), 0);
+        assert_eq!(s.mean_response(), ms(300));
+    }
+
+    #[test]
+    fn missed_deadline_records_lateness() {
+        let mut s = PeriodicState::new(PeriodicSpec::simple(ms(500)));
+        s.release();
+        let v = s.complete(at(620));
+        assert_eq!(v, DeadlineVerdict::Missed { by: ms(120) });
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.worst_lateness(), ms(120));
+    }
+
+    #[test]
+    fn overrun_counts_as_miss() {
+        let mut s = PeriodicState::new(PeriodicSpec::simple(ms(500)));
+        s.release();
+        // Never completes; next release arrives.
+        s.release();
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.releases(), 2);
+        assert_eq!(s.completions(), 0);
+    }
+
+    #[test]
+    fn next_release_advances() {
+        let mut s = PeriodicState::new(PeriodicSpec::simple(ms(500)));
+        assert_eq!(s.next_release(), at(0));
+        s.release();
+        assert_eq!(s.next_release(), at(500));
+        s.complete(at(10));
+        assert_eq!(s.next_release(), at(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "without release")]
+    fn complete_without_release_panics() {
+        let mut s = PeriodicState::new(PeriodicSpec::simple(ms(500)));
+        s.complete(at(10));
+    }
+}

@@ -1,0 +1,246 @@
+//! Mach-style ports: typed one-way message queues between threads.
+//!
+//! Real-Time Mach components talk through ports: applications send
+//! `crs_open`/`crs_start` requests to CRAS's request-manager port, the
+//! kernel posts I/O-done notifications, and missed deadlines arrive on a
+//! *deadline notification port* consumed by the deadline-handling thread.
+//! This module models the queueing semantics the simulation needs:
+//! bounded capacity, FIFO delivery, blocking-receive bookkeeping, and
+//! send-on-full policies.
+
+use std::collections::VecDeque;
+
+use cras_sim::Instant;
+
+use crate::thread::ThreadId;
+
+/// What a sender does when the port is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FullPolicy {
+    /// Drop the new message (notifications: losing one warning is fine).
+    DropNewest,
+    /// Drop the oldest queued message.
+    DropOldest,
+    /// Refuse the send (caller sees an error).
+    Reject,
+}
+
+/// Result of a send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Queued; if a receiver was blocked, it should be woken.
+    Delivered {
+        /// The blocked receiver to wake, if any.
+        wake: Option<ThreadId>,
+    },
+    /// Dropped per the full-queue policy.
+    Dropped,
+    /// Rejected per the full-queue policy.
+    Rejected,
+}
+
+/// A timestamped message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message<M> {
+    /// When it was sent.
+    pub sent_at: Instant,
+    /// The payload.
+    pub payload: M,
+}
+
+/// A bounded FIFO port.
+///
+/// # Examples
+///
+/// ```
+/// use cras_rtmach::port::{FullPolicy, Port};
+/// use cras_sim::Instant;
+///
+/// let mut warnings: Port<u64> = Port::new(8, FullPolicy::DropOldest);
+/// warnings.send(Instant::ZERO, 3); // Interval 3 missed its deadline.
+/// assert_eq!(warnings.try_receive().unwrap().payload, 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Port<M> {
+    queue: VecDeque<Message<M>>,
+    capacity: usize,
+    on_full: FullPolicy,
+    /// Thread blocked in receive, if any.
+    waiter: Option<ThreadId>,
+    sends: u64,
+    drops: u64,
+}
+
+impl<M> Port<M> {
+    /// Creates a port with the given capacity and full-queue policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is zero.
+    pub fn new(capacity: usize, on_full: FullPolicy) -> Port<M> {
+        assert!(capacity > 0, "zero-capacity port");
+        Port {
+            queue: VecDeque::new(),
+            capacity,
+            on_full,
+            waiter: None,
+            sends: 0,
+            drops: 0,
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total successful sends.
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+
+    /// Messages lost to the full-queue policy.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Sends a message.
+    pub fn send(&mut self, now: Instant, payload: M) -> SendOutcome {
+        if self.queue.len() == self.capacity {
+            match self.on_full {
+                FullPolicy::DropNewest => {
+                    self.drops += 1;
+                    return SendOutcome::Dropped;
+                }
+                FullPolicy::DropOldest => {
+                    self.queue.pop_front();
+                    self.drops += 1;
+                }
+                FullPolicy::Reject => return SendOutcome::Rejected,
+            }
+        }
+        self.queue.push_back(Message {
+            sent_at: now,
+            payload,
+        });
+        self.sends += 1;
+        SendOutcome::Delivered {
+            wake: self.waiter.take(),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_receive(&mut self) -> Option<Message<M>> {
+        self.queue.pop_front()
+    }
+
+    /// Blocking receive: returns the message if one is queued; otherwise
+    /// records `tid` as the blocked receiver (the orchestrator parks the
+    /// thread and wakes it on the next delivered send).
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread is already blocked (ports here are
+    /// single-receiver).
+    pub fn receive_or_block(&mut self, tid: ThreadId) -> Option<Message<M>> {
+        if let Some(m) = self.queue.pop_front() {
+            return Some(m);
+        }
+        assert!(
+            self.waiter.is_none() || self.waiter == Some(tid),
+            "second receiver on a single-receiver port"
+        );
+        self.waiter = Some(tid);
+        None
+    }
+
+    /// The blocked receiver, if any.
+    pub fn waiter(&self) -> Option<ThreadId> {
+        self.waiter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::from_raw(i)
+    }
+    fn at(ms: u64) -> Instant {
+        Instant::ZERO + cras_sim::Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn fifo_delivery() {
+        let mut p = Port::new(4, FullPolicy::Reject);
+        p.send(at(1), "a");
+        p.send(at(2), "b");
+        assert_eq!(p.try_receive().unwrap().payload, "a");
+        assert_eq!(p.try_receive().unwrap().payload, "b");
+        assert!(p.try_receive().is_none());
+        assert_eq!(p.sends(), 2);
+    }
+
+    #[test]
+    fn blocking_receive_then_wake() {
+        let mut p = Port::new(4, FullPolicy::Reject);
+        assert!(p.receive_or_block(t(1)).is_none());
+        assert_eq!(p.waiter(), Some(t(1)));
+        let out = p.send(at(5), 42);
+        assert_eq!(out, SendOutcome::Delivered { wake: Some(t(1)) });
+        assert!(p.waiter().is_none());
+        assert_eq!(p.try_receive().unwrap().payload, 42);
+    }
+
+    #[test]
+    fn drop_newest_policy() {
+        let mut p = Port::new(2, FullPolicy::DropNewest);
+        p.send(at(1), 1);
+        p.send(at(2), 2);
+        assert_eq!(p.send(at(3), 3), SendOutcome::Dropped);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.drops(), 1);
+        assert_eq!(p.try_receive().unwrap().payload, 1);
+    }
+
+    #[test]
+    fn drop_oldest_policy() {
+        let mut p = Port::new(2, FullPolicy::DropOldest);
+        p.send(at(1), 1);
+        p.send(at(2), 2);
+        p.send(at(3), 3);
+        assert_eq!(p.drops(), 1);
+        assert_eq!(p.try_receive().unwrap().payload, 2);
+        assert_eq!(p.try_receive().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn reject_policy() {
+        let mut p = Port::new(1, FullPolicy::Reject);
+        p.send(at(1), 1);
+        assert_eq!(p.send(at(2), 2), SendOutcome::Rejected);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.drops(), 0);
+    }
+
+    #[test]
+    fn timestamps_preserved() {
+        let mut p = Port::new(4, FullPolicy::Reject);
+        p.send(at(7), "x");
+        assert_eq!(p.try_receive().unwrap().sent_at, at(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "second receiver")]
+    fn two_receivers_panic() {
+        let mut p: Port<u32> = Port::new(4, FullPolicy::Reject);
+        p.receive_or_block(t(1));
+        p.receive_or_block(t(2));
+    }
+}

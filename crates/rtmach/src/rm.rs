@@ -1,0 +1,211 @@
+//! Rate-monotonic priority assignment and schedulability analysis.
+//!
+//! Real-Time Mach's canonical policy for periodic threads is rate
+//! monotonic: shorter period ⇒ higher priority. CRAS's request-scheduler
+//! thread is periodic (period = the interval time) and competes with the
+//! players' frame-rate threads; this module assigns the fixed priorities
+//! the Figure 10 experiment gives them, and provides the classic
+//! schedulability checks:
+//!
+//! * the Liu–Layland utilization bound `U ≤ n(2^{1/n} − 1)`,
+//! * exact response-time analysis (fixed-point iteration), which is
+//!   necessary and sufficient for synchronous task sets.
+
+use cras_sim::Duration;
+
+/// One periodic task: worst-case execution time and period.
+///
+/// # Examples
+///
+/// ```
+/// use cras_rtmach::rm::{is_schedulable, rm_priorities, Task};
+/// use cras_sim::Duration;
+///
+/// let tasks = [
+///     Task::new(Duration::from_millis(1), Duration::from_millis(500)),
+///     Task::new(Duration::from_millis(2), Duration::from_micros(33_333)),
+/// ];
+/// assert!(is_schedulable(&tasks));
+/// // Shorter period (the 30 fps player) gets the higher priority.
+/// assert_eq!(rm_priorities(&tasks, 10), vec![10, 11]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// Worst-case execution time per release.
+    pub wcet: Duration,
+    /// Release period (deadline = period).
+    pub period: Duration,
+}
+
+impl Task {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the WCET is zero, the period is zero, or WCET exceeds
+    /// the period.
+    pub fn new(wcet: Duration, period: Duration) -> Task {
+        assert!(!wcet.is_zero() && !period.is_zero(), "zero task parameter");
+        assert!(wcet <= period, "WCET exceeds period");
+        Task { wcet, period }
+    }
+
+    /// Utilization `C/T`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet.as_secs_f64() / self.period.as_secs_f64()
+    }
+}
+
+/// Total utilization of a task set.
+pub fn total_utilization(tasks: &[Task]) -> f64 {
+    tasks.iter().map(Task::utilization).sum()
+}
+
+/// The Liu–Layland bound for `n` tasks.
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// Rate-monotonic priority order: indices of `tasks` from highest
+/// priority (shortest period) to lowest, ties broken by index.
+pub fn rm_order(tasks: &[Task]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..tasks.len()).collect();
+    idx.sort_by_key(|&i| (tasks[i].period, i));
+    idx
+}
+
+/// Assigns numeric fixed priorities (higher = more urgent) in
+/// rate-monotonic order, using the range `[base, base + n)` top-down.
+///
+/// # Panics
+///
+/// Panics if the range would overflow `u8`.
+pub fn rm_priorities(tasks: &[Task], base: u8) -> Vec<u8> {
+    let n = tasks.len();
+    assert!(base as usize + n <= u8::MAX as usize, "priority overflow");
+    let order = rm_order(tasks);
+    let mut prio = vec![0u8; n];
+    for (rank, &task_idx) in order.iter().enumerate() {
+        // Highest rank (rank 0 = shortest period) gets the top priority.
+        prio[task_idx] = base + (n - 1 - rank) as u8;
+    }
+    prio
+}
+
+/// Exact response-time analysis under rate-monotonic priorities.
+///
+/// Returns per-task worst-case response times, or `None` if some task is
+/// unschedulable (response would exceed its period).
+pub fn response_times(tasks: &[Task]) -> Option<Vec<Duration>> {
+    let order = rm_order(tasks);
+    let mut responses = vec![Duration::ZERO; tasks.len()];
+    for (rank, &ti) in order.iter().enumerate() {
+        let task = tasks[ti];
+        let higher: Vec<Task> = order[..rank].iter().map(|&j| tasks[j]).collect();
+        let mut r = task.wcet;
+        loop {
+            // R = C + Σ ceil(R / T_j) · C_j over higher-priority tasks.
+            let mut next = task.wcet;
+            for h in &higher {
+                let releases = r.as_nanos().div_ceil(h.period.as_nanos());
+                next += h.wcet * releases;
+            }
+            if next > task.period {
+                return None;
+            }
+            if next == r {
+                break;
+            }
+            r = next;
+        }
+        responses[ti] = r;
+    }
+    Some(responses)
+}
+
+/// Whether the set is schedulable under rate-monotonic priorities
+/// (exact test).
+pub fn is_schedulable(tasks: &[Task]) -> bool {
+    response_times(tasks).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn liu_layland_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-3);
+        assert!((liu_layland_bound(3) - 0.7798).abs() < 1e-3);
+        // Approaches ln 2.
+        assert!((liu_layland_bound(1000) - 0.6934).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rm_order_shortest_period_first() {
+        let tasks = [
+            Task::new(ms(10), ms(100)),
+            Task::new(ms(5), ms(50)),
+            Task::new(ms(1), ms(200)),
+        ];
+        assert_eq!(rm_order(&tasks), vec![1, 0, 2]);
+        let prios = rm_priorities(&tasks, 10);
+        assert_eq!(prios, vec![11, 12, 10]);
+    }
+
+    #[test]
+    fn classic_schedulable_set() {
+        // U = 0.1/0.3 + 0.1/0.5 ≈ 0.53 < bound(2).
+        let tasks = [Task::new(ms(100), ms(300)), Task::new(ms(100), ms(500))];
+        assert!(total_utilization(&tasks) < liu_layland_bound(2));
+        let r = response_times(&tasks).expect("schedulable");
+        assert_eq!(r[0], ms(100));
+        assert_eq!(r[1], ms(200));
+    }
+
+    #[test]
+    fn over_utilized_set_rejected() {
+        let tasks = [Task::new(ms(60), ms(100)), Task::new(ms(60), ms(100))];
+        assert!(!is_schedulable(&tasks));
+    }
+
+    #[test]
+    fn beyond_bound_but_exactly_schedulable() {
+        // U = 1.0 with harmonic periods: above Liu–Layland, still
+        // schedulable — the exact test must accept it.
+        let tasks = [Task::new(ms(50), ms(100)), Task::new(ms(100), ms(200))];
+        assert!(total_utilization(&tasks) > liu_layland_bound(2));
+        let r = response_times(&tasks).expect("harmonic set fits");
+        assert_eq!(r[0], ms(50));
+        assert_eq!(r[1], ms(200));
+    }
+
+    #[test]
+    fn cras_thread_set_is_schedulable() {
+        // The Figure 10 cast: CRAS scheduler (0.5 s period, ~1 ms),
+        // a 30 fps player (~33 ms period, 2 ms decode), and the interval
+        // work leaves plenty of slack.
+        let tasks = [
+            Task::new(ms(1), ms(500)),
+            Task::new(ms(2), Duration::from_micros(33_333)),
+        ];
+        let r = response_times(&tasks).expect("schedulable");
+        assert!(r[0] <= ms(3));
+        assert!(r[1] <= ms(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "WCET exceeds period")]
+    fn invalid_task_panics() {
+        Task::new(ms(10), ms(5));
+    }
+}

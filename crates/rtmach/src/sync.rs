@@ -1,0 +1,278 @@
+//! Mutexes with and without priority inheritance.
+//!
+//! The paper credits Real-Time Mach's "integrated management of priority
+//! inversion" for CRAS's predictability, and blames the Unix file system's
+//! priority inversions for its throughput collapse under load (Figure 6).
+//! [`MutexSim`] models a lock whose owner may be boosted to the highest
+//! waiting priority ([`InheritancePolicy::PriorityInheritance`]) or left
+//! alone ([`InheritancePolicy::None`], the Unix-server behaviour).
+//!
+//! The model is decoupled from the CPU: `acquire`/`release` report the
+//! boost changes and hand-offs, and the orchestrator applies them via
+//! [`crate::sched::Cpu::set_boost`] and by waking the new owner.
+
+use std::collections::VecDeque;
+
+use crate::thread::ThreadId;
+
+/// Whether the lock propagates waiter priority to the owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InheritancePolicy {
+    /// No inheritance; priority inversion is possible.
+    None,
+    /// Basic priority inheritance: owner runs at the maximum of its own
+    /// priority and all waiters' priorities.
+    PriorityInheritance,
+}
+
+/// Result of an acquire attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Acquire {
+    /// The caller now owns the lock.
+    Granted,
+    /// The caller must block; if inheritance applies and raised the
+    /// owner's boost, the new boost to apply is reported.
+    Blocked {
+        /// Current owner.
+        owner: ThreadId,
+        /// New boost for the owner (None = unchanged).
+        boost_owner_to: Option<u8>,
+    },
+}
+
+/// Result of a release.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Release {
+    /// The thread that now owns the lock (first waiter), if any.
+    pub granted_to: Option<ThreadId>,
+    /// The released owner's boost must be cleared.
+    pub clear_boost: bool,
+    /// Boost the *new* owner should get from remaining waiters, if any.
+    pub boost_new_owner_to: Option<u8>,
+}
+
+/// A simulated mutex.
+#[derive(Clone, Debug)]
+pub struct MutexSim {
+    policy: InheritancePolicy,
+    owner: Option<(ThreadId, u8)>,
+    waiters: VecDeque<(ThreadId, u8)>,
+    contentions: u64,
+}
+
+impl MutexSim {
+    /// Creates a free mutex.
+    pub fn new(policy: InheritancePolicy) -> MutexSim {
+        MutexSim {
+            policy,
+            owner: None,
+            waiters: VecDeque::new(),
+            contentions: 0,
+        }
+    }
+
+    /// Current owner.
+    pub fn owner(&self) -> Option<ThreadId> {
+        self.owner.map(|(t, _)| t)
+    }
+
+    /// Number of blocked waiters.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Times an acquire found the lock held.
+    pub fn contentions(&self) -> u64 {
+        self.contentions
+    }
+
+    fn max_waiter_prio(&self) -> Option<u8> {
+        self.waiters.iter().map(|&(_, p)| p).max()
+    }
+
+    /// Attempts to acquire for `tid` running at `prio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on recursive acquisition (the caller already owns it).
+    pub fn acquire(&mut self, tid: ThreadId, prio: u8) -> Acquire {
+        match self.owner {
+            None => {
+                self.owner = Some((tid, prio));
+                Acquire::Granted
+            }
+            Some((owner, owner_prio)) => {
+                assert_ne!(owner, tid, "recursive mutex acquisition");
+                self.contentions += 1;
+                self.waiters.push_back((tid, prio));
+                let boost = match self.policy {
+                    InheritancePolicy::None => None,
+                    InheritancePolicy::PriorityInheritance => {
+                        let m = self.max_waiter_prio().expect("just pushed");
+                        if m > owner_prio {
+                            Some(m)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                Acquire::Blocked {
+                    owner,
+                    boost_owner_to: boost,
+                }
+            }
+        }
+    }
+
+    /// Releases the lock held by `tid`, granting it to the first waiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not the owner.
+    pub fn release(&mut self, tid: ThreadId) -> Release {
+        let (owner, _) = self.owner.take().expect("release of a free mutex");
+        assert_eq!(owner, tid, "release by non-owner");
+        let granted = self.waiters.pop_front();
+        let clear_boost = self.policy == InheritancePolicy::PriorityInheritance;
+        let mut boost_new = None;
+        if let Some((next, next_prio)) = granted {
+            self.owner = Some((next, next_prio));
+            if self.policy == InheritancePolicy::PriorityInheritance {
+                if let Some(m) = self.max_waiter_prio() {
+                    if m > next_prio {
+                        boost_new = Some(m);
+                    }
+                }
+            }
+        }
+        Release {
+            granted_to: granted.map(|(t, _)| t),
+            clear_boost,
+            boost_new_owner_to: boost_new,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn uncontended_grant() {
+        let mut m = MutexSim::new(InheritancePolicy::None);
+        assert_eq!(m.acquire(t(0), 5), Acquire::Granted);
+        assert_eq!(m.owner(), Some(t(0)));
+        let r = m.release(t(0));
+        assert_eq!(r.granted_to, None);
+        assert!(m.owner().is_none());
+    }
+
+    #[test]
+    fn contended_fifo_handoff() {
+        let mut m = MutexSim::new(InheritancePolicy::None);
+        m.acquire(t(0), 5);
+        assert!(matches!(m.acquire(t(1), 3), Acquire::Blocked { .. }));
+        assert!(matches!(m.acquire(t(2), 9), Acquire::Blocked { .. }));
+        assert_eq!(m.waiter_count(), 2);
+        let r = m.release(t(0));
+        assert_eq!(r.granted_to, Some(t(1)));
+        assert_eq!(m.owner(), Some(t(1)));
+        let r = m.release(t(1));
+        assert_eq!(r.granted_to, Some(t(2)));
+    }
+
+    #[test]
+    fn no_inheritance_never_boosts() {
+        let mut m = MutexSim::new(InheritancePolicy::None);
+        m.acquire(t(0), 1);
+        let a = m.acquire(t(1), 9);
+        assert_eq!(
+            a,
+            Acquire::Blocked {
+                owner: t(0),
+                boost_owner_to: None
+            }
+        );
+        let r = m.release(t(0));
+        assert!(!r.clear_boost);
+    }
+
+    #[test]
+    fn inheritance_boosts_owner_to_max_waiter() {
+        let mut m = MutexSim::new(InheritancePolicy::PriorityInheritance);
+        m.acquire(t(0), 1);
+        let a = m.acquire(t(1), 9);
+        assert_eq!(
+            a,
+            Acquire::Blocked {
+                owner: t(0),
+                boost_owner_to: Some(9)
+            }
+        );
+        // A lower waiter does not raise further.
+        let a = m.acquire(t(2), 5);
+        assert_eq!(
+            a,
+            Acquire::Blocked {
+                owner: t(0),
+                boost_owner_to: Some(9)
+            }
+        );
+    }
+
+    #[test]
+    fn inheritance_boost_not_raised_by_lower_prio_waiter() {
+        let mut m = MutexSim::new(InheritancePolicy::PriorityInheritance);
+        m.acquire(t(0), 7);
+        let a = m.acquire(t(1), 3);
+        assert_eq!(
+            a,
+            Acquire::Blocked {
+                owner: t(0),
+                boost_owner_to: None
+            }
+        );
+    }
+
+    #[test]
+    fn release_transfers_residual_boost() {
+        let mut m = MutexSim::new(InheritancePolicy::PriorityInheritance);
+        m.acquire(t(0), 1);
+        m.acquire(t(1), 2); // First waiter, low prio.
+        m.acquire(t(2), 9); // Second waiter, high prio.
+        let r = m.release(t(0));
+        assert_eq!(r.granted_to, Some(t(1)));
+        assert!(r.clear_boost);
+        // New owner (prio 2) inherits from waiter t2 (prio 9).
+        assert_eq!(r.boost_new_owner_to, Some(9));
+    }
+
+    #[test]
+    fn contention_counter() {
+        let mut m = MutexSim::new(InheritancePolicy::None);
+        m.acquire(t(0), 5);
+        m.acquire(t(1), 5);
+        m.acquire(t(2), 5);
+        assert_eq!(m.contentions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "recursive")]
+    fn recursive_acquire_panics() {
+        let mut m = MutexSim::new(InheritancePolicy::None);
+        m.acquire(t(0), 5);
+        m.acquire(t(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn foreign_release_panics() {
+        let mut m = MutexSim::new(InheritancePolicy::None);
+        m.acquire(t(0), 5);
+        m.release(t(1));
+    }
+}

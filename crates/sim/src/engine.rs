@@ -1,0 +1,408 @@
+//! The discrete-event engine: a monotone virtual clock plus a priority
+//! queue of pending events.
+//!
+//! [`Engine`] is generic over the event payload `E`; the orchestrator crate
+//! (`cras-sys`) instantiates it with its global event enum. Components never
+//! schedule events themselves — they return "next event at time t" values
+//! that the orchestrator turns into [`Engine::schedule`] calls. This keeps
+//! every component a pure, unit-testable state machine.
+//!
+//! Ties are broken by insertion order (FIFO among same-timestamp events), so
+//! runs are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, Instant};
+
+/// A handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: Instant,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A monotone discrete-event queue over event payloads of type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use cras_sim::engine::Engine;
+/// use cras_sim::time::{Duration, Instant};
+///
+/// let mut e: Engine<&'static str> = Engine::new();
+/// e.schedule_after(Duration::from_millis(2), "b");
+/// e.schedule_after(Duration::from_millis(1), "a");
+/// assert_eq!(e.pop().map(|(_, p)| p), Some("a"));
+/// assert_eq!(e.pop().map(|(_, p)| p), Some("b"));
+/// assert_eq!(e.now(), Instant::ZERO + Duration::from_millis(2));
+/// assert!(e.pop().is_none());
+/// ```
+pub struct Engine<E> {
+    now: Instant,
+    queue: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    next_id: u64,
+    cancelled: Vec<EventId>,
+    dispatched: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine with the clock at [`Instant::ZERO`].
+    pub fn new() -> Engine<E> {
+        Engine {
+            now: Instant::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            next_id: 0,
+            cancelled: Vec::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of events dispatched so far (diagnostic).
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn pending(&self) -> usize {
+        self.queue.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — scheduling backwards in time is a
+    /// logic error in the caller.
+    pub fn schedule(&mut self, at: Instant, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            id,
+            payload,
+        });
+        id
+    }
+
+    /// Schedules `payload` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: Duration, payload: E) -> EventId {
+        let at = self.now + after;
+        self.schedule(at, payload)
+    }
+
+    /// Schedules `payload` to fire immediately (at the current time, after
+    /// all events already queued for the current time).
+    pub fn schedule_now(&mut self, payload: E) -> EventId {
+        self.schedule(self.now, payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the entry stays in the heap as a tombstone and
+    /// is skipped at pop time. Cancelling an already-fired or unknown id is
+    /// a behavioural no-op, but its tombstone lingers (undercounting
+    /// [`Engine::pending`]) until the queue next drains — avoid cancelling
+    /// ids you know have fired.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.push(id);
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its time.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        loop {
+            let head = self.queue.pop()?;
+            if let Some(pos) = self.cancelled.iter().position(|c| *c == head.id) {
+                self.cancelled.swap_remove(pos);
+                continue;
+            }
+            debug_assert!(head.at >= self.now, "event queue went backwards");
+            self.now = head.at;
+            self.dispatched += 1;
+            // An empty queue proves any remaining tombstones refer to
+            // already-fired events; drop them so pending() stays exact.
+            if self.queue.is_empty() {
+                self.cancelled.clear();
+            }
+            return Some((head.at, head.payload));
+        }
+    }
+
+    /// Peeks at the time of the earliest pending event without firing it.
+    pub fn peek_time(&self) -> Option<Instant> {
+        // Tombstones may hide the true head; this is a conservative bound
+        // (never later than the true next event), which is all callers need.
+        self.queue.peek().map(|s| s.at)
+    }
+
+    /// Runs events through a dispatcher closure until the queue drains or
+    /// the clock passes `until`.
+    ///
+    /// The dispatcher receives the engine itself so it can schedule
+    /// follow-up events. Events strictly after `until` remain queued.
+    pub fn run_until<F>(&mut self, until: Instant, mut dispatch: F)
+    where
+        F: FnMut(&mut Engine<E>, Instant, E),
+    {
+        while let Some(at) = self.peek_time() {
+            if at > until {
+                break;
+            }
+            let Some((t, payload)) = self.pop() else {
+                break;
+            };
+            if t > until {
+                // A cancelled tombstone hid this later event from
+                // peek_time: put it back for the next run and stop.
+                self.now = until;
+                self.schedule(t, payload);
+                break;
+            }
+            dispatch(self, t, payload);
+        }
+        if self.now < until && self.peek_time().is_none() {
+            self.now = until;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut e: Engine<u32> = Engine::new();
+        let t = Instant::ZERO + ms(5);
+        e.schedule(t, 1);
+        e.schedule(t, 2);
+        e.schedule(t, 3);
+        assert_eq!(e.pop().unwrap().1, 1);
+        assert_eq!(e.pop().unwrap().1, 2);
+        assert_eq!(e.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn ordering_by_time() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(ms(30), 3);
+        e.schedule_after(ms(10), 1);
+        e.schedule_after(ms(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(e.now(), Instant::ZERO + ms(30));
+    }
+
+    #[test]
+    fn schedule_now_fires_at_current_time() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(ms(10), 1);
+        assert_eq!(e.pop().unwrap().1, 1);
+        e.schedule_now(2);
+        let (t, p) = e.pop().unwrap();
+        assert_eq!((t, p), (Instant::ZERO + ms(10), 2));
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_after(ms(1), 1);
+        e.schedule_after(ms(2), 2);
+        e.cancel(a);
+        assert_eq!(e.pop().unwrap().1, 2);
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_after(ms(1), 1);
+        assert_eq!(e.pop().unwrap().1, 1);
+        e.cancel(a); // Already fired.
+        e.schedule_after(ms(1), 2);
+        assert_eq!(e.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn pending_accounts_for_tombstones() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_after(ms(1), 1);
+        e.schedule_after(ms(2), 2);
+        assert_eq!(e.pending(), 2);
+        e.cancel(a);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn schedule_past_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(ms(10), 1);
+        e.pop();
+        e.schedule(Instant::ZERO + ms(5), 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(ms(1), 1);
+        e.schedule_after(ms(5), 5);
+        e.schedule_after(ms(9), 9);
+        let mut seen = Vec::new();
+        e.run_until(Instant::ZERO + ms(6), |_, _, p| seen.push(p));
+        assert_eq!(seen, vec![1, 5]);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_requeues_event_hidden_by_tombstone() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_after(ms(5), 1); // Will be cancelled.
+        e.schedule_after(ms(20), 2); // Beyond the deadline.
+        e.cancel(a);
+        let mut seen = Vec::new();
+        e.run_until(Instant::ZERO + ms(10), |_, _, p| seen.push(p));
+        assert!(seen.is_empty(), "nothing fires before the deadline");
+        assert_eq!(e.pending(), 1, "the later event is still queued");
+        // It fires once the window reaches it.
+        e.run_until(Instant::ZERO + ms(25), |_, _, p| seen.push(p));
+        assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    fn stale_tombstones_cleared_when_queue_drains() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_after(ms(1), 1);
+        assert_eq!(e.pop().unwrap().1, 1);
+        e.cancel(a); // Already fired: tombstone goes stale.
+        e.schedule_after(ms(1), 2);
+        assert_eq!(e.pop().unwrap().1, 2); // Queue drains => purge.
+        e.schedule_after(ms(1), 3);
+        assert_eq!(e.pending(), 1, "stale tombstone no longer undercounts");
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_drained() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(ms(1), 1);
+        e.run_until(Instant::ZERO + ms(100), |_, _, _| {});
+        assert_eq!(e.now(), Instant::ZERO + ms(100));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Events always pop in non-decreasing time order, FIFO among
+            /// equal timestamps.
+            #[test]
+            fn pop_order_is_stable_sort(delays in proptest::collection::vec(0u64..1000, 1..100)) {
+                let mut e: Engine<usize> = Engine::new();
+                for (i, &d) in delays.iter().enumerate() {
+                    e.schedule_after(Duration::from_micros(d), i);
+                }
+                let mut popped: Vec<(u64, usize)> = Vec::new();
+                while let Some((t, i)) = e.pop() {
+                    popped.push((t.as_nanos(), i));
+                }
+                prop_assert_eq!(popped.len(), delays.len());
+                for w in popped.windows(2) {
+                    prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+                    if w[0].0 == w[1].0 {
+                        prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal time");
+                    }
+                }
+            }
+
+            /// Cancelling an arbitrary subset removes exactly that subset.
+            #[test]
+            fn cancel_subset(delays in proptest::collection::vec((0u64..100, any::<bool>()), 1..60)) {
+                let mut e: Engine<usize> = Engine::new();
+                let mut keep = Vec::new();
+                for (i, &(d, cancel)) in delays.iter().enumerate() {
+                    let id = e.schedule_after(Duration::from_micros(d), i);
+                    if cancel {
+                        e.cancel(id);
+                    } else {
+                        keep.push(i);
+                    }
+                }
+                let mut popped: Vec<usize> = Vec::new();
+                while let Some((_, i)) = e.pop() {
+                    popped.push(i);
+                }
+                popped.sort_unstable();
+                keep.sort_unstable();
+                prop_assert_eq!(popped, keep);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatcher_can_chain_events() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(ms(1), 0);
+        let mut count = 0;
+        e.run_until(Instant::ZERO + ms(10), |e, _, p| {
+            count += 1;
+            if p < 3 {
+                e.schedule_after(ms(1), p + 1);
+            }
+        });
+        assert_eq!(count, 4);
+    }
+}

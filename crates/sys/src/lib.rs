@@ -1,0 +1,31 @@
+//! `cras-sys` — the orchestrator: one discrete-event loop binding every
+//! substrate into the system the paper evaluates.
+//!
+//! * [`system`] — [`system::System`]: the event loop, the Unix-server
+//!   request path, CRAS interval wiring, players, background load, hogs.
+//! * [`player`] — QtPlay-like clients measuring per-frame delay.
+//! * [`bgload`] — the `cat` background readers.
+//! * [`config`] — scheduling mode, CPU cost model, priorities.
+//! * [`metrics`] — per-interval admission-accuracy accounting.
+//! * [`tags`] — the global event enum and routing tags.
+//! * [`net`] — a minimal NPS-like network link for the distributed
+//!   (Figure 11) configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgload;
+pub mod config;
+pub mod metrics;
+pub mod net;
+pub mod player;
+pub mod system;
+pub mod tags;
+
+pub use bgload::BgReader;
+pub use config::{prio, CpuCosts, SchedMode, SysConfig};
+pub use metrics::{IntervalIo, Metrics};
+pub use net::Link;
+pub use player::{Player, PlayerMode, PlayerStats};
+pub use system::{System, UOwner};
+pub use tags::{ClientId, CpuTag, DiskTag, Event};

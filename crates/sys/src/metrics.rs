@@ -1,0 +1,240 @@
+//! Measurement collection for the experiments.
+//!
+//! The admission-accuracy figures (8/9) compare, per interval, the
+//! *actual* disk I/O time (first request issued → last request completed,
+//! including blocking by an in-progress non-real-time operation — exactly
+//! what a timestamping benchmark would see) against the admission test's
+//! *calculated* time.
+
+use std::collections::HashMap;
+
+use cras_core::{IntervalReport, ReadId};
+use cras_disk::Completed;
+use cras_sim::{Duration, Instant};
+
+use crate::tags::DiskTag;
+
+// Re-export friendly aliases used throughout the crate.
+pub use cras_sim::stats::{OnlineStats, Samples, TimeSeries};
+
+/// Per-interval disk I/O accounting.
+#[derive(Clone, Debug)]
+pub struct IntervalIo {
+    /// Interval index.
+    pub index: u64,
+    /// When the requests were issued.
+    pub issued_at: Instant,
+    /// Calculated I/O time from the admission test (seconds).
+    pub calculated: f64,
+    /// Requests issued.
+    pub total_reqs: usize,
+    /// Requests not yet completed.
+    pub remaining: usize,
+    /// Completion time of the last finished request.
+    pub last_done: Instant,
+    /// Sum of pure service time of this interval's requests (seconds).
+    pub service_sum: f64,
+}
+
+impl IntervalIo {
+    /// Actual disk I/O time consumed by the interval's requests: the sum
+    /// of their service times (what a timestamping driver reports).
+    /// `None` while requests remain outstanding or if nothing was issued.
+    pub fn actual(&self) -> Option<f64> {
+        if self.total_reqs == 0 || self.remaining > 0 {
+            None
+        } else {
+            Some(self.service_sum)
+        }
+    }
+
+    /// Wall-clock span from issue to last completion — includes waiting
+    /// behind other traffic and earlier intervals (diagnostic).
+    pub fn span(&self) -> Option<f64> {
+        if self.total_reqs == 0 || self.remaining > 0 {
+            None
+        } else {
+            Some(self.last_done.since(self.issued_at).as_secs_f64())
+        }
+    }
+
+    /// Ratio of actual to calculated I/O time (the Figure 8/9 quantity).
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.actual(), self.calculated) {
+            (Some(a), c) if c > 0.0 => Some(a / c),
+            _ => None,
+        }
+    }
+}
+
+/// System-wide measurement state.
+#[derive(Default, Debug)]
+pub struct Metrics {
+    intervals: Vec<IntervalIo>,
+    read_interval: HashMap<u64, usize>,
+    /// Bytes completed for CRAS real-time reads.
+    pub cras_read_bytes: u64,
+    /// Total disk service time consumed by CRAS reads.
+    pub cras_read_busy: Duration,
+    /// Bytes completed for CRAS real-time writes.
+    pub cras_write_bytes: u64,
+    /// Deadline overruns reported by the server.
+    pub overruns: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records an interval tick and indexes its reads.
+    pub fn on_interval(&mut self, rep: &IntervalReport, now: Instant) {
+        if rep.overran {
+            self.overruns += 1;
+        }
+        if rep.reqs.is_empty() {
+            return;
+        }
+        let idx = self.intervals.len();
+        self.intervals.push(IntervalIo {
+            index: rep.index,
+            issued_at: now,
+            calculated: rep.calculated_io_time,
+            total_reqs: rep.reqs.len(),
+            remaining: rep.reqs.len(),
+            last_done: now,
+            service_sum: 0.0,
+        });
+        for r in &rep.reqs {
+            self.read_interval.insert(r.id.0, idx);
+        }
+    }
+
+    /// Records the completion of a CRAS read.
+    pub fn on_cras_read_done(&mut self, rid: ReadId, done: &Completed<DiskTag>) {
+        self.cras_read_bytes += done.req.bytes();
+        self.cras_read_busy += done.breakdown.total();
+        if let Some(&idx) = self.read_interval.get(&rid.0) {
+            let rec = &mut self.intervals[idx];
+            rec.remaining -= 1;
+            if done.finished_at > rec.last_done {
+                rec.last_done = done.finished_at;
+            }
+            rec.service_sum += done.breakdown.total().as_secs_f64();
+            if rec.remaining == 0 {
+                self.read_interval.retain(|_, v| *v != idx);
+            }
+        }
+    }
+
+    /// All completed per-interval records.
+    pub fn intervals(&self) -> &[IntervalIo] {
+        &self.intervals
+    }
+
+    /// Accuracy ratios for completed intervals, skipping the first
+    /// `warmup` of them.
+    pub fn admission_ratios(&self, warmup: usize) -> Vec<f64> {
+        self.intervals
+            .iter()
+            .skip(warmup)
+            .filter_map(IntervalIo::ratio)
+            .collect()
+    }
+
+    /// Average and maximum accuracy ratio over completed intervals.
+    pub fn ratio_summary(&self, warmup: usize) -> (f64, f64) {
+        let rs = self.admission_ratios(warmup);
+        if rs.is_empty() {
+            return (0.0, 0.0);
+        }
+        let avg = rs.iter().sum::<f64>() / rs.len() as f64;
+        let max = rs.iter().copied().fold(0.0, f64::max);
+        (avg, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cras_core::{ReadReq, StreamId};
+    use cras_disk::{DiskRequest, ServiceBreakdown};
+
+    fn report(reads: &[u64], calc: f64) -> IntervalReport {
+        IntervalReport {
+            index: 0,
+            reqs: reads
+                .iter()
+                .map(|&i| ReadReq {
+                    id: ReadId(i),
+                    stream: StreamId(0),
+                    block: i * 100,
+                    nblocks: 8,
+                })
+                .collect(),
+            posted_chunks: 0,
+            overran: false,
+            calculated_io_time: calc,
+        }
+    }
+
+    fn completed(at_ms: u64, service_ms: u64) -> Completed<DiskTag> {
+        Completed {
+            req: DiskRequest::rt_read(0, 8, DiskTag::Raw(0)),
+            submitted_at: Instant::ZERO,
+            started_at: Instant::ZERO,
+            finished_at: Instant::ZERO + Duration::from_millis(at_ms),
+            breakdown: ServiceBreakdown {
+                command: Duration::from_millis(service_ms),
+                ..ServiceBreakdown::default()
+            },
+        }
+    }
+
+    #[test]
+    fn ratio_computed_when_all_done() {
+        let mut m = Metrics::new();
+        m.on_interval(&report(&[1, 2], 0.1), Instant::ZERO);
+        m.on_cras_read_done(ReadId(1), &completed(20, 10));
+        assert!(m.admission_ratios(0).is_empty(), "still outstanding");
+        m.on_cras_read_done(ReadId(2), &completed(50, 10));
+        let rs = m.admission_ratios(0);
+        assert_eq!(rs.len(), 1);
+        // Actual = 10 + 10 ms of service, calculated = 100 ms => 0.2.
+        assert!((rs[0] - 0.2).abs() < 1e-9);
+        // The wall-clock span is 50 ms.
+        assert!((m.intervals()[0].span().unwrap() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_interval_not_recorded() {
+        let mut m = Metrics::new();
+        m.on_interval(&report(&[], 0.1), Instant::ZERO);
+        assert!(m.intervals().is_empty());
+    }
+
+    #[test]
+    fn summary_avg_and_max() {
+        let mut m = Metrics::new();
+        m.on_interval(&report(&[1], 0.1), Instant::ZERO);
+        m.on_cras_read_done(ReadId(1), &completed(20, 5));
+        m.on_interval(&report(&[2], 0.1), Instant::ZERO);
+        m.on_cras_read_done(ReadId(2), &completed(60, 8));
+        let (avg, max) = m.ratio_summary(0);
+        assert!((avg - 0.065).abs() < 1e-9, "avg {avg}");
+        assert!((max - 0.08).abs() < 1e-9, "max {max}");
+        // Warmup skipping.
+        let (avg1, _) = m.ratio_summary(1);
+        assert!((avg1 - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_and_busy_accumulate() {
+        let mut m = Metrics::new();
+        m.on_interval(&report(&[7], 0.1), Instant::ZERO);
+        m.on_cras_read_done(ReadId(7), &completed(10, 3));
+        assert_eq!(m.cras_read_bytes, 8 * 512);
+        assert_eq!(m.cras_read_busy, Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,175 @@
+//! A minimal NPS-like network link.
+//!
+//! The paper's QtPlay (Figure 11) retrieves movie data through CRAS and
+//! "transmits it over the network using NPS", the user-level real-time
+//! network engine. The evaluation never measures the network, so this
+//! model is deliberately small: a store-and-forward link with a
+//! bandwidth, a propagation delay, and a per-packet overhead —
+//! serialization is FIFO, so a busy link queues frames.
+//!
+//! Used by the distributed-player example to run the paper's
+//! travel-coordinator scenario (video clips streamed to a remote viewer).
+
+use cras_sim::{Duration, Instant};
+
+/// A one-way network link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Bandwidth in bytes/second.
+    bandwidth: f64,
+    /// Propagation delay.
+    latency: Duration,
+    /// Fixed per-packet processing overhead (protocol stack).
+    per_packet: Duration,
+    /// When the transmitter becomes free.
+    busy_until: Instant,
+    /// Bytes accepted.
+    bytes_sent: u64,
+    /// Packets accepted.
+    packets: u64,
+    /// Total queueing delay accumulated (time packets waited for the
+    /// transmitter).
+    queued: Duration,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is not positive.
+    pub fn new(bandwidth: f64, latency: Duration, per_packet: Duration) -> Link {
+        assert!(bandwidth > 0.0, "non-positive bandwidth");
+        Link {
+            bandwidth,
+            latency,
+            per_packet,
+            busy_until: Instant::ZERO,
+            bytes_sent: 0,
+            packets: 0,
+            queued: Duration::ZERO,
+        }
+    }
+
+    /// A 10 Mbps Ethernet like the paper's evaluation machine, with
+    /// mid-90s protocol-stack overhead.
+    pub fn ethernet_10mbps() -> Link {
+        Link::new(
+            10_000_000.0 / 8.0,
+            Duration::from_micros(200),
+            Duration::from_micros(400),
+        )
+    }
+
+    /// Bytes accepted so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Packets accepted so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Total queueing delay experienced by all packets.
+    pub fn total_queueing(&self) -> Duration {
+        self.queued
+    }
+
+    /// Transmits `bytes` starting no earlier than `now`; returns the
+    /// arrival time at the far end.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-byte packet.
+    pub fn transmit(&mut self, now: Instant, bytes: u64) -> Instant {
+        assert!(bytes > 0, "empty packet");
+        let start = if self.busy_until > now {
+            self.queued += self.busy_until.since(now);
+            self.busy_until
+        } else {
+            now
+        };
+        let serialization = Duration::from_secs_f64(bytes as f64 / self.bandwidth);
+        let done_sending = start + self.per_packet + serialization;
+        self.busy_until = done_sending;
+        self.bytes_sent += bytes;
+        self.packets += 1;
+        done_sending + self.latency
+    }
+
+    /// Achieved throughput over an observation window.
+    pub fn throughput(&self, window: Duration) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            self.bytes_sent as f64 / window.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+    fn at(v: u64) -> Instant {
+        Instant::ZERO + ms(v)
+    }
+
+    #[test]
+    fn single_packet_time_is_overhead_plus_serialization_plus_latency() {
+        let mut l = Link::new(1_000_000.0, ms(1), ms(2));
+        // 10 000 B at 1 MB/s = 10 ms; + 2 ms overhead + 1 ms latency.
+        let arrival = l.transmit(at(0), 10_000);
+        assert_eq!(arrival, at(13));
+        assert_eq!(l.packets(), 1);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut l = Link::new(1_000_000.0, ms(0), ms(0));
+        let a1 = l.transmit(at(0), 10_000); // Occupies [0, 10) ms.
+        let a2 = l.transmit(at(0), 10_000); // Waits, occupies [10, 20).
+        assert_eq!(a1, at(10));
+        assert_eq!(a2, at(20));
+        assert_eq!(l.total_queueing(), ms(10));
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut l = Link::new(1_000_000.0, ms(0), ms(0));
+        l.transmit(at(0), 1_000); // Done at 1 ms.
+        let a = l.transmit(at(5), 1_000);
+        assert_eq!(a, at(6));
+        assert_eq!(l.total_queueing(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mpeg1_fits_10mbps_ethernet() {
+        // A 30 fps, 6250 B frame stream is ~1.5 Mbps: far under 10 Mbps,
+        // per-frame network time ~5.4 ms.
+        let mut l = Link::ethernet_10mbps();
+        let arrival = l.transmit(at(0), 6_250);
+        let elapsed = arrival.since(at(0));
+        assert!(elapsed < ms(7), "frame transfer {elapsed}");
+        // A sustained second of frames never backlogs.
+        let mut t = Instant::ZERO;
+        for k in 0..30u64 {
+            let now = Instant::ZERO + Duration::from_micros(33_333 * k);
+            t = l.transmit(now.max(t), 6_250);
+        }
+        assert!(t < Instant::ZERO + Duration::from_secs_f64(1.01));
+        // 30 paced frames plus the single warm-up transfer above.
+        assert_eq!(l.bytes_sent(), 31 * 6_250);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty packet")]
+    fn empty_packet_panics() {
+        let mut l = Link::ethernet_10mbps();
+        l.transmit(at(0), 0);
+    }
+}

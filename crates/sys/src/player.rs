@@ -1,0 +1,258 @@
+//! Player applications: the QtPlay-like clients that fetch frames on
+//! their own schedule and measure per-frame delay.
+//!
+//! A player consumes frame `k` at `playback_start + timestamp(k)`; the
+//! measured delay of a frame is how long past that point the frame was
+//! actually decoded and "displayed" (Figures 7 and 10 plot this over
+//! time). A `stride` of 3 consumes every third frame — the paper's
+//! dynamic-QOS scenario of playing a 30 fps stream at 10 fps without
+//! telling the server.
+
+use cras_core::StreamId;
+use cras_media::ChunkTable;
+use cras_rtmach::ThreadId;
+use cras_sim::stats::TimeSeries;
+use cras_sim::{Duration, Instant};
+use cras_ufs::Ino;
+
+use crate::tags::ClientId;
+
+/// How the player reaches its media data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlayerMode {
+    /// Through CRAS: `crs_get` from the time-driven buffer.
+    Cras {
+        /// The open CRAS stream.
+        stream: StreamId,
+    },
+    /// Through the Unix file system: a synchronous read per frame.
+    Ufs {
+        /// The movie file.
+        ino: Ino,
+    },
+}
+
+/// Player measurement counters.
+#[derive(Clone, Debug, Default)]
+pub struct PlayerStats {
+    /// Frames decoded and displayed.
+    pub frames_shown: u64,
+    /// Frames abandoned because their time had passed before data arrived.
+    pub frames_dropped: u64,
+    /// Media bytes consumed.
+    pub bytes_consumed: u64,
+    /// Buffer polls that found no data yet.
+    pub polls: u64,
+    /// `(time, delay_seconds)` per displayed frame.
+    pub delays: TimeSeries,
+}
+
+/// One player application.
+#[derive(Clone, Debug)]
+pub struct Player {
+    /// Client id.
+    pub id: ClientId,
+    /// Data path.
+    pub mode: PlayerMode,
+    /// The movie's chunk table (frame schedule).
+    pub table: ChunkTable,
+    /// Real time of media time zero.
+    pub playback_start: Instant,
+    /// Next frame to consume.
+    pub next_frame: u32,
+    /// Consume every `stride`-th frame (1 = all frames).
+    pub stride: u32,
+    /// Real seconds per media second of the presentation schedule
+    /// (1.0 = normal speed, 0.5 = fast-forward at 2x).
+    pub time_scale: f64,
+    /// The player's CPU thread.
+    pub tid: ThreadId,
+    /// Polls spent on the current frame (drop safeguard).
+    pub polls_this_frame: u32,
+    /// Whether playback has finished.
+    pub done: bool,
+    /// Measurements.
+    pub stats: PlayerStats,
+}
+
+impl Player {
+    /// Creates a player; playback does not begin until
+    /// [`Player::playback_start`] is set by the system.
+    pub fn new(
+        id: ClientId,
+        mode: PlayerMode,
+        table: ChunkTable,
+        stride: u32,
+        tid: ThreadId,
+    ) -> Player {
+        assert!(stride >= 1, "zero stride");
+        Player {
+            id,
+            mode,
+            table,
+            playback_start: Instant::ZERO,
+            next_frame: 0,
+            stride,
+            time_scale: 1.0,
+            tid,
+            polls_this_frame: 0,
+            done: false,
+            stats: PlayerStats::default(),
+        }
+    }
+
+    /// Absolute due time of frame `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn due(&self, k: u32) -> Instant {
+        let ts = self.table.get(k).expect("frame in range").timestamp;
+        self.playback_start + ts.mul_f64(self.time_scale)
+    }
+
+    /// Records a displayed frame and advances; returns the next frame's
+    /// due time, or `None` at end of stream.
+    pub fn frame_shown(&mut self, k: u32, now: Instant) -> Option<Instant> {
+        let chunk = *self.table.get(k).expect("frame in range");
+        let delay = now.saturating_since(self.due(k));
+        self.stats.frames_shown += 1;
+        self.stats.bytes_consumed += chunk.size as u64;
+        self.stats.delays.push(now, delay.as_secs_f64());
+        self.advance(now)
+    }
+
+    /// Records a dropped frame and advances; returns the next frame's due
+    /// time, or `None` at end of stream.
+    pub fn frame_dropped(&mut self, now: Instant) -> Option<Instant> {
+        self.stats.frames_dropped += 1;
+        self.advance(now)
+    }
+
+    fn advance(&mut self, _now: Instant) -> Option<Instant> {
+        self.polls_this_frame = 0;
+        let next = self.next_frame + self.stride;
+        if (next as usize) < self.table.len() {
+            self.next_frame = next;
+            Some(self.due(next))
+        } else {
+            self.done = true;
+            None
+        }
+    }
+
+    /// Mean and maximum displayed-frame delay (seconds).
+    pub fn delay_summary(&self) -> (f64, f64) {
+        let s = self.stats.delays.summary();
+        (s.mean(), s.max())
+    }
+
+    /// Fraction of consumed frame slots that were actually shown.
+    pub fn goodput(&self) -> f64 {
+        let total = self.stats.frames_shown + self.stats.frames_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.frames_shown as f64 / total as f64
+        }
+    }
+
+    /// Average consumption rate over a window (bytes/second).
+    pub fn throughput(&self, window: Duration) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            self.stats.bytes_consumed as f64 / window.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cras_media::StreamProfile;
+    use cras_sim::Rng;
+
+    fn table() -> ChunkTable {
+        let mut rng = Rng::new(5);
+        cras_media::generate_chunks(&StreamProfile::mpeg1(), 2.0, &mut rng)
+    }
+
+    fn player(stride: u32) -> Player {
+        Player::new(
+            ClientId(0),
+            PlayerMode::Ufs { ino: 0 },
+            table(),
+            stride,
+            ThreadId::from_raw(0),
+        )
+    }
+
+    #[test]
+    fn due_times_follow_schedule() {
+        let mut p = player(1);
+        p.playback_start = Instant::from_secs_f64(10.0);
+        assert_eq!(p.due(0), Instant::from_secs_f64(10.0));
+        let d30 = p.due(30); // Frame 30 of a 30 fps stream = +1 s.
+        assert!((d30.as_secs_f64() - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frame_shown_records_delay_and_advances() {
+        let mut p = player(1);
+        p.playback_start = Instant::ZERO;
+        let next = p.frame_shown(0, Instant::from_secs_f64(0.010));
+        assert!(next.is_some());
+        assert_eq!(p.next_frame, 1);
+        assert_eq!(p.stats.frames_shown, 1);
+        let (mean, max) = p.delay_summary();
+        assert!((mean - 0.010).abs() < 1e-9);
+        assert_eq!(mean, max);
+    }
+
+    #[test]
+    fn stride_skips_frames() {
+        let mut p = player(3);
+        p.playback_start = Instant::ZERO;
+        p.frame_shown(0, Instant::ZERO);
+        assert_eq!(p.next_frame, 3);
+        p.frame_shown(3, Instant::from_secs_f64(0.2));
+        assert_eq!(p.next_frame, 6);
+    }
+
+    #[test]
+    fn end_of_stream_sets_done() {
+        let mut p = player(1);
+        p.playback_start = Instant::ZERO;
+        let last = (p.table.len() - 1) as u32;
+        p.next_frame = last;
+        let next = p.frame_shown(last, Instant::from_secs_f64(2.0));
+        assert!(next.is_none());
+        assert!(p.done);
+    }
+
+    #[test]
+    fn goodput_counts_drops() {
+        let mut p = player(1);
+        p.playback_start = Instant::ZERO;
+        p.frame_shown(0, Instant::ZERO);
+        p.frame_dropped(Instant::from_secs_f64(0.1));
+        assert!((p.goodput() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_scale_compresses_schedule() {
+        let mut p = player(1);
+        p.playback_start = Instant::ZERO;
+        p.time_scale = 0.5;
+        // Frame 30 (media 1 s) is due at 0.5 s in fast-forward.
+        let d = p.due(30);
+        assert!((d.as_secs_f64() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero stride")]
+    fn zero_stride_panics() {
+        player(0);
+    }
+}

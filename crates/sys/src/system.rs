@@ -1,0 +1,842 @@
+//! The orchestrated system: one event loop binding the disk, the CPU, the
+//! Unix server, CRAS and the client applications.
+//!
+//! Components are pure state machines; this module is the only place
+//! events are scheduled. Every figure in the paper is a run of this system
+//! under a different configuration.
+
+use std::collections::{BTreeMap, HashSet};
+
+use cras_core::{AdmissionError, CrasServer};
+use cras_disk::{DiskDevice, DiskRequest};
+use cras_media::{Movie, StreamProfile};
+use cras_rtmach::port::{FullPolicy, Port};
+use cras_rtmach::{Cpu, SchedPolicy, ThreadId};
+use cras_sim::trace::Trace;
+use cras_sim::{Duration, Engine, Instant, Rng};
+use cras_ufs::layout::fsblock_to_disk;
+use cras_ufs::{FsReq, Ino, MkfsParams, Step, Ufs, UnixServer, SECT_PER_FSBLOCK};
+
+use crate::bgload::{BgReader, BgWriter};
+use crate::config::{prio, SchedMode, SysConfig};
+use crate::metrics::Metrics;
+use crate::player::{Player, PlayerMode};
+use crate::tags::{ClientId, CpuTag, DiskTag, Event, TagArena};
+
+/// Owner of a Unix-server request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UOwner {
+    /// A player reading frame `frame` (`bytes` media bytes).
+    Player {
+        /// The player.
+        client: ClientId,
+        /// Frame index.
+        frame: u32,
+        /// Frame size in bytes.
+        bytes: u32,
+    },
+    /// A background reader finishing a `bytes`-byte read call.
+    Bg {
+        /// The reader.
+        client: ClientId,
+        /// Read-call length.
+        bytes: u64,
+    },
+}
+
+/// The assembled system.
+pub struct System {
+    /// Configuration it was built with.
+    pub cfg: SysConfig,
+    /// The event queue and virtual clock.
+    pub engine: Engine<Event>,
+    /// The disk.
+    pub disk: DiskDevice<DiskTag>,
+    /// The CPU.
+    pub cpu: Cpu,
+    /// The file system.
+    pub ufs: Ufs,
+    /// The serialized Unix server.
+    pub userver: UnixServer<UOwner>,
+    /// The CRAS server.
+    pub cras: CrasServer,
+    /// Players by client id.
+    pub players: BTreeMap<u32, Player>,
+    /// Background readers by client id.
+    pub bgs: BTreeMap<u32, BgReader>,
+    /// Background writers by client id.
+    pub writers: BTreeMap<u32, BgWriter>,
+    /// Measurements.
+    pub metrics: Metrics,
+    /// The deadline notification port: one message per interval overrun,
+    /// consumed by the deadline-manager role (bounded; losing an old
+    /// warning is acceptable, as in Real-Time Mach).
+    pub deadline_port: Port<u64>,
+    /// Post-mortem event trace (disabled by default; enable with
+    /// `sys.trace.set_enabled(true)`).
+    pub trace: Trace,
+    tags: TagArena,
+    /// File-system blocks with disk I/O in flight (sync or read-ahead).
+    inflight_blocks: HashSet<cras_ufs::FsBlock>,
+    /// Blocks the Unix server's current fetch step is waiting on.
+    server_wait: Option<HashSet<cras_ufs::FsBlock>>,
+    cras_tid: ThreadId,
+    hog_tids: Vec<ThreadId>,
+    next_client: u32,
+    rng: Rng,
+    ticks_active: bool,
+}
+
+impl System {
+    /// Builds a system: ST32550N disk, tuned UFS, calibrated CRAS.
+    ///
+    /// Disk parameters for the admission test come from running the
+    /// Appendix A calibration against a scratch copy of the same disk
+    /// model — CRAS only ever sees what a real system could measure.
+    pub fn new(cfg: SysConfig) -> System {
+        let mut rng = Rng::new(cfg.seed);
+        let mut disk: DiskDevice<DiskTag> = DiskDevice::st32550n();
+        if cfg.disk_fault_prob > 0.0 {
+            disk.set_fault_injector(Some(cras_disk::FaultInjector::new(
+                cfg.disk_fault_prob,
+                cfg.disk_fault_penalty,
+                cfg.seed ^ 0xFA17,
+            )));
+        }
+        let mut scratch: DiskDevice<u8> = DiskDevice::st32550n();
+        let cal = cras_disk::calibrate::calibrate(&mut scratch, 64 * 1024);
+        let geom = disk.geometry().clone();
+        let ufs = Ufs::format(&geom, MkfsParams::tuned(&geom), rng.fork().next_u64());
+        let cras = CrasServer::new(cal.params, cfg.server);
+        let mut cpu = Cpu::new();
+        let cras_tid = cpu.create("cras-sched", Self::policy_for(&cfg, prio::CRAS));
+        let hog_tids = (0..cfg.hogs)
+            .map(|i| cpu.create(&format!("hog{i}"), Self::policy_for(&cfg, prio::HOG)))
+            .collect();
+        System {
+            cfg,
+            engine: Engine::new(),
+            disk,
+            cpu,
+            ufs,
+            userver: UnixServer::new(),
+            cras,
+            players: BTreeMap::new(),
+            bgs: BTreeMap::new(),
+            writers: BTreeMap::new(),
+            metrics: Metrics::new(),
+            deadline_port: Port::new(64, FullPolicy::DropOldest),
+            trace: Trace::new(4096),
+            tags: TagArena::default(),
+            inflight_blocks: HashSet::new(),
+            server_wait: None,
+            cras_tid,
+            hog_tids,
+            next_client: 0,
+            rng,
+            ticks_active: false,
+        }
+    }
+
+    fn policy_for(cfg: &SysConfig, fixed_prio: u8) -> SchedPolicy {
+        match cfg.sched {
+            SchedMode::FixedPriority => SchedPolicy::FixedPriority { prio: fixed_prio },
+            SchedMode::RoundRobin { quantum } => SchedPolicy::RoundRobin {
+                prio: prio::RR,
+                quantum,
+            },
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Instant {
+        self.engine.now()
+    }
+
+    /// Records a movie into the file system (setup phase; consumes no
+    /// simulated time).
+    pub fn record_movie(&mut self, name: &str, profile: StreamProfile, secs: f64) -> Movie {
+        cras_media::record_movie(&mut self.ufs, name, profile, secs, &mut self.rng)
+            .expect("movie recording failed")
+    }
+
+    /// Starts CRAS's interval timer (idempotent).
+    pub fn activate_cras(&mut self) {
+        if !self.ticks_active {
+            self.ticks_active = true;
+            self.engine.schedule_now(Event::CrasTick);
+        }
+    }
+
+    /// Starts the configured CPU hogs.
+    pub fn start_hogs(&mut self) {
+        let burst = self.cfg.costs.hog_burst;
+        for (i, tid) in self.hog_tids.clone().into_iter().enumerate() {
+            self.wake_cpu(tid, burst, CpuTag::Hog(i as u32));
+        }
+    }
+
+    fn alloc_client(&mut self) -> ClientId {
+        let id = ClientId(self.next_client);
+        self.next_client += 1;
+        id
+    }
+
+    /// Adds a player that consumes a movie through CRAS (`crs_open`).
+    pub fn add_cras_player(
+        &mut self,
+        movie: &Movie,
+        stride: u32,
+    ) -> Result<ClientId, AdmissionError> {
+        let extents = self.ufs.extent_map(movie.ino);
+        let stream = if self.cfg.enforce_admission {
+            self.cras.open(&movie.name, movie.table.clone(), extents)?
+        } else {
+            match self.cras.open(
+                &movie.name,
+                movie.table.clone(),
+                self.ufs.extent_map(movie.ino),
+            ) {
+                Ok(id) => id,
+                Err(_) => self.cras.open_unchecked(
+                    &movie.name,
+                    movie.table.clone(),
+                    self.ufs.extent_map(movie.ino),
+                ),
+            }
+        };
+        let id = self.alloc_client();
+        let tid = self.cpu.create(
+            &format!("player{}", id.0),
+            Self::policy_for(&self.cfg, prio::PLAYER),
+        );
+        self.players.insert(
+            id.0,
+            Player::new(
+                id,
+                PlayerMode::Cras { stream },
+                movie.table.clone(),
+                stride,
+                tid,
+            ),
+        );
+        Ok(id)
+    }
+
+    /// Adds a player that reads the movie through the Unix file system.
+    pub fn add_ufs_player(&mut self, movie: &Movie, stride: u32) -> ClientId {
+        let id = self.alloc_client();
+        let tid = self.cpu.create(
+            &format!("player{}", id.0),
+            Self::policy_for(&self.cfg, prio::PLAYER),
+        );
+        self.players.insert(
+            id.0,
+            Player::new(
+                id,
+                PlayerMode::Ufs { ino: movie.ino },
+                movie.table.clone(),
+                stride,
+                tid,
+            ),
+        );
+        id
+    }
+
+    /// Adds a background `cat` reader over a movie file (64 KB reads,
+    /// flat out).
+    pub fn add_bg_reader(&mut self, movie: &Movie) -> ClientId {
+        self.add_bg_reader_paced(movie, Duration::ZERO)
+    }
+
+    /// Adds a background reader that pauses between 64 KB reads —
+    /// throttled load for experiments where the foreground must stay
+    /// feasible (Figure 7 compares the systems "when both file systems
+    /// achieve the same throughput").
+    pub fn add_bg_reader_paced(&mut self, movie: &Movie, pause: Duration) -> ClientId {
+        let id = self.alloc_client();
+        let size = self.ufs.file_size(movie.ino);
+        let mut bg = BgReader::new(id, movie.ino, size, 64 * 1024);
+        bg.pause = pause;
+        self.bgs.insert(id.0, bg);
+        id
+    }
+
+    /// Adds an editor appending `write_size` bytes every `period` to a
+    /// fresh file (delayed writes drained by the syncer).
+    pub fn add_bg_writer(&mut self, name: &str, write_size: u64, period: Duration) -> ClientId {
+        let id = self.alloc_client();
+        let ino = self.ufs.create(name).expect("fresh edit file");
+        self.writers
+            .insert(id.0, BgWriter::new(id, ino, write_size, period));
+        id
+    }
+
+    /// Starts the background writers and the syncer (1 s cadence, like
+    /// the classic update daemon's spirit at media time scales).
+    pub fn start_writers(&mut self) {
+        let ids: Vec<u32> = self.writers.keys().copied().collect();
+        for id in ids {
+            self.engine.schedule_now(Event::BgWrite(ClientId(id)));
+        }
+        if !self.writers.is_empty() {
+            self.engine
+                .schedule_after(Duration::from_secs(1), Event::Sync);
+        }
+    }
+
+    /// Starts the background readers now.
+    pub fn start_bg(&mut self) {
+        let now = self.now();
+        let ids: Vec<u32> = self.bgs.keys().copied().collect();
+        for id in ids {
+            self.bgs.get_mut(&id).expect("just listed").started_at = now;
+            self.engine.schedule_now(Event::BgKick(ClientId(id)));
+        }
+    }
+
+    /// Begins playback for a player: CRAS players `crs_start` their
+    /// stream (clock begins after the initial delay); UFS players get the
+    /// same initial delay for comparability. Returns the playback start.
+    pub fn start_playback(&mut self, client: ClientId) -> Instant {
+        self.activate_cras();
+        let now = self.now();
+        let mode = self.players.get(&client.0).expect("no such player").mode;
+        let start = match mode {
+            PlayerMode::Cras { stream } => self.cras.start(stream, now),
+            PlayerMode::Ufs { .. } => {
+                let delay =
+                    self.cfg.server.interval * self.cfg.server.initial_delay_intervals as u64;
+                now + delay
+            }
+        };
+        self.players
+            .get_mut(&client.0)
+            .expect("checked above")
+            .playback_start = start;
+        let due0 = self
+            .players
+            .get(&client.0)
+            .expect("checked above")
+            .due(0)
+            .max(now);
+        self.engine.schedule(due0, Event::PlayerFrame(client));
+        start
+    }
+
+    /// Runs the event loop until `t` (events after `t` stay queued).
+    pub fn run_until(&mut self, t: Instant) {
+        while let Some(at) = self.engine.peek_time() {
+            if at > t {
+                break;
+            }
+            let Some((now, ev)) = self.engine.pop() else {
+                break;
+            };
+            if now > t {
+                // A cancelled tombstone hid this later event: re-queue.
+                self.engine.schedule(now, ev);
+                break;
+            }
+            self.handle(ev, now);
+        }
+    }
+
+    /// Runs for `d` from the current time.
+    pub fn run_for(&mut self, d: Duration) {
+        let t = self.now() + d;
+        self.run_until(t);
+    }
+
+    /// Whether every player has finished.
+    pub fn all_players_done(&self) -> bool {
+        self.players.values().all(|p| p.done)
+    }
+
+    // ----- event dispatch ---------------------------------------------
+
+    fn handle(&mut self, ev: Event, now: Instant) {
+        match ev {
+            Event::CrasTick => self.on_cras_tick(now),
+            Event::CpuSlice(tok) => self.on_cpu_slice(tok, now),
+            Event::DiskDone => self.on_disk_done(now),
+            Event::PlayerFrame(c) | Event::PlayerPoll(c) => self.on_player_tick(c, now),
+            Event::BgKick(c) => self.on_bg_kick(c, now),
+            Event::BgWrite(c) => self.on_bg_write(c, now),
+            Event::Sync => self.on_sync(now),
+            Event::RecorderTick => {}
+            Event::Checkpoint(_) => {}
+        }
+    }
+
+    fn wake_cpu(&mut self, tid: ThreadId, burst: Duration, tag: CpuTag) {
+        let now = self.now();
+        let id = self.tags.intern(tag);
+        if let Some((at, tok)) = self.cpu.wake(tid, burst, id, now) {
+            self.engine.schedule(at, Event::CpuSlice(tok));
+        }
+    }
+
+    fn submit_disk(&mut self, req: DiskRequest<DiskTag>) {
+        let now = self.now();
+        if let Some(at) = self.disk.submit(now, req) {
+            self.engine.schedule(at, Event::DiskDone);
+        }
+    }
+
+    fn on_cras_tick(&mut self, now: Instant) {
+        // The request-scheduler thread must win the CPU before the
+        // interval pass happens; under round robin this is where delay
+        // creeps in (Figure 10).
+        let streams = self.cras.stream_count() as u64;
+        let burst = self.cfg.costs.cras_tick_base
+            + Duration::from_nanos(self.cfg.costs.cras_tick_per_stream.as_nanos() * streams.max(1));
+        self.wake_cpu(self.cras_tid, burst, CpuTag::CrasSched);
+        let next = now + self.cfg.server.interval;
+        self.engine.schedule(next, Event::CrasTick);
+    }
+
+    fn on_cpu_slice(&mut self, tok: cras_rtmach::SliceToken, now: Instant) {
+        let out = self.cpu.slice_end(tok, now);
+        if let Some((at, t)) = out.resched {
+            self.engine.schedule(at, Event::CpuSlice(t));
+        }
+        let Some(done) = out.completed else {
+            return;
+        };
+        match self.tags.resolve(done.tag) {
+            CpuTag::CrasSched => {
+                let rep = self.cras.interval_tick(now);
+                if rep.overran {
+                    // The paper's recovery action is a warning message.
+                    self.deadline_port.send(now, rep.index);
+                    self.trace.log_with(now, "deadline", || {
+                        format!("interval {} overran", rep.index)
+                    });
+                }
+                self.trace.log_with(now, "cras", || {
+                    format!(
+                        "tick {}: {} reads, {} chunks posted",
+                        rep.index,
+                        rep.reqs.len(),
+                        rep.posted_chunks
+                    )
+                });
+                self.metrics.on_interval(&rep, now);
+                for r in &rep.reqs {
+                    self.submit_disk(DiskRequest::rt_read(
+                        r.block,
+                        r.nblocks,
+                        DiskTag::Cras(r.id),
+                    ));
+                }
+            }
+            CpuTag::PlayerDecode { client, frame } => {
+                self.on_frame_decoded(client, frame, now);
+            }
+            CpuTag::Hog(i) => {
+                let burst = self.cfg.costs.hog_burst;
+                let tid = self.hog_tids[i as usize];
+                self.wake_cpu(tid, burst, CpuTag::Hog(i));
+            }
+            CpuTag::UfsServe => {}
+        }
+    }
+
+    fn on_disk_done(&mut self, now: Instant) {
+        let (done, next) = self.disk.complete(now);
+        if let Some(at) = next {
+            self.engine.schedule(at, Event::DiskDone);
+        }
+        match done.req.tag {
+            DiskTag::Cras(rid) => {
+                self.metrics.on_cras_read_done(rid, &done);
+                // I/O-done manager thread: cheap, handled inline.
+                self.cras.io_done(rid, now);
+            }
+            DiskTag::CrasWrite(_) => {
+                self.metrics.cras_write_bytes += done.req.bytes();
+            }
+            DiskTag::UfsWriteback(_) => {}
+            DiskTag::UfsFetch(run) | DiskTag::UfsReadAhead(run) => {
+                for b in run.blocks() {
+                    self.ufs.mark_cached(b);
+                    self.inflight_blocks.remove(&b);
+                }
+                self.check_server_wait(now);
+            }
+            DiskTag::Raw(_) => {}
+        }
+    }
+
+    /// Issues a read through the Unix server on behalf of `owner`.
+    fn ufs_read(&mut self, owner: UOwner, ino: Ino, offset: u64, len: u64) {
+        let plan = self.ufs.plan_read(ino, offset, len);
+        let req = FsReq {
+            tag: owner,
+            fetch: plan.fetch,
+            read_ahead: plan.read_ahead,
+        };
+        if let Some(step) = self.userver.submit(req) {
+            let now = self.now();
+            self.drive_userver(step, now);
+        }
+    }
+
+    /// Advances the server when the blocks its fetch step waits on have
+    /// all arrived.
+    fn check_server_wait(&mut self, now: Instant) {
+        let done = match &mut self.server_wait {
+            None => false,
+            Some(wait) => {
+                // Keep only blocks whose I/O is still in flight.
+                wait.retain(|b| self.inflight_blocks.contains(b));
+                wait.is_empty()
+            }
+        };
+        if done {
+            self.server_wait = None;
+            let step = self.userver.fetch_done();
+            self.drive_userver(step, now);
+        }
+    }
+
+    fn drive_userver(&mut self, first: Step<UOwner>, now: Instant) {
+        let mut step = Some(first);
+        while let Some(s) = step.take() {
+            match s {
+                Step::Fetch(run) => {
+                    // Blocks may have arrived (or be in flight) since the
+                    // plan was made: fetch only what is truly absent, and
+                    // sleep on in-flight buffers instead of re-issuing.
+                    let missing: Vec<cras_ufs::FsBlock> = run
+                        .blocks()
+                        .filter(|b| !self.ufs.cache().peek(*b))
+                        .collect();
+                    if missing.is_empty() {
+                        step = Some(self.userver.fetch_done());
+                        continue;
+                    }
+                    let to_submit: Vec<cras_ufs::FsBlock> = missing
+                        .iter()
+                        .copied()
+                        .filter(|b| !self.inflight_blocks.contains(b))
+                        .collect();
+                    for sub in cras_ufs::fs::merge_runs(&to_submit, u32::MAX) {
+                        for b in sub.blocks() {
+                            self.inflight_blocks.insert(b);
+                        }
+                        self.submit_disk(DiskRequest::read(
+                            fsblock_to_disk(sub.start),
+                            SECT_PER_FSBLOCK * sub.len,
+                            DiskTag::UfsFetch(sub),
+                        ));
+                    }
+                    self.server_wait = Some(missing.into_iter().collect());
+                    // The server blocks until the blocks arrive.
+                    return;
+                }
+                Step::Done(req) => {
+                    // Driver-level asynchronous read-ahead fills the cache
+                    // without occupying the server; blocks already cached
+                    // or in flight are skipped.
+                    for run in &req.read_ahead {
+                        let fresh: Vec<cras_ufs::FsBlock> = run
+                            .blocks()
+                            .filter(|b| {
+                                !self.ufs.cache().peek(*b) && !self.inflight_blocks.contains(b)
+                            })
+                            .collect();
+                        for sub in cras_ufs::fs::merge_runs(&fresh, u32::MAX) {
+                            for b in sub.blocks() {
+                                self.inflight_blocks.insert(b);
+                            }
+                            self.submit_disk(DiskRequest::read(
+                                fsblock_to_disk(sub.start),
+                                SECT_PER_FSBLOCK * sub.len,
+                                DiskTag::UfsReadAhead(sub),
+                            ));
+                        }
+                    }
+                    match req.tag {
+                        UOwner::Player {
+                            client,
+                            frame,
+                            bytes: _,
+                        } => {
+                            let tid = self.players.get(&client.0).expect("player exists").tid;
+                            self.wake_cpu(
+                                tid,
+                                self.cfg.costs.decode,
+                                CpuTag::PlayerDecode { client, frame },
+                            );
+                        }
+                        UOwner::Bg { client, bytes } => {
+                            let min_cycle = self.cfg.costs.bg_cycle;
+                            let bg = self.bgs.get_mut(&client.0).expect("bg exists");
+                            bg.complete(bytes);
+                            let at = now + bg.pause.max(min_cycle);
+                            self.engine.schedule(at, Event::BgKick(client));
+                        }
+                    }
+                    step = self.userver.next_request();
+                }
+            }
+        }
+    }
+
+    fn on_player_tick(&mut self, client: ClientId, now: Instant) {
+        let Some(player) = self.players.get(&client.0) else {
+            return;
+        };
+        if player.done {
+            return;
+        }
+        let k = player.next_frame;
+        let chunk = *player.table.get(k).expect("frame in range");
+        match player.mode {
+            PlayerMode::Cras { stream } => {
+                let got = self.cras.get(stream, chunk.timestamp);
+                match got {
+                    Some(_buffered) => {
+                        let tid = self.players.get(&client.0).expect("exists").tid;
+                        self.wake_cpu(
+                            tid,
+                            self.cfg.costs.decode,
+                            CpuTag::PlayerDecode { client, frame: k },
+                        );
+                    }
+                    None => {
+                        let media_now = self.cras.media_time(stream, now);
+                        let jitter = self.cfg.server.jitter;
+                        let p = self.players.get_mut(&client.0).expect("exists");
+                        p.stats.polls += 1;
+                        p.polls_this_frame += 1;
+                        let expired = media_now > chunk.timestamp + jitter;
+                        if expired || p.polls_this_frame > 1000 {
+                            self.trace.log_with(now, "player", || {
+                                format!("client {} dropped frame {k}", client.0)
+                            });
+                            if let Some(_due) = p.frame_dropped(now) {
+                                let due = p.due(p.next_frame).max(now);
+                                self.engine.schedule(due, Event::PlayerFrame(client));
+                            }
+                        } else {
+                            let at = now + self.cfg.poll;
+                            self.engine.schedule(at, Event::PlayerPoll(client));
+                        }
+                    }
+                }
+            }
+            PlayerMode::Ufs { ino } => {
+                self.ufs_read(
+                    UOwner::Player {
+                        client,
+                        frame: k,
+                        bytes: chunk.size,
+                    },
+                    ino,
+                    chunk.file_offset,
+                    chunk.size as u64,
+                );
+            }
+        }
+    }
+
+    fn on_frame_decoded(&mut self, client: ClientId, frame: u32, now: Instant) {
+        let Some(player) = self.players.get_mut(&client.0) else {
+            return;
+        };
+        if let Some(due) = player.frame_shown(frame, now) {
+            let at = due.max(now);
+            self.engine.schedule(at, Event::PlayerFrame(client));
+        }
+    }
+
+    fn on_bg_write(&mut self, client: ClientId, _now: Instant) {
+        let Some(w) = self.writers.get_mut(&client.0) else {
+            return;
+        };
+        let (ino, bytes, period) = (w.ino, w.write_size, w.period);
+        w.complete();
+        // Delayed write: allocate + dirty in memory; no disk I/O here.
+        self.ufs
+            .append_dirty(ino, bytes)
+            .expect("edit file grows within limits");
+        self.engine.schedule_after(period, Event::BgWrite(client));
+    }
+
+    fn on_sync(&mut self, _now: Instant) {
+        // Flush everything dirty each pass, like the classic update
+        // daemon: write-back arrives in bursts, which is exactly the
+        // disk contention the editing experiment studies.
+        for run in self.ufs.take_dirty(usize::MAX) {
+            self.submit_disk(DiskRequest::write(
+                fsblock_to_disk(run.start),
+                SECT_PER_FSBLOCK * run.len,
+                DiskTag::UfsWriteback(run),
+            ));
+        }
+        if !self.writers.is_empty() {
+            self.engine
+                .schedule_after(Duration::from_secs(1), Event::Sync);
+        }
+    }
+
+    fn on_bg_kick(&mut self, client: ClientId, _now: Instant) {
+        let Some(bg) = self.bgs.get(&client.0) else {
+            return;
+        };
+        if bg.in_flight {
+            return;
+        }
+        let (pos, len) = bg.next_range();
+        let ino = bg.ino;
+        self.bgs.get_mut(&client.0).expect("exists").in_flight = true;
+        self.ufs_read(UOwner::Bg { client, bytes: len }, ino, pos, len);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use cras_media::StreamProfile;
+
+    fn sys(cfg: SysConfig) -> System {
+        System::new(cfg)
+    }
+
+    #[test]
+    fn single_cras_player_plays_smoothly() {
+        let mut s = sys(SysConfig::default());
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 10.0);
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(15));
+        let p = &s.players[&c.0];
+        assert!(p.done, "playback should finish");
+        assert_eq!(p.stats.frames_dropped, 0, "no drops expected");
+        assert_eq!(p.stats.frames_shown, 300);
+        let (mean, max) = p.delay_summary();
+        // Delay is decode cost plus scheduling noise: a few ms.
+        assert!(mean < 0.010, "mean delay {mean}");
+        assert!(max < 0.050, "max delay {max}");
+    }
+
+    #[test]
+    fn single_ufs_player_plays() {
+        let mut s = sys(SysConfig::default());
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 5.0);
+        let c = s.add_ufs_player(&movie, 1);
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(10));
+        let p = &s.players[&c.0];
+        assert!(p.done);
+        assert_eq!(p.stats.frames_shown, 150);
+        let (mean, _max) = p.delay_summary();
+        // Unloaded UFS still pays a disk trip per frame: delay small but
+        // larger than CRAS's.
+        assert!(mean < 0.050, "mean delay {mean}");
+    }
+
+    #[test]
+    fn cras_beats_ufs_under_background_load() {
+        // The Figure 7 contrast in miniature.
+        let run = |use_cras: bool| -> (f64, f64) {
+            let mut s = sys(SysConfig::default());
+            let movie = s.record_movie("m", StreamProfile::mpeg1(), 8.0);
+            let noise = s.record_movie("noise", StreamProfile::mpeg2(), 20.0);
+            let c = if use_cras {
+                s.add_cras_player(&movie, 1).unwrap()
+            } else {
+                s.add_ufs_player(&movie, 1)
+            };
+            s.add_bg_reader(&noise);
+            s.add_bg_reader(&noise);
+            s.start_bg();
+            s.start_playback(c);
+            s.run_for(Duration::from_secs(15));
+            s.players[&c.0].delay_summary()
+        };
+        let (cras_mean, cras_max) = run(true);
+        let (ufs_mean, ufs_max) = run(false);
+        assert!(
+            cras_max < ufs_max,
+            "cras max {cras_max} vs ufs max {ufs_max}"
+        );
+        assert!(
+            cras_mean < ufs_mean,
+            "cras mean {cras_mean} vs ufs mean {ufs_mean}"
+        );
+    }
+
+    #[test]
+    fn admission_rejects_overload_when_enforced() {
+        let mut s = sys(SysConfig::default());
+        let movies: Vec<Movie> = (0..30)
+            .map(|i| s.record_movie(&format!("m{i}"), StreamProfile::mpeg1(), 5.0))
+            .collect();
+        let mut admitted = 0;
+        for m in &movies {
+            match s.add_cras_player(m, 1) {
+                Ok(_) => admitted += 1,
+                Err(_) => break,
+            }
+        }
+        assert!((10..=20).contains(&admitted), "admitted {admitted} streams");
+    }
+
+    #[test]
+    fn hogs_delay_round_robin_player_only() {
+        let run = |mode: SchedMode| -> f64 {
+            let mut cfg = SysConfig::default();
+            cfg.sched = mode;
+            cfg.hogs = 2;
+            let mut s = sys(cfg);
+            let movie = s.record_movie("m", StreamProfile::mpeg1(), 6.0);
+            let c = s.add_cras_player(&movie, 1).unwrap();
+            s.start_hogs();
+            s.start_playback(c);
+            s.run_for(Duration::from_secs(10));
+            s.players[&c.0].delay_summary().1
+        };
+        let fp_max = run(SchedMode::FixedPriority);
+        let rr_max = run(SchedMode::RoundRobin {
+            quantum: Duration::from_millis(100),
+        });
+        assert!(
+            rr_max > 5.0 * fp_max.max(0.001),
+            "rr {rr_max} vs fp {fp_max}"
+        );
+    }
+
+    #[test]
+    fn trace_captures_server_activity() {
+        let mut s = sys(SysConfig::default());
+        s.trace.set_enabled(true);
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 4.0);
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(6));
+        let rendered = s.trace.render();
+        assert!(rendered.contains("cras"), "trace: {rendered}");
+        assert!(rendered.contains("reads"), "trace: {rendered}");
+        // No drops in this scenario => no player drop records.
+        assert!(!rendered.contains("dropped frame"));
+    }
+
+    #[test]
+    fn admission_ratio_measured() {
+        let mut s = sys(SysConfig::default());
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 10.0);
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(12));
+        let (avg, max) = s.metrics.ratio_summary(1);
+        // One low-rate stream: the paper finds the estimate very
+        // pessimistic (actual well under calculated).
+        assert!(avg > 0.0 && avg < 0.6, "avg ratio {avg}");
+        assert!(max < 1.0, "max ratio {max}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Global event and routing-tag types of the orchestrated system.
+
+use cras_core::{ReadId, WriteId};
+use cras_rtmach::SliceToken;
+use cras_ufs::fs::FetchRun;
+
+/// Identifies one client application (player or background reader).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub u32);
+
+/// The global event enum dispatched by the system loop.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// The disk finished its in-flight operation.
+    DiskDone,
+    /// A CPU slice boundary (burst completion or quantum expiry).
+    CpuSlice(SliceToken),
+    /// CRAS's interval timer fired.
+    CrasTick,
+    /// The recorder's interval timer fired.
+    RecorderTick,
+    /// A player's next frame is due.
+    PlayerFrame(ClientId),
+    /// A player retries a frame that was not yet buffered.
+    PlayerPoll(ClientId),
+    /// A background reader (re)starts its next read.
+    BgKick(ClientId),
+    /// A background writer's next write call is due.
+    BgWrite(ClientId),
+    /// The syncer flushes dirty blocks to disk.
+    Sync,
+    /// End of the measurement window (used by experiment drivers).
+    Checkpoint(u32),
+}
+
+/// Routing tag carried by disk requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskTag {
+    /// A CRAS real-time stream read.
+    Cras(ReadId),
+    /// A CRAS recorder real-time write.
+    CrasWrite(WriteId),
+    /// A synchronous clustered UFS fetch on behalf of the Unix server.
+    UfsFetch(FetchRun),
+    /// An asynchronous UFS read-ahead run.
+    UfsReadAhead(FetchRun),
+    /// A syncer write-back of dirty blocks.
+    UfsWriteback(FetchRun),
+    /// Raw traffic from calibration or ad-hoc experiments.
+    Raw(u64),
+}
+
+/// Routing tag carried by CPU bursts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpuTag {
+    /// The CRAS request-scheduler thread finished its interval pass.
+    CrasSched,
+    /// A player finished decoding/displaying frame `frame` of its stream.
+    PlayerDecode {
+        /// The player.
+        client: ClientId,
+        /// Frame index.
+        frame: u32,
+    },
+    /// A CPU hog finished one busy burst (it immediately re-arms).
+    Hog(u32),
+    /// The Unix server spent CPU processing one request.
+    UfsServe,
+}
+
+/// Tag arena: the CPU scheduler carries `u64` tags; the system maps them
+/// to [`CpuTag`] values through this arena.
+#[derive(Default, Debug)]
+pub struct TagArena {
+    tags: Vec<CpuTag>,
+}
+
+impl TagArena {
+    /// Interns a tag, returning its id.
+    pub fn intern(&mut self, tag: CpuTag) -> u64 {
+        self.tags.push(tag);
+        (self.tags.len() - 1) as u64
+    }
+
+    /// Resolves an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id this arena never issued.
+    pub fn resolve(&self, id: u64) -> CpuTag {
+        self.tags[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_roundtrip() {
+        let mut a = TagArena::default();
+        let x = a.intern(CpuTag::CrasSched);
+        let y = a.intern(CpuTag::Hog(3));
+        assert_eq!(a.resolve(x), CpuTag::CrasSched);
+        assert_eq!(a.resolve(y), CpuTag::Hog(3));
+        assert_ne!(x, y);
+    }
+}

@@ -1,0 +1,169 @@
+//! The buffer cache: an LRU over file-system blocks.
+//!
+//! UFS reads go through this cache; CRAS deliberately bypasses it ("the
+//! server is carefully designed to avoid accessing any non real-time OS
+//! servers during constant rate retrieval") and wires its own buffers.
+
+use std::collections::HashMap;
+
+use crate::layout::FsBlock;
+
+/// LRU buffer cache keyed by file-system block number.
+#[derive(Clone, Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    /// block -> sequence of last use.
+    map: HashMap<FsBlock, u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> BufferCache {
+        assert!(capacity > 0, "zero-capacity cache");
+        BufferCache {
+            capacity,
+            map: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss counters `(hits, misses)` from [`BufferCache::lookup`].
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Checks for `block`, counting a hit or miss and refreshing LRU order
+    /// on hit.
+    pub fn lookup(&mut self, block: FsBlock) -> bool {
+        self.clock += 1;
+        if let Some(seq) = self.map.get_mut(&block) {
+            *seq = self.clock;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Checks for `block` without perturbing statistics or LRU order.
+    pub fn peek(&self, block: FsBlock) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    /// Inserts `block`, evicting the least recently used entry if full.
+    /// Returns the evicted block, if any.
+    pub fn insert(&mut self, block: FsBlock) -> Option<FsBlock> {
+        self.clock += 1;
+        if self.map.insert(block, self.clock).is_some() {
+            return None; // Refresh of an existing entry.
+        }
+        if self.map.len() > self.capacity {
+            let victim = *self
+                .map
+                .iter()
+                .min_by_key(|&(_, seq)| *seq)
+                .map(|(b, _)| b)
+                .expect("cache cannot be empty here");
+            self.map.remove(&victim);
+            return Some(victim);
+        }
+        None
+    }
+
+    /// Drops a block (e.g. on file truncation).
+    pub fn invalidate(&mut self, block: FsBlock) {
+        self.map.remove(&block);
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = BufferCache::new(4);
+        assert!(!c.lookup(10));
+        c.insert(10);
+        assert!(c.lookup(10));
+        assert_eq!(c.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = BufferCache::new(3);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        // Touch 1 so 2 becomes the LRU.
+        assert!(c.lookup(1));
+        let evicted = c.insert(4);
+        assert_eq!(evicted, Some(2));
+        assert!(c.peek(1) && c.peek(3) && c.peek(4));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut c = BufferCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.len(), 2);
+        // Now 2 is LRU.
+        assert_eq!(c.insert(3), Some(2));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = BufferCache::new(2);
+        c.insert(1);
+        c.invalidate(1);
+        assert!(!c.peek(1));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = BufferCache::new(8);
+        for b in 0..100 {
+            c.insert(b);
+            assert!(c.len() <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        BufferCache::new(0);
+    }
+}

@@ -1,0 +1,715 @@
+//! The file system proper: namespace, file allocation, extent maps and
+//! cache-aware read planning.
+//!
+//! Data contents are not stored — the simulation only needs *where* blocks
+//! live and *when* they move. A file is its inode plus the block map the
+//! allocator produced; reads are planned as the set of blocks that must be
+//! fetched (metadata first), the cached remainder, and a read-ahead
+//! suggestion.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cras_disk::geometry::BlockNo;
+use cras_sim::Rng;
+
+use crate::alloc::Allocator;
+use crate::cache::BufferCache;
+use crate::inode::Inode;
+use crate::layout::{
+    fsblock_to_disk, max_file_size, FsBlock, FsLayout, Ino, MkfsParams, BSIZE, SECT_PER_FSBLOCK,
+};
+
+/// File-system errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Name already exists.
+    Exists,
+    /// No such file.
+    NotFound,
+    /// Out of disk space.
+    NoSpace,
+    /// Beyond the inode's addressable size.
+    TooLarge,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FsError::Exists => "file exists",
+            FsError::NotFound => "no such file",
+            FsError::NoSpace => "no space left on device",
+            FsError::TooLarge => "file too large",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A run of physically contiguous file data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extent {
+    /// Byte offset within the file where the extent begins.
+    pub file_offset: u64,
+    /// First 512-byte disk block.
+    pub disk_block: BlockNo,
+    /// Length in 512-byte disk blocks.
+    pub nblocks: u32,
+}
+
+impl Extent {
+    /// Extent length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.nblocks as u64 * 512
+    }
+}
+
+/// A physically contiguous run of file-system blocks fetched by one disk
+/// command (clustered I/O, bounded by `maxcontig`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchRun {
+    /// First file-system block.
+    pub start: FsBlock,
+    /// Number of contiguous blocks.
+    pub len: u32,
+}
+
+impl FetchRun {
+    /// Iterates the blocks of the run.
+    pub fn blocks(&self) -> impl Iterator<Item = FsBlock> {
+        self.start..self.start + self.len as u64
+    }
+
+    /// Transfer size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len as u64 * BSIZE as u64
+    }
+}
+
+/// Merges an ordered block list into contiguous runs of at most
+/// `maxcontig` blocks.
+pub fn merge_runs(blocks: &[FsBlock], maxcontig: u32) -> Vec<FetchRun> {
+    let maxcontig = maxcontig.max(1);
+    let mut out: Vec<FetchRun> = Vec::new();
+    for &b in blocks {
+        match out.last_mut() {
+            Some(r) if r.start + r.len as u64 == b && r.len < maxcontig => r.len += 1,
+            _ => out.push(FetchRun { start: b, len: 1 }),
+        }
+    }
+    out
+}
+
+/// The plan for serving one read call.
+#[derive(Clone, Debug, Default)]
+pub struct ReadPlan {
+    /// Cache-missing runs, in fetch order (metadata before the data it
+    /// maps); each run is one clustered disk command.
+    pub fetch: Vec<FetchRun>,
+    /// Blocks served from the cache.
+    pub cached: Vec<FsBlock>,
+    /// Read-ahead runs (uncached data after the range).
+    pub read_ahead: Vec<FetchRun>,
+}
+
+impl ReadPlan {
+    /// Whether the read needs any disk I/O.
+    pub fn is_fully_cached(&self) -> bool {
+        self.fetch.is_empty()
+    }
+
+    /// Total blocks to fetch synchronously.
+    pub fn fetch_blocks(&self) -> u64 {
+        self.fetch.iter().map(|r| r.len as u64).sum()
+    }
+}
+
+/// Fragmentation report for one file (the §3.2 editing problem).
+#[derive(Clone, Debug)]
+pub struct FragReport {
+    /// Number of extents.
+    pub extents: usize,
+    /// Total data blocks.
+    pub blocks: u64,
+    /// Mean extent length in file-system blocks.
+    pub avg_extent_fsblocks: f64,
+    /// Fraction of adjacent block pairs that are physically contiguous.
+    pub contiguity: f64,
+}
+
+/// The FFS-like file system.
+pub struct Ufs {
+    params: MkfsParams,
+    alloc: Allocator,
+    inodes: Vec<Inode>,
+    names: BTreeMap<String, Ino>,
+    cache: BufferCache,
+    /// Blocks written in memory but not yet flushed to disk (the classic
+    /// delayed-write path; a syncer drains them).
+    dirty: BTreeSet<FsBlock>,
+    rng: Rng,
+}
+
+impl Ufs {
+    /// Formats a file system over `geom` with the given parameters.
+    pub fn format(geom: &cras_disk::geometry::DiskGeometry, params: MkfsParams, seed: u64) -> Ufs {
+        let layout = FsLayout::compute(geom, params.cyl_per_group);
+        let mut alloc = Allocator::new(layout, params.maxbpg);
+        // Reserve block 0 as the superblock area.
+        alloc.alloc_specific(0);
+        Ufs {
+            params,
+            alloc,
+            inodes: Vec::new(),
+            names: BTreeMap::new(),
+            cache: BufferCache::new(params.cache_blocks),
+            dirty: BTreeSet::new(),
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> &FsLayout {
+        self.alloc.layout()
+    }
+
+    /// The mkfs parameters.
+    pub fn params(&self) -> &MkfsParams {
+        &self.params
+    }
+
+    /// The buffer cache (for statistics).
+    pub fn cache(&self) -> &BufferCache {
+        &self.cache
+    }
+
+    /// Total free space in bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.alloc.free() * BSIZE as u64
+    }
+
+    /// Creates an empty file.
+    pub fn create(&mut self, name: &str) -> Result<Ino, FsError> {
+        if self.names.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let ino = self.inodes.len() as Ino;
+        self.inodes.push(Inode::new(ino));
+        self.names.insert(name.to_string(), ino);
+        Ok(ino)
+    }
+
+    /// Creates an empty file whose allocation starts in the same cylinder
+    /// group as `near`'s current allocation cursor — what happens when an
+    /// editor writes scratch data next to the file being edited.
+    pub fn create_near(&mut self, name: &str, near: Ino) -> Result<Ino, FsError> {
+        let ino = self.create(name)?;
+        let group = self.inodes[near as usize].alloc_group;
+        self.inodes[ino as usize].alloc_group = group;
+        Ok(ino)
+    }
+
+    /// Moves `ino`'s allocation cursor into the cylinder group `with` is
+    /// currently filling (keeps an editor's scratch writes adjacent to the
+    /// file being edited as it grows).
+    pub fn colocate_cursor(&mut self, ino: Ino, with: Ino) {
+        let group = self.inodes[with as usize].alloc_group;
+        let inode = &mut self.inodes[ino as usize];
+        if inode.alloc_group != group {
+            inode.alloc_group = group;
+            inode.blocks_in_group = 0;
+        }
+    }
+
+    /// Looks a file up by name.
+    pub fn lookup(&self, name: &str) -> Result<Ino, FsError> {
+        self.names.get(name).copied().ok_or(FsError::NotFound)
+    }
+
+    /// File size in bytes.
+    pub fn file_size(&self, ino: Ino) -> u64 {
+        self.inodes[ino as usize].size
+    }
+
+    /// Read access to an inode.
+    pub fn inode(&self, ino: Ino) -> &Inode {
+        &self.inodes[ino as usize]
+    }
+
+    /// Lists all `(name, ino)` pairs.
+    pub fn files(&self) -> impl Iterator<Item = (&str, Ino)> {
+        self.names.iter().map(|(n, i)| (n.as_str(), *i))
+    }
+
+    /// Appends `bytes` to a file, allocating blocks per the FFS policy.
+    pub fn append(&mut self, ino: Ino, bytes: u64) -> Result<(), FsError> {
+        let new_size = self.inodes[ino as usize].size + bytes;
+        if new_size > max_file_size() {
+            return Err(FsError::TooLarge);
+        }
+        let first_new = self.inodes[ino as usize].nblocks();
+        let last_new = new_size.div_ceil(BSIZE as u64);
+        for fb in first_new..last_new {
+            self.alloc_file_block(ino, fb)?;
+        }
+        self.inodes[ino as usize].size = new_size;
+        Ok(())
+    }
+
+    /// Pre-allocates contiguous space without changing the file size
+    /// beyond `bytes` — the §4 extension for constant-rate *writing*
+    /// ("the Unix file system must be modified to allocate data blocks in
+    /// advance when a file is created or expanded").
+    pub fn preallocate(&mut self, ino: Ino, bytes: u64) -> Result<(), FsError> {
+        self.append(ino, bytes)
+    }
+
+    fn alloc_file_block(&mut self, ino: Ino, fb: u64) -> Result<(), FsError> {
+        // Metadata table blocks first, placed near the file's current
+        // group.
+        let needed = self.inodes[ino as usize].meta_blocks_needed(fb);
+        let near = self.inodes[ino as usize].alloc_group.unwrap_or(0);
+        let mut meta = Vec::with_capacity(needed);
+        for _ in 0..needed {
+            meta.push(self.alloc.alloc_meta(near).ok_or(FsError::NoSpace)?);
+        }
+        let prev = if fb == 0 {
+            None
+        } else {
+            self.inodes[ino as usize].bmap(fb - 1).map(|p| p.data)
+        };
+        let inode = &mut self.inodes[ino as usize];
+        let placed = self
+            .alloc
+            .alloc_data(
+                prev,
+                inode.alloc_group,
+                inode.blocks_in_group,
+                &mut self.rng,
+            )
+            .ok_or(FsError::NoSpace)?;
+        if inode.alloc_group == Some(placed.group) && inode.blocks_in_group < self.alloc.maxbpg() {
+            inode.blocks_in_group += 1;
+        } else {
+            inode.alloc_group = Some(placed.group);
+            inode.blocks_in_group = 1;
+        }
+        inode.set_bmap(fb, placed.block, &mut meta);
+        debug_assert!(meta.is_empty());
+        Ok(())
+    }
+
+    /// Renames a file.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        if self.names.contains_key(to) {
+            return Err(FsError::Exists);
+        }
+        let ino = self.names.remove(from).ok_or(FsError::NotFound)?;
+        self.names.insert(to.to_string(), ino);
+        Ok(())
+    }
+
+    /// Removes a file, freeing all its blocks.
+    pub fn remove(&mut self, name: &str) -> Result<(), FsError> {
+        let ino = self.lookup(name)?;
+        self.names.remove(name);
+        let inode = &self.inodes[ino as usize];
+        let blocks: Vec<FsBlock> = inode
+            .data_blocks()
+            .into_iter()
+            .chain(inode.meta_blocks())
+            .collect();
+        for b in blocks {
+            self.alloc.free_block(b);
+            self.cache.invalidate(b);
+        }
+        self.inodes[ino as usize] = Inode::new(ino);
+        Ok(())
+    }
+
+    /// Builds the file's physical extent map in file order, merging
+    /// adjacent file-system blocks into disk-block runs.
+    ///
+    /// CRAS resolves this once per `crs_open`, which is how it avoids
+    /// touching UFS metadata during constant-rate retrieval.
+    pub fn extent_map(&self, ino: Ino) -> Vec<Extent> {
+        let inode = &self.inodes[ino as usize];
+        let blocks = inode.data_blocks();
+        let mut out: Vec<Extent> = Vec::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            let disk = fsblock_to_disk(b);
+            match out.last_mut() {
+                Some(last) if last.disk_block + last.nblocks as u64 == disk => {
+                    last.nblocks += SECT_PER_FSBLOCK;
+                }
+                _ => out.push(Extent {
+                    file_offset: i as u64 * BSIZE as u64,
+                    disk_block: disk,
+                    nblocks: SECT_PER_FSBLOCK,
+                }),
+            }
+        }
+        out
+    }
+
+    /// Plans a read of `[offset, offset+len)` through the buffer cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range goes past end-of-file (callers clamp).
+    pub fn plan_read(&mut self, ino: Ino, offset: u64, len: u64) -> ReadPlan {
+        assert!(len > 0, "zero-length read");
+        let inode = &self.inodes[ino as usize];
+        assert!(
+            offset + len <= inode.size,
+            "read past EOF: {}+{} > {}",
+            offset,
+            len,
+            inode.size
+        );
+        let first = offset / BSIZE as u64;
+        let last = (offset + len - 1) / BSIZE as u64;
+        let mut plan = ReadPlan::default();
+        let mut fetch_blocks: Vec<FsBlock> = Vec::new();
+        for fb in first..=last {
+            let path = self.inodes[ino as usize]
+                .bmap(fb)
+                .expect("mapped block within size");
+            for m in &path.meta {
+                if self.cache.lookup(*m) {
+                    if !plan.cached.contains(m) {
+                        plan.cached.push(*m);
+                    }
+                } else if !fetch_blocks.contains(m) {
+                    fetch_blocks.push(*m);
+                }
+            }
+            if self.cache.lookup(path.data) {
+                plan.cached.push(path.data);
+            } else {
+                fetch_blocks.push(path.data);
+            }
+        }
+        plan.fetch = merge_runs(&fetch_blocks, self.params.maxcontig);
+        // Clustered read-ahead (4.4BSD style): when the read reaches the
+        // edge of the cached region — the *next* file block is uncached —
+        // schedule a whole window of blocks in one go, rather than a
+        // sliding one-block-at-a-time window that degenerates into tiny
+        // disk commands.
+        let nblocks = self.inodes[ino as usize].nblocks();
+        let mut ra_blocks: Vec<FsBlock> = Vec::new();
+        let next = last + 1;
+        let trigger = next < nblocks
+            && self.inodes[ino as usize]
+                .bmap(next)
+                .map(|p| !self.cache.peek(p.data) && !fetch_blocks.contains(&p.data))
+                .unwrap_or(false);
+        if trigger {
+            for fb in next..(next + self.params.read_ahead as u64).min(nblocks) {
+                if let Some(path) = self.inodes[ino as usize].bmap(fb) {
+                    if !self.cache.peek(path.data) && !fetch_blocks.contains(&path.data) {
+                        ra_blocks.push(path.data);
+                    }
+                }
+            }
+        }
+        plan.read_ahead = merge_runs(&ra_blocks, self.params.maxcontig);
+        plan
+    }
+
+    /// Writes `bytes` at the end of the file through the delayed-write
+    /// path: blocks are allocated and dirtied in the cache; the syncer
+    /// flushes them to disk later ([`Ufs::take_dirty`]). Returns the
+    /// number of blocks newly dirtied.
+    pub fn append_dirty(&mut self, ino: Ino, bytes: u64) -> Result<usize, FsError> {
+        let first_new = self.inodes[ino as usize].nblocks();
+        self.append(ino, bytes)?;
+        let last_new = self.inodes[ino as usize].nblocks();
+        let mut dirtied = 0;
+        // The tail block of the previous append is rewritten too when the
+        // new data starts mid-block.
+        let from = first_new.saturating_sub(1);
+        for fb in from..last_new {
+            if let Some(p) = self.inodes[ino as usize].bmap(fb) {
+                self.cache.insert(p.data);
+                if self.dirty.insert(p.data) {
+                    dirtied += 1;
+                }
+            }
+        }
+        Ok(dirtied)
+    }
+
+    /// Number of dirty blocks awaiting the syncer.
+    pub fn dirty_blocks(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Drains up to `max_blocks` dirty blocks as clustered write runs for
+    /// the syncer to submit to disk.
+    pub fn take_dirty(&mut self, max_blocks: usize) -> Vec<FetchRun> {
+        let take: Vec<FsBlock> = self.dirty.iter().copied().take(max_blocks).collect();
+        for b in &take {
+            self.dirty.remove(b);
+        }
+        merge_runs(&take, self.params.maxcontig)
+    }
+
+    /// Whether a file-system block is free in the allocator.
+    pub fn is_block_free(&self, b: FsBlock) -> bool {
+        self.alloc.is_free(b)
+    }
+
+    /// Frees a block behind the inode's back — corruption injection for
+    /// the consistency checker's tests only.
+    #[doc(hidden)]
+    pub fn free_block_for_tests(&mut self, b: FsBlock) {
+        self.alloc.free_block(b);
+    }
+
+    /// Records that a block arrived from disk and now sits in the cache.
+    pub fn mark_cached(&mut self, block: FsBlock) {
+        self.cache.insert(block);
+    }
+
+    /// Empties the buffer cache (e.g. between experiment runs).
+    pub fn drop_caches(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Fragmentation report for a file.
+    pub fn fragmentation(&self, ino: Ino) -> FragReport {
+        let extents = self.extent_map(ino);
+        let blocks = self.inodes[ino as usize].nblocks();
+        let pairs = blocks.saturating_sub(1);
+        let breaks = extents.len().saturating_sub(1) as u64;
+        FragReport {
+            extents: extents.len(),
+            blocks,
+            avg_extent_fsblocks: if extents.is_empty() {
+                0.0
+            } else {
+                blocks as f64 / extents.len() as f64
+            },
+            contiguity: if pairs == 0 {
+                1.0
+            } else {
+                (pairs - breaks.min(pairs)) as f64 / pairs as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cras_disk::geometry::DiskGeometry;
+
+    fn tuned_fs() -> Ufs {
+        let geom = DiskGeometry::st32550n();
+        Ufs::format(&geom, MkfsParams::tuned(&geom), 7)
+    }
+
+    fn stock_fs() -> Ufs {
+        let geom = DiskGeometry::st32550n();
+        Ufs::format(&geom, MkfsParams::stock(&geom), 7)
+    }
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn create_lookup_append() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("movie.mov").unwrap();
+        assert_eq!(fs.lookup("movie.mov"), Ok(ino));
+        assert_eq!(fs.create("movie.mov"), Err(FsError::Exists));
+        assert_eq!(fs.lookup("nope"), Err(FsError::NotFound));
+        fs.append(ino, 10 * MB).unwrap();
+        assert_eq!(fs.file_size(ino), 10 * MB);
+    }
+
+    #[test]
+    fn tuned_fs_allocates_contiguously() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("movie").unwrap();
+        fs.append(ino, 20 * MB).unwrap();
+        let frag = fs.fragmentation(ino);
+        assert!(
+            frag.contiguity > 0.99,
+            "tuned fs should be contiguous: {frag:?}"
+        );
+        assert!(frag.extents <= 3, "extents = {}", frag.extents);
+    }
+
+    #[test]
+    fn stock_fs_spreads_large_files() {
+        let mut fs = stock_fs();
+        let ino = fs.create("movie").unwrap();
+        fs.append(ino, 40 * MB).unwrap();
+        let frag = fs.fragmentation(ino);
+        assert!(
+            frag.extents > 3,
+            "stock fs should spread a 40 MB file: {frag:?}"
+        );
+    }
+
+    #[test]
+    fn extent_map_covers_file_in_order() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("movie").unwrap();
+        fs.append(ino, 5 * MB).unwrap();
+        let extents = fs.extent_map(ino);
+        let total: u64 = extents.iter().map(|e| e.bytes()).sum();
+        assert_eq!(total, 5 * MB); // 5 MB is block-aligned.
+        let mut off = 0;
+        for e in &extents {
+            assert_eq!(e.file_offset, off);
+            off += e.bytes();
+        }
+    }
+
+    #[test]
+    fn plan_read_miss_then_hit() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("f").unwrap();
+        fs.append(ino, MB).unwrap();
+        let plan = fs.plan_read(ino, 0, BSIZE as u64);
+        assert_eq!(plan.fetch.len(), 1);
+        assert!(plan.cached.is_empty());
+        for r in &plan.fetch {
+            for b in r.blocks() {
+                fs.mark_cached(b);
+            }
+        }
+        let plan2 = fs.plan_read(ino, 0, BSIZE as u64);
+        assert!(plan2.is_fully_cached());
+        assert_eq!(plan2.cached.len(), 1);
+    }
+
+    #[test]
+    fn plan_read_includes_indirect_metadata() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("f").unwrap();
+        fs.append(ino, 2 * MB).unwrap(); // Past the 96 KB direct region.
+        let off = NDIRECT_BYTES;
+        let plan = fs.plan_read(ino, off, BSIZE as u64);
+        assert_eq!(plan.fetch_blocks(), 2, "indirect table + data");
+        const NDIRECT_BYTES: u64 = 12 * BSIZE as u64;
+    }
+
+    #[test]
+    fn read_ahead_suggested() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("f").unwrap();
+        fs.append(ino, MB).unwrap();
+        let plan = fs.plan_read(ino, 0, BSIZE as u64);
+        let window = fs.params().read_ahead;
+        assert_eq!(
+            plan.read_ahead.iter().map(|r| r.len).sum::<u32>(),
+            window,
+            "full cluster window on first touch"
+        );
+        // Once the window is cached, no further read-ahead triggers until
+        // the reader crosses its edge.
+        for r in &plan.read_ahead {
+            for b in r.blocks() {
+                fs.mark_cached(b);
+            }
+        }
+        for r in &plan.fetch {
+            for b in r.blocks() {
+                fs.mark_cached(b);
+            }
+        }
+        let plan2 = fs.plan_read(ino, 0, BSIZE as u64);
+        assert!(plan2.read_ahead.is_empty(), "window still cached");
+    }
+
+    #[test]
+    fn read_ahead_stops_at_eof() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("f").unwrap();
+        fs.append(ino, BSIZE as u64).unwrap();
+        let plan = fs.plan_read(ino, 0, BSIZE as u64);
+        assert!(plan.read_ahead.is_empty());
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut fs = tuned_fs();
+        let before = fs.free_bytes();
+        let ino = fs.create("f").unwrap();
+        fs.append(ino, 10 * MB).unwrap();
+        assert!(fs.free_bytes() < before);
+        fs.remove("f").unwrap();
+        assert_eq!(fs.free_bytes(), before);
+        assert_eq!(fs.lookup("f"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn interleaved_appends_fragment_stock() {
+        let mut fs = tuned_fs();
+        let a = fs.create("a").unwrap();
+        let b = fs.create("b").unwrap();
+        // Force both into overlapping allocation by alternating appends.
+        for _ in 0..64 {
+            fs.append(a, BSIZE as u64).unwrap();
+            fs.append(b, BSIZE as u64).unwrap();
+        }
+        let fa = fs.fragmentation(a);
+        // Interleaving cannot be fully contiguous unless the allocator
+        // separated the two files into different groups (which
+        // pick_start_group tries); accept either but verify consistency.
+        assert_eq!(fa.blocks, 64);
+        assert!(fa.extents >= 1);
+    }
+
+    #[test]
+    fn append_dirty_tracks_blocks() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("w").unwrap();
+        let d1 = fs.append_dirty(ino, 3 * BSIZE as u64).unwrap();
+        assert_eq!(d1, 3);
+        assert_eq!(fs.dirty_blocks(), 3);
+        // Partial-block append re-dirties the tail block.
+        let d2 = fs.append_dirty(ino, 100).unwrap();
+        assert_eq!(d2, 1);
+        assert_eq!(fs.dirty_blocks(), 4);
+        // Appending more re-dirties the shared tail but it is already
+        // dirty, so only new blocks count.
+        let d3 = fs.append_dirty(ino, BSIZE as u64).unwrap();
+        assert_eq!(d3, 1);
+    }
+
+    #[test]
+    fn take_dirty_drains_as_runs() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("w").unwrap();
+        fs.append_dirty(ino, 10 * BSIZE as u64).unwrap();
+        let runs = fs.take_dirty(4);
+        let total: u32 = runs.iter().map(|r| r.len).sum();
+        assert_eq!(total, 4);
+        assert_eq!(fs.dirty_blocks(), 6);
+        let rest = fs.take_dirty(100);
+        assert_eq!(rest.iter().map(|r| r.len).sum::<u32>(), 6);
+        assert_eq!(fs.dirty_blocks(), 0);
+        // Contiguous allocation means few runs.
+        assert!(rest.len() <= 2, "runs {rest:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "past EOF")]
+    fn read_past_eof_panics() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("f").unwrap();
+        fs.append(ino, 100).unwrap();
+        fs.plan_read(ino, 0, 200);
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let mut fs = tuned_fs();
+        let ino = fs.create("f").unwrap();
+        assert_eq!(fs.append(ino, u64::MAX / 2), Err(FsError::TooLarge));
+    }
+}

@@ -1,0 +1,291 @@
+//! A hierarchical path namespace over the flat inode table.
+//!
+//! The flat [`crate::fs::Ufs`] name map is all the experiments need, but
+//! a real movie library lives in directories ("a video database while
+//! using a conferencing tool"). [`Namespace`] provides Unix-style paths —
+//! `mkdir -p`, lookup, readdir, rename, unlink — mapping leaves to inode
+//! numbers. It is a pure name layer: callers pair it with a `Ufs` that
+//! owns the inodes (directory metadata itself is small enough that the
+//! paper's systems kept it cached; no disk traffic is modeled for it).
+
+use std::collections::BTreeMap;
+
+use crate::layout::Ino;
+
+/// Namespace errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NsError {
+    /// Path exists already.
+    Exists,
+    /// Path (or a parent) does not exist.
+    NotFound,
+    /// A non-directory appears in the middle of a path.
+    NotADirectory,
+    /// The operation needs a file but found a directory.
+    IsADirectory,
+    /// Directory not empty.
+    NotEmpty,
+    /// Malformed path (empty component, empty path).
+    BadPath,
+}
+
+impl std::fmt::Display for NsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NsError::Exists => "path exists",
+            NsError::NotFound => "no such path",
+            NsError::NotADirectory => "not a directory",
+            NsError::IsADirectory => "is a directory",
+            NsError::NotEmpty => "directory not empty",
+            NsError::BadPath => "malformed path",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for NsError {}
+
+/// A directory entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Entry {
+    /// A file leaf.
+    File(Ino),
+    /// A subdirectory.
+    Dir(DirNode),
+}
+
+/// One directory.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirNode {
+    entries: BTreeMap<String, Entry>,
+}
+
+/// The namespace root.
+#[derive(Clone, Debug, Default)]
+pub struct Namespace {
+    root: DirNode,
+}
+
+fn split(path: &str) -> Result<Vec<&str>, NsError> {
+    let trimmed = path.trim_matches('/');
+    if trimmed.is_empty() {
+        return Err(NsError::BadPath);
+    }
+    let parts: Vec<&str> = trimmed.split('/').collect();
+    if parts
+        .iter()
+        .any(|p| p.is_empty() || *p == "." || *p == "..")
+    {
+        return Err(NsError::BadPath);
+    }
+    Ok(parts)
+}
+
+impl Namespace {
+    /// Creates an empty namespace.
+    pub fn new() -> Namespace {
+        Namespace::default()
+    }
+
+    fn dir_of<'a>(&'a self, parts: &[&str]) -> Result<&'a DirNode, NsError> {
+        let mut cur = &self.root;
+        for p in parts {
+            match cur.entries.get(*p) {
+                Some(Entry::Dir(d)) => cur = d,
+                Some(Entry::File(_)) => return Err(NsError::NotADirectory),
+                None => return Err(NsError::NotFound),
+            }
+        }
+        Ok(cur)
+    }
+
+    fn dir_of_mut<'a>(
+        &'a mut self,
+        parts: &[&str],
+        create: bool,
+    ) -> Result<&'a mut DirNode, NsError> {
+        let mut cur = &mut self.root;
+        for p in parts {
+            if create && !cur.entries.contains_key(*p) {
+                cur.entries
+                    .insert(p.to_string(), Entry::Dir(DirNode::default()));
+            }
+            match cur.entries.get_mut(*p) {
+                Some(Entry::Dir(d)) => cur = d,
+                Some(Entry::File(_)) => return Err(NsError::NotADirectory),
+                None => return Err(NsError::NotFound),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Creates all directories along `path` (like `mkdir -p`).
+    pub fn mkdir_p(&mut self, path: &str) -> Result<(), NsError> {
+        let parts = split(path)?;
+        self.dir_of_mut(&parts, true).map(|_| ())
+    }
+
+    /// Binds `path`'s leaf to a file inode; parents must exist.
+    pub fn link(&mut self, path: &str, ino: Ino) -> Result<(), NsError> {
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = self.dir_of_mut(parents, false)?;
+        if dir.entries.contains_key(*leaf) {
+            return Err(NsError::Exists);
+        }
+        dir.entries.insert(leaf.to_string(), Entry::File(ino));
+        Ok(())
+    }
+
+    /// Resolves a file path to its inode.
+    pub fn lookup(&self, path: &str) -> Result<Ino, NsError> {
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = self.dir_of(parents)?;
+        match dir.entries.get(*leaf) {
+            Some(Entry::File(ino)) => Ok(*ino),
+            Some(Entry::Dir(_)) => Err(NsError::IsADirectory),
+            None => Err(NsError::NotFound),
+        }
+    }
+
+    /// Lists a directory's entry names (`""` or `"/"` for the root).
+    pub fn readdir(&self, path: &str) -> Result<Vec<String>, NsError> {
+        let dir = if path.trim_matches('/').is_empty() {
+            &self.root
+        } else {
+            let parts = split(path)?;
+            match self.dir_of(&parts) {
+                Ok(d) => d,
+                Err(NsError::NotFound) => return Err(NsError::NotFound),
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(dir.entries.keys().cloned().collect())
+    }
+
+    /// Removes a file binding (the caller frees the inode through `Ufs`).
+    pub fn unlink(&mut self, path: &str) -> Result<Ino, NsError> {
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = self.dir_of_mut(parents, false)?;
+        match dir.entries.get(*leaf) {
+            Some(Entry::File(_)) => {}
+            Some(Entry::Dir(_)) => return Err(NsError::IsADirectory),
+            None => return Err(NsError::NotFound),
+        }
+        match dir.entries.remove(*leaf) {
+            Some(Entry::File(ino)) => Ok(ino),
+            _ => unreachable!("checked above"),
+        }
+    }
+
+    /// Removes an *empty* directory.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), NsError> {
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = self.dir_of_mut(parents, false)?;
+        match dir.entries.get(*leaf) {
+            Some(Entry::Dir(d)) if d.entries.is_empty() => {
+                dir.entries.remove(*leaf);
+                Ok(())
+            }
+            Some(Entry::Dir(_)) => Err(NsError::NotEmpty),
+            Some(Entry::File(_)) => Err(NsError::NotADirectory),
+            None => Err(NsError::NotFound),
+        }
+    }
+
+    /// Renames a file from one path to another (parents of the target
+    /// must exist).
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), NsError> {
+        // Validate the target before unlinking the source.
+        let to_parts = split(to)?;
+        let (to_leaf, to_parents) = to_parts.split_last().expect("non-empty");
+        {
+            let dir = self.dir_of(to_parents)?;
+            if dir.entries.contains_key(*to_leaf) {
+                return Err(NsError::Exists);
+            }
+        }
+        let ino = self.unlink(from)?;
+        self.link(to, ino)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mkdir_link_lookup() {
+        let mut ns = Namespace::new();
+        ns.mkdir_p("/movies/action").unwrap();
+        ns.link("/movies/action/m1.mov", 7).unwrap();
+        assert_eq!(ns.lookup("/movies/action/m1.mov"), Ok(7));
+        assert_eq!(ns.lookup("movies/action/m1.mov"), Ok(7));
+        assert_eq!(ns.lookup("/movies/action/m2.mov"), Err(NsError::NotFound));
+    }
+
+    #[test]
+    fn readdir_lists_entries() {
+        let mut ns = Namespace::new();
+        ns.mkdir_p("/a/b").unwrap();
+        ns.link("/a/x", 1).unwrap();
+        ns.link("/a/b/y", 2).unwrap();
+        assert_eq!(ns.readdir("/a").unwrap(), vec!["b", "x"]);
+        assert_eq!(ns.readdir("/").unwrap(), vec!["a"]);
+        assert_eq!(ns.readdir("/a/b").unwrap(), vec!["y"]);
+    }
+
+    #[test]
+    fn file_in_path_middle_rejected() {
+        let mut ns = Namespace::new();
+        ns.link("file", 1).unwrap();
+        assert_eq!(ns.lookup("file/sub"), Err(NsError::NotADirectory));
+        assert_eq!(ns.link("file/sub", 2), Err(NsError::NotADirectory));
+    }
+
+    #[test]
+    fn unlink_and_rmdir() {
+        let mut ns = Namespace::new();
+        ns.mkdir_p("/d").unwrap();
+        ns.link("/d/f", 3).unwrap();
+        assert_eq!(ns.rmdir("/d"), Err(NsError::NotEmpty));
+        assert_eq!(ns.unlink("/d/f"), Ok(3));
+        assert_eq!(ns.rmdir("/d"), Ok(()));
+        assert_eq!(ns.readdir("/").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rename_moves_across_directories() {
+        let mut ns = Namespace::new();
+        ns.mkdir_p("/a").unwrap();
+        ns.mkdir_p("/b").unwrap();
+        ns.link("/a/m", 9).unwrap();
+        ns.rename("/a/m", "/b/n").unwrap();
+        assert_eq!(ns.lookup("/b/n"), Ok(9));
+        assert_eq!(ns.lookup("/a/m"), Err(NsError::NotFound));
+        // Existing target refused; source untouched.
+        ns.link("/a/m2", 10).unwrap();
+        assert_eq!(ns.rename("/a/m2", "/b/n"), Err(NsError::Exists));
+        assert_eq!(ns.lookup("/a/m2"), Ok(10));
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut ns = Namespace::new();
+        assert_eq!(ns.mkdir_p(""), Err(NsError::BadPath));
+        assert_eq!(ns.mkdir_p("/"), Err(NsError::BadPath));
+        assert_eq!(ns.link("/a//b", 1), Err(NsError::BadPath));
+        assert_eq!(ns.link("/../x", 1), Err(NsError::BadPath));
+    }
+
+    #[test]
+    fn duplicate_link_rejected() {
+        let mut ns = Namespace::new();
+        ns.link("x", 1).unwrap();
+        assert_eq!(ns.link("x", 2), Err(NsError::Exists));
+        assert_eq!(ns.lookup("x"), Ok(1));
+    }
+}

@@ -1,0 +1,103 @@
+//! Admission-model ablation — how much of the paper's measured pessimism
+//! (Figures 8/9) is the per-stream overhead simplification?
+//!
+//! The paper charges one command and one rotational delay per *stream*
+//! per interval; the real scheduler issues one command per 256 KB read.
+//! [`cras_core::AdmissionModel::MultiCommand`] charges per read instead.
+//! This ablation compares calculated I/O times and admitted capacities
+//! under both models.
+
+use cras_core::{Admission, AdmissionModel, StreamParams};
+use cras_disk::calibrate::DiskParams;
+
+use crate::result::KvTable;
+
+/// One comparison row.
+#[derive(Clone, Copy, Debug)]
+pub struct AblatePoint {
+    /// Interval, seconds.
+    pub interval: f64,
+    /// Stream rate, bytes/second.
+    pub rate: f64,
+    /// Calculated I/O time per interval, paper model (s).
+    pub calc_paper: f64,
+    /// Calculated I/O time per interval, multi-command model (s).
+    pub calc_multi: f64,
+    /// Capacity (streams) under the paper model.
+    pub cap_paper: usize,
+    /// Capacity under the multi-command model.
+    pub cap_multi: usize,
+}
+
+/// Runs the comparison for the paper's two stream classes at several
+/// intervals.
+pub fn run(params: DiskParams) -> (KvTable, Vec<AblatePoint>) {
+    let paper = Admission::new(params, AdmissionModel::Paper);
+    let multi = Admission::new(params, AdmissionModel::MultiCommand);
+    let budget = u64::MAX / 4;
+    let mut points = Vec::new();
+    let mut t = KvTable::new(
+        "ablate",
+        "Admission-model ablation (paper vs per-256KB-read)",
+    );
+    for (label, proto) in [
+        ("MPEG1", StreamParams::new(187_500.0, 6_250.0)),
+        ("MPEG2", StreamParams::new(750_000.0, 25_000.0)),
+    ] {
+        for interval in [0.5, 1.0, 1.5] {
+            let streams = vec![proto; 5];
+            let p = AblatePoint {
+                interval,
+                rate: proto.rate,
+                calc_paper: paper.calculated_io_time(interval, &streams),
+                calc_multi: multi.calculated_io_time(interval, &streams),
+                cap_paper: paper.capacity(interval, proto, budget, 200),
+                cap_multi: multi.capacity(interval, proto, budget, 200),
+            };
+            t.row(
+                &format!("{label} T={interval}s calc I/O (5 streams)"),
+                format!("{:.1} / {:.1}", p.calc_paper * 1e3, p.calc_multi * 1e3),
+                "ms (paper/multi)",
+            );
+            t.row(
+                &format!("{label} T={interval}s capacity"),
+                format!("{} / {}", p.cap_paper, p.cap_multi),
+                "streams (paper/multi)",
+            );
+            points.push(p);
+        }
+    }
+    (t, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_command_model_never_admits_more() {
+        let (_t, points) = run(DiskParams::paper_table4());
+        for p in &points {
+            assert!(p.cap_multi <= p.cap_paper, "{p:?}");
+            assert!(p.calc_multi >= p.calc_paper - 1e-12, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn divergence_grows_with_interval_for_high_rate() {
+        // At 6 Mbps, A_i grows with T, so the number of 256 KB reads —
+        // and the extra charged overhead — grows too.
+        let (_t, points) = run(DiskParams::paper_table4());
+        let mpeg2: Vec<&AblatePoint> = points.iter().filter(|p| p.rate > 500_000.0).collect();
+        let gap = |p: &AblatePoint| p.calc_multi - p.calc_paper;
+        assert!(gap(mpeg2[2]) > gap(mpeg2[0]), "{mpeg2:?}");
+    }
+
+    #[test]
+    fn low_rate_short_interval_models_agree() {
+        // One MPEG1 interval fits in a single 256 KB read: identical.
+        let (_t, points) = run(DiskParams::paper_table4());
+        let p = &points[0]; // MPEG1, T = 0.5.
+        assert!((p.calc_multi - p.calc_paper).abs() < 1e-9, "{p:?}");
+    }
+}

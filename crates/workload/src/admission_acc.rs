@@ -1,0 +1,154 @@
+//! Figures 8 and 9 — accuracy of the admission test.
+//!
+//! For each stream count, the ratio of the *actual* disk I/O time per
+//! interval to the *calculated* (admission-test) time is measured —
+//! average and maximum, with and without background load. "100% means
+//! that the estimation of disk I/O time is perfect, and a lower ratio
+//! means that the estimation is more pessimistic."
+//!
+//! Expected shape: very pessimistic (low ratio) for few low-rate streams
+//! — overhead terms dominate and assume worst cases — approaching ~70%
+//! for 6 Mbps streams under load.
+
+use cras_media::StreamProfile;
+use cras_sim::Duration;
+use cras_sys::SchedMode;
+
+use crate::result::Figure;
+use crate::runner::{run_scenario, Scenario, Storage};
+
+/// Sweep configuration shared by Figures 8 and 9.
+#[derive(Clone, Copy, Debug)]
+pub struct AccuracyConfig {
+    /// Stream profile (1.5 Mbps for Fig 8, 6 Mbps for Fig 9).
+    pub profile: StreamProfile,
+    /// Largest stream count (20 for Fig 8, 5 for Fig 9).
+    pub max_streams: usize,
+    /// Stream-count step.
+    pub step: usize,
+    /// Measurement window per run.
+    pub measure: Duration,
+    /// Seed.
+    pub seed: u64,
+    /// Figure id.
+    pub id: &'static str,
+}
+
+impl AccuracyConfig {
+    /// Figure 8: 1.5 Mbps streams, 1–20.
+    pub fn fig8() -> AccuracyConfig {
+        AccuracyConfig {
+            profile: StreamProfile::mpeg1(),
+            max_streams: 20,
+            step: 1,
+            measure: Duration::from_secs(20),
+            seed: 8_1996,
+            id: "fig8",
+        }
+    }
+
+    /// Figure 9: 6 Mbps streams, 1–5.
+    pub fn fig9() -> AccuracyConfig {
+        AccuracyConfig {
+            profile: StreamProfile::mpeg2(),
+            max_streams: 5,
+            step: 1,
+            measure: Duration::from_secs(20),
+            seed: 9_1996,
+            id: "fig9",
+        }
+    }
+}
+
+fn one(n: usize, load: bool, cfg: &AccuracyConfig) -> (f64, f64) {
+    let sc = Scenario {
+        storage: Storage::Cras,
+        streams: n,
+        profile: cfg.profile,
+        bg_readers: if load { 2 } else { 0 },
+        bg_pause: Duration::ZERO,
+        hogs: 0,
+        sched: SchedMode::FixedPriority,
+        measure: cfg.measure,
+        seed: cfg.seed ^ ((n as u64) << 3) ^ load as u64,
+        enforce_admission: false,
+    };
+    run_scenario(sc).ratio_summary
+}
+
+/// Runs the sweep: four series (avg/max × no-load/load), ratios in %.
+pub fn run(cfg: &AccuracyConfig) -> Figure {
+    let rate_label = format!("{:.1}Mbps", cfg.profile.rate * 8.0 / 1e6);
+    let mut fig = Figure::new(
+        cfg.id,
+        &format!("Admission test accuracy ({rate_label} streams)"),
+        "streams",
+        "actual/calculated (%)",
+    );
+    let mut n = 1;
+    while n <= cfg.max_streams {
+        let (avg_nl, max_nl) = one(n, false, cfg);
+        let (avg_l, max_l) = one(n, true, cfg);
+        fig.series_mut("no-load:avg").push(n as f64, avg_nl * 100.0);
+        fig.series_mut("no-load:max").push(n as f64, max_nl * 100.0);
+        fig.series_mut("load:avg").push(n as f64, avg_l * 100.0);
+        fig.series_mut("load:max").push(n as f64, max_l * 100.0);
+        n += cfg.step;
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_rate_few_streams_is_very_pessimistic() {
+        let cfg = AccuracyConfig {
+            max_streams: 1,
+            measure: Duration::from_secs(10),
+            ..AccuracyConfig::fig8()
+        };
+        let fig = run(&cfg);
+        let avg = fig.series.iter().find(|s| s.name == "no-load:avg").unwrap();
+        // One MPEG1 stream: actual far below calculated (paper: ~20-40%).
+        let r = avg.points[0].1;
+        assert!((2.0..60.0).contains(&r), "ratio {r}%");
+    }
+
+    #[test]
+    fn high_rate_under_load_is_more_accurate() {
+        let f8 = AccuracyConfig {
+            max_streams: 1,
+            measure: Duration::from_secs(10),
+            ..AccuracyConfig::fig8()
+        };
+        let f9 = AccuracyConfig {
+            max_streams: 5,
+            step: 4, // n = 1, 5.
+            measure: Duration::from_secs(10),
+            ..AccuracyConfig::fig9()
+        };
+        let fig8 = run(&f8);
+        let fig9 = run(&f9);
+        let r8 = fig8
+            .series
+            .iter()
+            .find(|s| s.name == "load:avg")
+            .unwrap()
+            .points[0]
+            .1;
+        let r9 = fig9
+            .series
+            .iter()
+            .find(|s| s.name == "load:avg")
+            .unwrap()
+            .last_y()
+            .unwrap();
+        assert!(
+            r9 > r8,
+            "6Mbps×5 ratio {r9}% should beat 1.5Mbps×1 ratio {r8}%"
+        );
+        assert!(r9 > 30.0, "6Mbps load ratio {r9}%");
+    }
+}

@@ -1,0 +1,135 @@
+//! Editing while playing: write traffic vs playback.
+//!
+//! The paper's motivating applications edit and play on the same personal
+//! machine. This experiment runs one playback stream while an "editor"
+//! appends to a capture file through the delayed-write path (allocation
+//! in memory, a syncer flushing dirty blocks to disk every second as
+//! normal-class writes). CRAS's real-time queue should shrug the
+//! write-back bursts off; the UFS player shares the normal queue with
+//! them and jitters.
+
+use cras_media::StreamProfile;
+use cras_sim::Duration;
+use cras_sys::{SysConfig, System};
+
+use crate::result::KvTable;
+use crate::runner::Storage;
+
+/// Outcome for one storage system.
+#[derive(Clone, Copy, Debug)]
+pub struct EditingOutcome {
+    /// Player mean delay (seconds).
+    pub mean_delay: f64,
+    /// Player max delay (seconds).
+    pub max_delay: f64,
+    /// Frames dropped.
+    pub dropped: u64,
+    /// Bytes the editor wrote (memory-side).
+    pub written: u64,
+    /// Blocks still dirty at the end (the syncer keeps up or not).
+    pub dirty_backlog: usize,
+}
+
+/// Plays one MPEG-1 stream for `measure` while an editor writes
+/// `write_rate` bytes/second.
+pub fn run_one(storage: Storage, write_rate: f64, measure: Duration, seed: u64) -> EditingOutcome {
+    let mut cfg = SysConfig::default();
+    cfg.seed = seed;
+    let mut sys = System::new(cfg);
+    let movie = sys.record_movie(
+        "play.mov",
+        StreamProfile::mpeg1(),
+        measure.as_secs_f64() + 8.0,
+    );
+    let client = match storage {
+        Storage::Cras => sys.add_cras_player(&movie, 1).expect("one stream fits"),
+        Storage::Ufs => sys.add_ufs_player(&movie, 1),
+    };
+    // The editor: 64 KB writes at the requested rate.
+    let write_size = 64 * 1024u64;
+    let period = Duration::from_secs_f64(write_size as f64 / write_rate);
+    sys.add_bg_writer("capture.mov", write_size, period);
+    sys.start_writers();
+    let start = sys.start_playback(client);
+    sys.run_until(start + measure);
+
+    let p = &sys.players[&client.0];
+    let (mean_delay, max_delay) = p.delay_summary();
+    EditingOutcome {
+        mean_delay,
+        max_delay,
+        dropped: p.stats.frames_dropped,
+        written: sys.writers.values().map(|w| w.bytes_written).sum(),
+        dirty_backlog: sys.ufs.dirty_blocks(),
+    }
+}
+
+/// The CRAS-vs-UFS editing comparison.
+pub fn run(measure: Duration, seed: u64) -> (KvTable, EditingOutcome, EditingOutcome) {
+    let write_rate = 1.0e6; // A busy 1 MB/s capture/edit session.
+    let cras = run_one(Storage::Cras, write_rate, measure, seed);
+    let ufs = run_one(Storage::Ufs, write_rate, measure, seed);
+    let mut t = KvTable::new(
+        "editing",
+        "Editing while playing (1 MPEG1 stream + 1 MB/s delayed writes)",
+    );
+    for (label, o) in [("CRAS", &cras), ("UFS", &ufs)] {
+        t.row(
+            &format!("{label} player delay"),
+            format!(
+                "mean {:.2} / max {:.2}",
+                o.mean_delay * 1e3,
+                o.max_delay * 1e3
+            ),
+            "ms",
+        );
+        t.row(
+            &format!("{label} dropped frames"),
+            format!("{}", o.dropped),
+            "",
+        );
+        t.row(
+            &format!("{label} editor wrote"),
+            format!("{:.1}", o.written as f64 / 1e6),
+            "MB",
+        );
+        t.row(
+            &format!("{label} dirty backlog"),
+            format!("{}", o.dirty_backlog),
+            "blocks",
+        );
+    }
+    (t, cras, ufs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cras_unaffected_by_write_back_bursts() {
+        let (_t, cras, ufs) = run(Duration::from_secs(15), 0xED17);
+        assert_eq!(cras.dropped, 0, "{cras:?}");
+        assert!(cras.max_delay < 0.01, "{cras:?}");
+        // The editor actually generated load.
+        assert!(cras.written > 10 << 20, "{cras:?}");
+        // UFS playback feels the syncer's bursts.
+        assert!(
+            ufs.max_delay > 3.0 * cras.max_delay,
+            "ufs {ufs:?} vs cras {cras:?}"
+        );
+    }
+
+    #[test]
+    fn syncer_keeps_up_with_the_editor() {
+        let (cras, _ufs) = run_pair_for_backlog();
+        // Backlog stays bounded (roughly one second of writes).
+        assert!(cras.dirty_backlog < 300, "backlog {}", cras.dirty_backlog);
+    }
+
+    fn run_pair_for_backlog() -> (EditingOutcome, EditingOutcome) {
+        let cras = run_one(Storage::Cras, 1.0e6, Duration::from_secs(10), 5);
+        let ufs = run_one(Storage::Ufs, 1.0e6, Duration::from_secs(10), 5);
+        (cras, ufs)
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 12 and Table 4 — disk calibration (Appendix A).
+//!
+//! Figure 12 plots the measured seek curve of the ST32550N against its
+//! linear approximation; Table 4 reports the measured parameters the
+//! admission test consumes.
+
+use cras_disk::calibrate::{calibrate, Calibration};
+use cras_disk::DiskDevice;
+
+use crate::result::{Figure, KvTable};
+
+/// Runs the calibration micro-benchmarks.
+pub fn run_calibration() -> Calibration {
+    let mut dev: DiskDevice<u8> = DiskDevice::st32550n();
+    calibrate(&mut dev, 64 * 1024)
+}
+
+/// Figure 12: seek time vs distance, measured and approximated.
+pub fn fig12(cal: &Calibration) -> Figure {
+    let mut fig = Figure::new(
+        "fig12",
+        "Disk seek time (ST32550N)",
+        "distance (Mblock)",
+        "seek time (ms)",
+    );
+    for s in &cal.seek_curve {
+        let x = s.distance_blocks as f64 / 1e6;
+        fig.series_mut("measured").push(x, s.time.as_millis_f64());
+        fig.series_mut("linear-approx")
+            .push(x, s.approx.as_millis_f64());
+    }
+    fig
+}
+
+/// Table 4: measured disk parameters.
+pub fn table4(cal: &Calibration) -> KvTable {
+    let p = cal.params;
+    let mut t = KvTable::new("table4", "Actual disk parameters of our system");
+    t.row(
+        "D",
+        format!("{:.2}", p.transfer_rate / 1e6),
+        "MB/s (paper: 6.5)",
+    );
+    t.row(
+        "T_seek_max",
+        format!("{:.2}", p.t_seek_max.as_millis_f64()),
+        "ms (paper: 17)",
+    );
+    t.row(
+        "T_seek_min",
+        format!("{:.2}", p.t_seek_min.as_millis_f64()),
+        "ms (paper: 4)",
+    );
+    t.row(
+        "T_rot",
+        format!("{:.2}", p.t_rot.as_millis_f64()),
+        "ms (paper: 8.33)",
+    );
+    t.row(
+        "T_cmd",
+        format!("{:.2}", p.t_cmd.as_millis_f64()),
+        "ms (paper: 2)",
+    );
+    t.row("B_other", format!("{}", p.b_other / 1024), "KB (paper: 64)");
+    t.row("N_cyl", format!("{}", p.n_cyl), "cylinders");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure12_has_both_series_over_full_stroke() {
+        let cal = run_calibration();
+        let fig = fig12(&cal);
+        assert_eq!(fig.series.len(), 2);
+        let measured = &fig.series[0];
+        assert!(measured.points.len() >= 32);
+        // Axis reaches past 3.5 Mblocks (the 2 GB disk in 512 B blocks).
+        let max_x = measured.points.last().unwrap().0;
+        assert!(max_x > 3.0, "max distance {max_x} Mblocks");
+        // Seek times in the right band.
+        assert!(measured.max_y() > 10.0 && measured.max_y() < 25.0);
+    }
+
+    #[test]
+    fn table4_within_paper_bands() {
+        let cal = run_calibration();
+        let p = cal.params;
+        assert!((p.transfer_rate / 1e6 - 6.5).abs() < 1.0);
+        assert!((p.t_seek_max.as_millis_f64() - 17.0).abs() < 2.0);
+        assert!((p.t_seek_min.as_millis_f64() - 4.0).abs() < 1.5);
+        assert!((p.t_rot.as_millis_f64() - 8.33).abs() < 0.1);
+        let t = table4(&cal);
+        assert_eq!(t.rows.len(), 7);
+    }
+}

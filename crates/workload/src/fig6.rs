@@ -1,0 +1,129 @@
+//! Figure 6 — CRAS vs UFS aggregate throughput as the number of 1.5 Mbps
+//! streams grows, with and without background disk load.
+//!
+//! Paper findings to reproduce in shape:
+//! * CRAS ramps linearly and flattens near 55% of the 6.5 MB/s disk rate;
+//! * background file access barely affects CRAS;
+//! * UFS supports up to ~9 streams without load;
+//! * UFS collapses ("cannot support even one stream") with load.
+
+use cras_media::StreamProfile;
+use cras_sim::Duration;
+use cras_sys::SchedMode;
+
+use crate::result::Figure;
+use crate::runner::{run_scenario, Scenario, Storage};
+
+/// Sweep configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig6Config {
+    /// Largest stream count.
+    pub max_streams: usize,
+    /// Stream-count step.
+    pub step: usize,
+    /// Measurement window per run.
+    pub measure: Duration,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Fig6Config {
+            max_streams: 25,
+            step: 1,
+            measure: Duration::from_secs(20),
+            seed: 6_1996,
+        }
+    }
+}
+
+fn one(storage: Storage, n: usize, load: bool, cfg: &Fig6Config) -> f64 {
+    let sc = Scenario {
+        storage,
+        streams: n,
+        profile: StreamProfile::mpeg1(),
+        bg_readers: if load { 2 } else { 0 },
+        bg_pause: Duration::ZERO,
+        hogs: 0,
+        sched: SchedMode::FixedPriority,
+        measure: cfg.measure,
+        seed: cfg.seed ^ ((n as u64) << 2) ^ (0x100 * load as u64),
+        enforce_admission: false,
+    };
+    run_scenario(sc).throughput
+}
+
+/// Runs the full sweep.
+pub fn run(cfg: &Fig6Config) -> Figure {
+    let mut fig = Figure::new(
+        "fig6",
+        "CRAS vs UFS throughput (1.5 Mbps streams)",
+        "streams",
+        "bytes/s",
+    );
+    let mut n = 1;
+    while n <= cfg.max_streams {
+        for (name, storage, load) in [
+            ("CRAS:no-load", Storage::Cras, false),
+            ("CRAS:load", Storage::Cras, true),
+            ("UFS:no-load", Storage::Ufs, false),
+            ("UFS:load", Storage::Ufs, true),
+        ] {
+            let y = one(storage, n, load, cfg);
+            fig.series_mut(name).push(n as f64, y);
+        }
+        n += cfg.step;
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced sweep asserting the paper's qualitative findings. The
+    /// full-resolution sweep runs in the bench binary.
+    #[test]
+    fn reduced_sweep_shows_paper_shape() {
+        let cfg = Fig6Config {
+            max_streams: 13,
+            step: 6, // n = 1, 7, 13.
+            measure: Duration::from_secs(12),
+            seed: 99,
+        };
+        let fig = run(&cfg);
+        let get = |name: &str| {
+            fig.series
+                .iter()
+                .find(|s| s.name == name)
+                .expect("series exists")
+                .clone()
+        };
+        let cras_nl = get("CRAS:no-load");
+        let cras_l = get("CRAS:load");
+        let ufs_nl = get("UFS:no-load");
+        let ufs_l = get("UFS:load");
+
+        // CRAS scales: 13 streams ≈ 13 × 187.5 KB/s.
+        let c13 = cras_nl.last_y().unwrap();
+        assert!((2.0e6..3.1e6).contains(&c13), "CRAS no-load @13 = {c13}");
+        // Background load does not cost CRAS more than ~15%.
+        let cl13 = cras_l.last_y().unwrap();
+        assert!(cl13 > 0.85 * c13, "CRAS load {cl13} vs {c13}");
+
+        // UFS under load cannot sustain even 1 stream's demand...
+        let u1_load = ufs_l.points[0].1;
+        assert!(u1_load < 0.95 * 187_500.0, "UFS load @1 = {u1_load}");
+        // ...and far below CRAS at high counts.
+        let u13_load = ufs_l.last_y().unwrap();
+        assert!(u13_load < 0.4 * cl13, "UFS load @13 = {u13_load}");
+
+        // UFS without load keeps up at 1 stream but saturates below CRAS
+        // by 13.
+        let u1 = ufs_nl.points[0].1;
+        assert!((150e3..230e3).contains(&u1), "UFS no-load @1 = {u1}");
+        let u13 = ufs_nl.last_y().unwrap();
+        assert!(u13 < c13, "UFS no-load @13 = {u13} vs CRAS {c13}");
+    }
+}

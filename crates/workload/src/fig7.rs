@@ -1,0 +1,103 @@
+//! Figure 7 — per-frame delay over time: one video stream from each file
+//! system while other activities access the same disk.
+//!
+//! "The result shows that the Unix file system causes larger delay
+//! jitters of video frames than CRAS even when both file systems achieve
+//! the same throughput."
+
+use cras_media::StreamProfile;
+use cras_sim::Duration;
+use cras_sys::SchedMode;
+
+use crate::result::Figure;
+use crate::runner::{run_scenario, Scenario, Storage};
+
+/// Trace configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig7Config {
+    /// Trace length.
+    pub trace: Duration,
+    /// Background readers.
+    pub bg_readers: usize,
+    /// Pause between background reads: the paper compares the two file
+    /// systems "when both achieve the same throughput", so the load is
+    /// throttled to keep the UFS player feasible on average while still
+    /// colliding with it constantly.
+    pub bg_pause: Duration,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Fig7Config {
+            trace: Duration::from_secs(60),
+            bg_readers: 2,
+            bg_pause: Duration::from_millis(40),
+            seed: 7_1996,
+        }
+    }
+}
+
+/// Runs both traces; also returns `(cras_summary, ufs_summary)` as
+/// `(mean, max)` delays in seconds.
+pub fn run(cfg: &Fig7Config) -> (Figure, (f64, f64), (f64, f64)) {
+    let mut fig = Figure::new(
+        "fig7",
+        "Per-frame delay under background disk load",
+        "time (s)",
+        "delay (s)",
+    );
+    let mut summaries = Vec::new();
+    for (name, storage) in [("CRAS", Storage::Cras), ("UFS", Storage::Ufs)] {
+        let sc = Scenario {
+            storage,
+            streams: 1,
+            profile: StreamProfile::mpeg1(),
+            bg_readers: cfg.bg_readers,
+            bg_pause: cfg.bg_pause,
+            hogs: 0,
+            sched: SchedMode::FixedPriority,
+            measure: cfg.trace,
+            seed: cfg.seed,
+            enforce_admission: true,
+        };
+        let out = run_scenario(sc);
+        let trace = &out.delay_traces[0];
+        // Downsample to ~200 plotted points.
+        let step = (trace.len() / 200).max(1);
+        for (i, &(t, d)) in trace.iter().enumerate() {
+            if i % step == 0 {
+                fig.series_mut(name).push(t, d);
+            }
+        }
+        summaries.push(out.delays[0]);
+    }
+    (fig, summaries[0], summaries[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ufs_jitter_exceeds_cras() {
+        let cfg = Fig7Config {
+            trace: Duration::from_secs(15),
+            bg_readers: 2,
+            bg_pause: Duration::from_millis(40),
+            seed: 3,
+        };
+        let (fig, cras, ufs) = run(&cfg);
+        assert_eq!(fig.series.len(), 2);
+        assert!(
+            ufs.1 > 3.0 * cras.1.max(0.001),
+            "UFS max {} vs CRAS max {}",
+            ufs.1,
+            cras.1
+        );
+        assert!(ufs.0 > cras.0, "UFS mean {} vs CRAS mean {}", ufs.0, cras.0);
+        // CRAS delay stays in the few-millisecond regime.
+        assert!(cras.1 < 0.05, "CRAS max delay {}", cras.1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Shared experiment plumbing: building a populated system and running
+//! one playback scenario to completion.
+
+use cras_media::{Movie, StreamProfile};
+use cras_sim::{Duration, Instant};
+use cras_sys::{ClientId, SchedMode, SysConfig, System};
+
+/// Which storage system serves the players.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Storage {
+    /// CRAS constant-rate retrieval.
+    Cras,
+    /// The Unix file system baseline.
+    Ufs,
+}
+
+impl Storage {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Storage::Cras => "CRAS",
+            Storage::Ufs => "UFS",
+        }
+    }
+}
+
+/// One playback scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Storage system under test.
+    pub storage: Storage,
+    /// Number of concurrent streams.
+    pub streams: usize,
+    /// Stream profile.
+    pub profile: StreamProfile,
+    /// Background `cat` readers.
+    pub bg_readers: usize,
+    /// Pause between background reads (zero = flat out).
+    pub bg_pause: Duration,
+    /// CPU hogs.
+    pub hogs: u32,
+    /// Scheduling mode.
+    pub sched: SchedMode,
+    /// Measurement window after playback start.
+    pub measure: Duration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Enforce the admission test (off for achieved-throughput sweeps).
+    pub enforce_admission: bool,
+}
+
+impl Scenario {
+    /// A single-stream CRAS baseline scenario.
+    pub fn simple(storage: Storage) -> Scenario {
+        Scenario {
+            storage,
+            streams: 1,
+            profile: StreamProfile::mpeg1(),
+            bg_readers: 0,
+            bg_pause: Duration::ZERO,
+            hogs: 0,
+            sched: SchedMode::FixedPriority,
+            measure: Duration::from_secs(20),
+            seed: 42,
+            enforce_admission: false,
+        }
+    }
+}
+
+/// Outcome of a scenario run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Aggregate stream throughput, bytes/second (disk-delivered for
+    /// CRAS, client-consumed for UFS — both count stream data moved on
+    /// behalf of the players).
+    pub throughput: f64,
+    /// Per-player `(mean, max)` frame delay in seconds.
+    pub delays: Vec<(f64, f64)>,
+    /// 99th-percentile frame delay across all players, seconds.
+    pub delay_p99: f64,
+    /// Per-player frame-delay traces `(t_secs_from_playback, delay_secs)`.
+    pub delay_traces: Vec<Vec<(f64, f64)>>,
+    /// Total frames shown / dropped.
+    pub frames: (u64, u64),
+    /// Admission-accuracy ratios per completed interval (CRAS only).
+    pub ratios: Vec<f64>,
+    /// Average and max ratio.
+    pub ratio_summary: (f64, f64),
+    /// Deadline overruns recorded by the server.
+    pub overruns: u64,
+    /// Background readers' aggregate achieved rate, bytes/second.
+    pub bg_rate: f64,
+}
+
+/// Builds the system, records movies, wires players and load, runs, and
+/// collects the outcome.
+pub fn run_scenario(sc: Scenario) -> RunOutcome {
+    let mut cfg = SysConfig::default();
+    cfg.seed = sc.seed;
+    cfg.sched = sc.sched;
+    cfg.hogs = sc.hogs;
+    cfg.enforce_admission = sc.enforce_admission;
+    // Buffer budget ample for any sweep (admission is exercised through
+    // the interval-time criterion, like the paper's evaluation).
+    cfg.server.buffer_budget = 64 << 20;
+    let mut sys = System::new(cfg);
+
+    let movie_secs = sc.measure.as_secs_f64() + 10.0;
+    let movies: Vec<Movie> = (0..sc.streams)
+        .map(|i| sys.record_movie(&format!("stream{i}.mov"), sc.profile, movie_secs))
+        .collect();
+    let bg_movies: Vec<Movie> = (0..sc.bg_readers)
+        .map(|i| sys.record_movie(&format!("bg{i}.mov"), StreamProfile::mpeg1(), 30.0))
+        .collect();
+
+    let players: Vec<ClientId> = movies
+        .iter()
+        .map(|m| match sc.storage {
+            Storage::Cras => sys
+                .add_cras_player(m, 1)
+                .expect("admission disabled or within capacity"),
+            Storage::Ufs => sys.add_ufs_player(m, 1),
+        })
+        .collect();
+    for m in &bg_movies {
+        sys.add_bg_reader_paced(m, sc.bg_pause);
+    }
+    if sc.hogs > 0 {
+        sys.start_hogs();
+    }
+    sys.start_bg();
+    let mut playback_start = Instant::ZERO;
+    for &p in &players {
+        playback_start = sys.start_playback(p).max(playback_start);
+    }
+    let end = playback_start + sc.measure;
+    sys.run_until(end);
+
+    collect(&sys, sc, playback_start, end)
+}
+
+fn collect(sys: &System, sc: Scenario, playback_start: Instant, end: Instant) -> RunOutcome {
+    let window = end.since(playback_start);
+    let throughput = match sc.storage {
+        Storage::Cras => sys.metrics.cras_read_bytes as f64 / window.as_secs_f64(),
+        Storage::Ufs => {
+            sys.players
+                .values()
+                .map(|p| p.stats.bytes_consumed)
+                .sum::<u64>() as f64
+                / window.as_secs_f64()
+        }
+    };
+    let delays = sys.players.values().map(|p| p.delay_summary()).collect();
+    let mut all_delays = cras_sim::stats::Samples::new();
+    for p in sys.players.values() {
+        for &(_, d) in p.stats.delays.points() {
+            all_delays.add(d);
+        }
+    }
+    let delay_p99 = all_delays.percentile(99.0);
+    let delay_traces = sys
+        .players
+        .values()
+        .map(|p| {
+            p.stats
+                .delays
+                .points()
+                .iter()
+                .map(|&(t, d)| (t.saturating_since(playback_start).as_secs_f64(), d))
+                .collect()
+        })
+        .collect();
+    let frames = sys.players.values().fold((0, 0), |acc, p| {
+        (acc.0 + p.stats.frames_shown, acc.1 + p.stats.frames_dropped)
+    });
+    let ratios = sys.metrics.admission_ratios(2);
+    let ratio_summary = sys.metrics.ratio_summary(2);
+    let bg_rate = sys.bgs.values().map(|b| b.rate(end)).sum();
+    RunOutcome {
+        throughput,
+        delays,
+        delay_p99,
+        delay_traces,
+        frames,
+        ratios,
+        ratio_summary,
+        overruns: sys.metrics.overruns,
+        bg_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_cras_scenario_delivers_rate() {
+        let mut sc = Scenario::simple(Storage::Cras);
+        sc.measure = Duration::from_secs(10);
+        let out = run_scenario(sc);
+        // One MPEG1 stream: ~187.5 KB/s delivered (block rounding adds a
+        // little).
+        assert!(
+            (150e3..230e3).contains(&out.throughput),
+            "throughput {}",
+            out.throughput
+        );
+        assert_eq!(out.frames.1, 0, "no drops");
+        assert!(out.overruns == 0);
+        // Tail delay stays in the client-cost regime.
+        assert!(out.delay_p99 < 0.01, "p99 {}", out.delay_p99);
+    }
+
+    #[test]
+    fn simple_ufs_scenario_delivers_rate() {
+        let mut sc = Scenario::simple(Storage::Ufs);
+        sc.measure = Duration::from_secs(10);
+        let out = run_scenario(sc);
+        assert!(
+            (150e3..230e3).contains(&out.throughput),
+            "throughput {}",
+            out.throughput
+        );
+    }
+
+    #[test]
+    fn bg_load_runs() {
+        let mut sc = Scenario::simple(Storage::Cras);
+        sc.bg_readers = 2;
+        sc.measure = Duration::from_secs(5);
+        let out = run_scenario(sc);
+        assert!(out.bg_rate > 100e3, "bg rate {}", out.bg_rate);
+    }
+}

@@ -1,0 +1,65 @@
+//! Admission-control walkthrough: calibrate the disk the way Appendix A
+//! does, then probe how many streams fit at different interval times and
+//! watch an open request get rejected.
+//!
+//! ```text
+//! cargo run --release --example admission_probe
+//! ```
+
+use cras_repro::core::{Admission, AdmissionModel, StreamParams};
+use cras_repro::disk::calibrate::calibrate;
+use cras_repro::disk::DiskDevice;
+use cras_repro::media::StreamProfile;
+use cras_repro::sys::{SysConfig, System};
+
+fn main() {
+    // Measure the disk like the paper's Appendix A benchmarks do.
+    let mut dev: DiskDevice<u8> = DiskDevice::st32550n();
+    let cal = calibrate(&mut dev, 64 * 1024);
+    let p = cal.params;
+    println!("calibrated disk parameters (Table 4):");
+    println!("  D          = {:.2} MB/s", p.transfer_rate / 1e6);
+    println!("  T_seek_max = {:.2} ms", p.t_seek_max.as_millis_f64());
+    println!("  T_seek_min = {:.2} ms", p.t_seek_min.as_millis_f64());
+    println!("  T_rot      = {:.2} ms", p.t_rot.as_millis_f64());
+    println!("  T_cmd      = {:.2} ms", p.t_cmd.as_millis_f64());
+    println!();
+
+    // Closed-form capacities (formulas 1/2 + Appendix C).
+    let adm = Admission::new(p, AdmissionModel::Paper);
+    let mpeg1 = StreamParams::new(187_500.0, 6_250.0);
+    let mpeg2 = StreamParams::new(750_000.0, 25_000.0);
+    println!("interval  delay  MPEG1  MPEG2  bandwidth(MPEG1)");
+    for t in [0.25, 0.5, 1.0, 1.5, 3.0] {
+        let n1 = adm.capacity(t, mpeg1, u64::MAX / 4, 200);
+        let n2 = adm.capacity(t, mpeg2, u64::MAX / 4, 200);
+        println!(
+            "  {:4.2}s   {:4.1}s  {:5}  {:5}  {:14.0}%",
+            t,
+            2.0 * t,
+            n1,
+            n2,
+            100.0 * n1 as f64 * mpeg1.rate / p.transfer_rate
+        );
+    }
+    println!();
+
+    // Live rejection: open streams until the server says no.
+    let mut sys = System::new(SysConfig::default());
+    let mut admitted = 0;
+    loop {
+        let movie = sys.record_movie(&format!("probe{admitted}.mov"), StreamProfile::mpeg1(), 5.0);
+        match sys.add_cras_player(&movie, 1) {
+            Ok(_) => admitted += 1,
+            Err(e) => {
+                println!("stream {} rejected: {e}", admitted + 1);
+                break;
+            }
+        }
+    }
+    println!("admitted {admitted} MPEG-1 streams at the default 0.5 s interval");
+    println!(
+        "server would wire {} KB of memory for them",
+        sys.cras.memory_bytes() / 1024
+    );
+}

@@ -1,0 +1,202 @@
+//! `crs` — command-line front end to the CRAS reproduction.
+//!
+//! ```text
+//! crs calibrate                         # Appendix A disk calibration
+//! crs admission [--interval 0.5] [--rate-mbps 1.5] [--chunk 6250]
+//! crs play [--streams N] [--system cras|ufs] [--load N] [--secs S]
+//! crs delay [--system cras|ufs] [--load N] [--secs S]
+//! ```
+//!
+//! Every run is deterministic; pass `--seed X` to vary placement and VBR
+//! draws.
+
+use cras_repro::core::{Admission, AdmissionModel, StreamParams};
+use cras_repro::disk::calibrate::calibrate;
+use cras_repro::disk::DiskDevice;
+use cras_repro::media::StreamProfile;
+use cras_repro::sim::Duration;
+use cras_repro::sys::SchedMode;
+use cras_repro::workload::runner::{run_scenario, Scenario, Storage};
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                let value = args.get(i + 1).cloned().unwrap_or_default();
+                flags.push((name.to_string(), value));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Args { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn f64(&self, name: &str, default: f64) -> f64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn usize(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn u64(&self, name: &str, default: u64) -> u64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crs <calibrate|admission|play|delay> [flags]\n\
+         \n\
+         crs calibrate\n\
+         crs admission [--interval S] [--rate-mbps M] [--chunk B] [--budget-mb M]\n\
+         crs play   [--streams N] [--system cras|ufs] [--load N] [--secs S] [--seed X]\n\
+         crs delay  [--system cras|ufs] [--load N] [--secs S] [--seed X]"
+    );
+    std::process::exit(2);
+}
+
+fn storage(args: &Args) -> Storage {
+    match args.get("system").unwrap_or("cras") {
+        "cras" => Storage::Cras,
+        "ufs" => Storage::Ufs,
+        other => {
+            eprintln!("unknown system {other:?} (cras|ufs)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_calibrate() {
+    let mut dev: DiskDevice<u8> = DiskDevice::st32550n();
+    let cal = calibrate(&mut dev, 64 * 1024);
+    let p = cal.params;
+    println!("calibrated ST32550N model (Appendix A):");
+    println!("  D          = {:.2} MB/s", p.transfer_rate / 1e6);
+    println!("  T_seek_max = {:.2} ms", p.t_seek_max.as_millis_f64());
+    println!("  T_seek_min = {:.2} ms", p.t_seek_min.as_millis_f64());
+    println!("  T_rot      = {:.2} ms", p.t_rot.as_millis_f64());
+    println!("  T_cmd      = {:.2} ms", p.t_cmd.as_millis_f64());
+    println!(
+        "  fit: t(x) = {:.3} us/cyl * x + {:.3} ms",
+        cal.fit.0 * 1e6,
+        cal.fit.1 * 1e3
+    );
+}
+
+fn cmd_admission(args: &Args) {
+    let interval = args.f64("interval", 0.5);
+    let rate = args.f64("rate-mbps", 1.5) * 1e6 / 8.0;
+    let chunk = args.f64("chunk", 6_250.0);
+    let budget = (args.f64("budget-mb", 8.0) * 1048576.0) as u64;
+    let mut dev: DiskDevice<u8> = DiskDevice::st32550n();
+    let cal = calibrate(&mut dev, 64 * 1024);
+    let adm = Admission::new(cal.params, AdmissionModel::Paper);
+    let proto = StreamParams::new(rate, chunk);
+    let cap = adm.capacity(interval, proto, budget, 500);
+    println!(
+        "interval {interval}s, stream rate {:.0} B/s, chunk {chunk:.0} B, buffer budget {} MB:",
+        rate,
+        budget / 1048576
+    );
+    println!("  admitted streams: {cap}");
+    let streams = vec![proto; cap.max(1)];
+    println!(
+        "  calculated I/O time at {} streams: {:.1} ms of {:.0} ms",
+        streams.len(),
+        adm.calculated_io_time(interval, &streams) * 1e3,
+        interval * 1e3
+    );
+    println!(
+        "  buffer needed: {:.2} MB (initial delay {:.1} s)",
+        adm.buffer_total(interval, &streams) as f64 / 1048576.0,
+        2.0 * interval
+    );
+}
+
+fn scenario_from(args: &Args) -> Scenario {
+    Scenario {
+        storage: storage(args),
+        streams: args.usize("streams", 1),
+        profile: StreamProfile::mpeg1(),
+        bg_readers: args.usize("load", 0),
+        bg_pause: Duration::ZERO,
+        hogs: 0,
+        sched: SchedMode::FixedPriority,
+        measure: Duration::from_secs_f64(args.f64("secs", 15.0)),
+        seed: args.u64("seed", 42),
+        enforce_admission: false,
+    }
+}
+
+fn cmd_play(args: &Args) {
+    let sc = scenario_from(args);
+    let out = run_scenario(sc);
+    println!(
+        "{} with {} stream(s), {} background reader(s), {:.0} s window:",
+        sc.storage.label(),
+        sc.streams,
+        sc.bg_readers,
+        sc.measure.as_secs_f64()
+    );
+    println!(
+        "  throughput: {:.2} MB/s ({:.0}% of demand)",
+        out.throughput / 1e6,
+        100.0 * out.throughput / (sc.streams as f64 * 187_500.0)
+    );
+    println!("  frames shown/dropped: {}/{}", out.frames.0, out.frames.1);
+    println!("  deadline warnings: {}", out.overruns);
+}
+
+fn cmd_delay(args: &Args) {
+    let mut sc = scenario_from(args);
+    sc.streams = 1;
+    let out = run_scenario(sc);
+    let (mean, max) = out.delays[0];
+    println!(
+        "{} per-frame delay over {:.0} s with {} background reader(s):",
+        sc.storage.label(),
+        sc.measure.as_secs_f64(),
+        sc.bg_readers
+    );
+    println!(
+        "  mean {:.2} ms   p99 {:.2} ms   max {:.2} ms",
+        mean * 1e3,
+        out.delay_p99 * 1e3,
+        max * 1e3
+    );
+    println!("  frames shown/dropped: {}/{}", out.frames.0, out.frames.1);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let args = Args::parse(&argv[1..]);
+    match cmd.as_str() {
+        "calibrate" => cmd_calibrate(),
+        "admission" => cmd_admission(&args),
+        "play" => cmd_play(&args),
+        "delay" => cmd_delay(&args),
+        _ => usage(),
+    }
+}

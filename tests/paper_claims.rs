@@ -1,0 +1,145 @@
+//! The paper's headline quantitative claims, checked end-to-end against
+//! the reproduction. EXPERIMENTS.md records the full numbers; these tests
+//! pin the shape so regressions are caught by `cargo test`.
+
+use cras_repro::core::{Admission, AdmissionModel, StreamParams};
+use cras_repro::disk::calibrate::{calibrate, DiskParams};
+use cras_repro::disk::DiskDevice;
+use cras_repro::media::StreamProfile;
+use cras_repro::sim::Duration;
+use cras_repro::workload::runner::{run_scenario, Scenario, Storage};
+
+fn scenario(storage: Storage, streams: usize, load: bool) -> Scenario {
+    Scenario {
+        storage,
+        streams,
+        profile: StreamProfile::mpeg1(),
+        bg_readers: if load { 2 } else { 0 },
+        bg_pause: Duration::ZERO,
+        hogs: 0,
+        sched: cras_repro::sys::SchedMode::FixedPriority,
+        measure: Duration::from_secs(15),
+        seed: 0xC1A5,
+        enforce_admission: false,
+    }
+}
+
+/// §3.1 / Figure 6: "UFS provides up to nine streams without other disk
+/// I/O traffic."
+#[test]
+fn ufs_supports_about_nine_streams_unloaded() {
+    let at9 = run_scenario(scenario(Storage::Ufs, 9, false));
+    let at13 = run_scenario(scenario(Storage::Ufs, 13, false));
+    // At 9 streams UFS still delivers ~full demand.
+    let demand9 = 9.0 * 187_500.0;
+    assert!(
+        at9.throughput > 0.93 * demand9,
+        "9-stream throughput {} vs demand {demand9}",
+        at9.throughput
+    );
+    // At 13 it has saturated well below demand.
+    let demand13 = 13.0 * 187_500.0;
+    assert!(
+        at13.throughput < 0.85 * demand13,
+        "13-stream throughput {}",
+        at13.throughput
+    );
+}
+
+/// Figure 6: "it cannot support even one stream when other disk I/O
+/// traffic is present."
+#[test]
+fn ufs_cannot_support_one_stream_under_load() {
+    let out = run_scenario(scenario(Storage::Ufs, 1, true));
+    // "Supporting" a stream means delivering every frame on time. Under
+    // full-speed cats the UFS player cannot sustain the rate, and its
+    // lateness grows to hundreds of milliseconds.
+    assert!(
+        out.throughput < 0.95 * 187_500.0,
+        "UFS under load delivered {}",
+        out.throughput
+    );
+    let (_, max_delay) = out.delays[0];
+    assert!(
+        max_delay > 0.3,
+        "UFS player should fall far behind: max delay {max_delay}"
+    );
+}
+
+/// Figure 6: CRAS is unaffected by background file access.
+#[test]
+fn cras_throughput_immune_to_background_load() {
+    let clean = run_scenario(scenario(Storage::Cras, 8, false));
+    let loaded = run_scenario(scenario(Storage::Cras, 8, true));
+    assert!(
+        (loaded.throughput - clean.throughput).abs() / clean.throughput < 0.05,
+        "clean {} vs loaded {}",
+        clean.throughput,
+        loaded.throughput
+    );
+    assert_eq!(loaded.frames.1, 0, "no dropped frames under load");
+}
+
+/// Figure 6: CRAS saturates around half the disk's raw bandwidth at the
+/// 0.5 s interval (the paper reports 55%).
+#[test]
+fn cras_saturation_fraction() {
+    let out = run_scenario(scenario(Storage::Cras, 25, false));
+    let frac = out.throughput / 6.5e6;
+    assert!((0.40..0.75).contains(&frac), "saturation fraction {frac}");
+}
+
+/// §3.1: "with 3 seconds initial delay, it can support more than 25 MPEG1
+/// streams whose total throughput is 4.6 MB/s (70% of disk bandwidth)" —
+/// checked against the *calibrated* admission test (formulas only; the
+/// closed form is what the claim is about).
+#[test]
+fn three_second_delay_capacity_claim() {
+    let mut dev: DiskDevice<u8> = DiskDevice::st32550n();
+    let cal = calibrate(&mut dev, 64 * 1024);
+    let adm = Admission::new(cal.params, AdmissionModel::Paper);
+    let cap = adm.capacity(
+        1.5,
+        StreamParams::new(187_500.0, 6_250.0),
+        u64::MAX / 4,
+        100,
+    );
+    assert!((23..=28).contains(&cap), "capacity {cap}");
+    let rate = cap as f64 * 187_500.0;
+    assert!(rate > 4.2e6, "total rate {rate}");
+}
+
+/// Table 4: the calibration recovers the paper's disk parameters.
+#[test]
+fn calibration_matches_table_4() {
+    let mut dev: DiskDevice<u8> = DiskDevice::st32550n();
+    let cal = calibrate(&mut dev, 64 * 1024);
+    let p: DiskParams = cal.params;
+    assert!(
+        (p.transfer_rate / 1e6 - 6.5).abs() < 1.0,
+        "D = {}",
+        p.transfer_rate
+    );
+    assert!((p.t_seek_max.as_millis_f64() - 17.0).abs() < 2.0);
+    assert!((p.t_seek_min.as_millis_f64() - 4.0).abs() < 1.5);
+    assert!((p.t_rot.as_millis_f64() - 8.33).abs() < 0.05);
+    assert!((p.t_cmd.as_millis_f64() - 2.0).abs() < 1.5);
+}
+
+/// Figures 8/9: the admission estimate is pessimistic at low rates and
+/// tightens for high-rate streams under load.
+#[test]
+fn admission_accuracy_trends() {
+    let low = run_scenario(Scenario {
+        profile: StreamProfile::mpeg1(),
+        ..scenario(Storage::Cras, 1, false)
+    });
+    let mut high = scenario(Storage::Cras, 5, true);
+    high.profile = StreamProfile::mpeg2();
+    let high = run_scenario(high);
+    let (low_avg, _) = low.ratio_summary;
+    let (high_avg, high_max) = high.ratio_summary;
+    assert!(low_avg < 0.5, "1×MPEG1 ratio {low_avg}");
+    assert!(high_avg > low_avg, "{high_avg} vs {low_avg}");
+    assert!(high_max > 0.4, "5×MPEG2+load max ratio {high_max}");
+}

@@ -1,0 +1,258 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the paper's design relies on.
+
+use proptest::prelude::*;
+
+use cras_repro::core::{Admission, AdmissionModel, StreamParams, TimeDrivenBuffer};
+use cras_repro::disk::calibrate::DiskParams;
+use cras_repro::disk::cscan::CScanQueue;
+use cras_repro::disk::{DiskDevice, DiskRequest, SeekModel};
+use cras_repro::sim::{Duration, Instant, Rng};
+use cras_repro::ufs::{MkfsParams, Ufs};
+
+proptest! {
+    /// C-SCAN never "passes over" a pending request: from any head
+    /// position, repeatedly popping visits each cylinder group in at most
+    /// two monotone sweeps.
+    #[test]
+    fn cscan_two_sweeps(cyls in proptest::collection::vec(0u32..3000, 1..40), head in 0u32..3000) {
+        let mut q = CScanQueue::new();
+        for &c in &cyls {
+            q.push(c, Instant::ZERO, c);
+        }
+        let mut order = Vec::new();
+        let mut h = head;
+        while let Some(p) = q.pop_next(h) {
+            h = p.cyl;
+            order.push(p.cyl);
+        }
+        prop_assert_eq!(order.len(), cyls.len());
+        // Count direction reversals: at most one wrap.
+        let wraps = order.windows(2).filter(|w| w[1] < w[0]).count();
+        prop_assert!(wraps <= 1, "order {:?}", order);
+        // Everything before the wrap is >= head.
+        if wraps == 1 {
+            let wrap_pos = order.windows(2).position(|w| w[1] < w[0]).unwrap();
+            for &c in &order[..=wrap_pos] {
+                prop_assert!(c >= head);
+            }
+        }
+    }
+
+    /// Seek models are monotone in distance.
+    #[test]
+    fn seek_models_monotone(d1 in 0u32..3510, d2 in 0u32..3510) {
+        let (lo, hi) = (d1.min(d2), d1.max(d2));
+        for m in [SeekModel::st32550n_linear(3510), SeekModel::st32550n_measured()] {
+            prop_assert!(m.time_secs(lo) <= m.time_secs(hi) + 1e-12);
+        }
+    }
+
+    /// The admission test is monotone: adding a stream never reduces the
+    /// calculated I/O time or the buffer bound.
+    #[test]
+    fn admission_monotone(n in 1usize..30, rate in 50_000.0..800_000.0f64, chunk in 1_000.0..50_000.0f64) {
+        let adm = Admission::new(DiskParams::paper_table4(), AdmissionModel::Paper);
+        let s = StreamParams::new(rate, chunk);
+        let small = vec![s; n];
+        let big = vec![s; n + 1];
+        prop_assert!(adm.calculated_io_time(0.5, &big) > adm.calculated_io_time(0.5, &small));
+        prop_assert!(adm.buffer_total(0.5, &big) > adm.buffer_total(0.5, &small));
+    }
+
+    /// If a stream set is admitted at interval T, it is admitted at any
+    /// longer interval (given ample memory) — the paper's
+    /// longer-delay-more-streams tradeoff.
+    #[test]
+    fn admission_interval_monotone(n in 1usize..25, t in 0.3..2.0f64) {
+        let adm = Admission::new(DiskParams::paper_table4(), AdmissionModel::Paper);
+        let streams = vec![StreamParams::new(187_500.0, 6_250.0); n];
+        let budget = u64::MAX / 4;
+        if adm.admit(t, &streams, budget).is_ok() {
+            prop_assert!(adm.admit(t * 1.5, &streams, budget).is_ok());
+        }
+    }
+
+    /// Time-driven buffer: `get` returns exactly the chunk whose interval
+    /// contains the query, for any frame layout.
+    #[test]
+    fn tdbuffer_get_matches_linear_scan(
+        durs in proptest::collection::vec(1u64..200, 1..40),
+        query_ms in 0u64..8000,
+    ) {
+        let mut buf = TimeDrivenBuffer::new(1 << 20, Duration::ZERO);
+        let mut ts = Duration::ZERO;
+        let mut chunks = Vec::new();
+        for (i, &d) in durs.iter().enumerate() {
+            let c = cras_repro::core::BufferedChunk {
+                index: i as u32,
+                timestamp: ts,
+                duration: Duration::from_millis(d),
+                size: 100,
+                posted_at: Instant::ZERO,
+            };
+            buf.put(c, Duration::ZERO);
+            chunks.push(c);
+            ts += Duration::from_millis(d);
+        }
+        let q = Duration::from_millis(query_ms);
+        let expected = chunks
+            .iter()
+            .find(|c| c.timestamp <= q && q < c.timestamp + c.duration)
+            .map(|c| c.index);
+        prop_assert_eq!(buf.get(q).map(|c| c.index), expected);
+    }
+
+    /// Time-driven buffer: occupancy equals the sum of surviving chunk
+    /// sizes after any discard point.
+    #[test]
+    fn tdbuffer_occupancy_invariant(n in 1u32..50, discard_ms in 0u64..3000) {
+        let mut buf = TimeDrivenBuffer::new(1 << 20, Duration::ZERO);
+        for i in 0..n {
+            buf.put(
+                cras_repro::core::BufferedChunk {
+                    index: i,
+                    timestamp: Duration::from_millis(i as u64 * 100),
+                    duration: Duration::from_millis(100),
+                    size: 500,
+                    posted_at: Instant::ZERO,
+                },
+                Duration::ZERO,
+            );
+        }
+        buf.discard_obsolete(Duration::from_millis(discard_ms));
+        let surviving = (0..n)
+            .filter(|&i| i as u64 * 100 >= discard_ms)
+            .count() as u64;
+        prop_assert_eq!(buf.bytes(), surviving * 500);
+        prop_assert_eq!(buf.len() as u64, surviving);
+    }
+
+    /// UFS extent maps exactly cover every file, in order, without
+    /// overlap, under arbitrary interleaved append patterns.
+    #[test]
+    fn extent_map_covers_file(appends in proptest::collection::vec((0usize..3, 1u64..200_000), 1..30)) {
+        let geom = cras_repro::disk::DiskGeometry::st32550n();
+        let mut fs = Ufs::format(&geom, MkfsParams::tuned(&geom), 99);
+        let inos = [
+            fs.create("f0").unwrap(),
+            fs.create("f1").unwrap(),
+            fs.create("f2").unwrap(),
+        ];
+        for &(which, bytes) in &appends {
+            fs.append(inos[which], bytes).unwrap();
+        }
+        for &ino in &inos {
+            let size = fs.file_size(ino);
+            let extents = fs.extent_map(ino);
+            let mapped: u64 = extents.iter().map(|e| e.bytes()).sum();
+            // Extent maps are block-granular.
+            prop_assert_eq!(mapped, size.div_ceil(8192) * 8192);
+            let mut off = 0;
+            for e in &extents {
+                prop_assert_eq!(e.file_offset, off);
+                off += e.bytes();
+            }
+            // No two extents overlap on disk.
+            let mut ranges: Vec<(u64, u64)> = extents
+                .iter()
+                .map(|e| (e.disk_block, e.disk_block + e.nblocks as u64))
+                .collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlapping extents");
+            }
+        }
+    }
+
+    /// The disk device conserves requests: everything submitted is
+    /// eventually completed exactly once, regardless of class mix.
+    #[test]
+    fn disk_conserves_requests(reqs in proptest::collection::vec((0u64..4_000_000, 1u32..64, any::<bool>()), 1..60)) {
+        let mut dev: DiskDevice<usize> = DiskDevice::st32550n();
+        let mut completions = vec![0u32; reqs.len()];
+        let mut now = Instant::ZERO;
+        let mut pending_event: Option<Instant> = None;
+        for (i, &(block, len, rt)) in reqs.iter().enumerate() {
+            let req = if rt {
+                DiskRequest::rt_read(block, len, i)
+            } else {
+                DiskRequest::read(block, len, i)
+            };
+            if let Some(t) = dev.submit(now, req) {
+                pending_event = Some(t);
+            }
+        }
+        while let Some(t) = pending_event {
+            now = t;
+            let (done, next) = dev.complete(now);
+            completions[done.req.tag] += 1;
+            pending_event = next;
+        }
+        prop_assert!(completions.iter().all(|&c| c == 1), "{completions:?}");
+        prop_assert_eq!(dev.stats().total_ops() as usize, reqs.len());
+    }
+
+    /// Any sequence of create/append/remove operations leaves the file
+    /// system fsck-clean: no leaks, no double references, no references
+    /// to free blocks.
+    #[test]
+    fn fs_stays_consistent_under_random_ops(
+        ops in proptest::collection::vec((0u8..3, 0usize..4, 1u64..3_000_000), 1..40),
+    ) {
+        let geom = cras_repro::disk::DiskGeometry::st32550n();
+        let mut fs = Ufs::format(&geom, MkfsParams::stock(&geom), 41);
+        let names = ["a", "b", "c", "d"];
+        for &(op, which, bytes) in &ops {
+            let name = names[which];
+            match op {
+                0 => {
+                    let _ = fs.create(name);
+                }
+                1 => {
+                    if let Ok(ino) = fs.lookup(name) {
+                        let _ = fs.append(ino, bytes);
+                    }
+                }
+                _ => {
+                    let _ = fs.remove(name);
+                }
+            }
+        }
+        let rep = cras_repro::ufs::check(&fs, true);
+        prop_assert!(rep.is_clean(), "{:?}", rep.errors);
+    }
+
+    /// Fragmenting and rearranging movies never corrupts the file system.
+    #[test]
+    fn fragment_cycle_stays_consistent(severity in 0.05f64..1.0, secs in 2.0f64..20.0) {
+        let geom = cras_repro::disk::DiskGeometry::st32550n();
+        let mut fs = Ufs::format(&geom, MkfsParams::tuned(&geom), 43);
+        let mut rng = Rng::new(44);
+        let movie = cras_repro::media::record_movie(
+            &mut fs,
+            "m",
+            cras_repro::media::StreamProfile::mpeg1(),
+            secs,
+            &mut rng,
+        )
+        .unwrap();
+        let fragged = cras_repro::media::fragment_movie(&mut fs, &movie, severity, &mut rng).unwrap();
+        let rep = cras_repro::ufs::check(&fs, true);
+        prop_assert!(rep.is_clean(), "after fragment: {:?}", rep.errors);
+        let _fixed = cras_repro::media::rearrange_movie(&mut fs, &fragged).unwrap();
+        let rep = cras_repro::ufs::check(&fs, true);
+        prop_assert!(rep.is_clean(), "after rearrange: {:?}", rep.errors);
+    }
+
+    /// Deterministic RNG forks never correlate with their parent stream.
+    #[test]
+    fn rng_forks_are_decorrelated(seed in any::<u64>()) {
+        let mut parent = Rng::new(seed);
+        let mut child = parent.fork();
+        let matches = (0..64)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        prop_assert!(matches < 3);
+    }
+}
