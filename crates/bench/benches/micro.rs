@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks of the hot paths: the admission test,
-//! C-SCAN queue operations, the time-driven buffer, seek-model
-//! evaluation, the event engine, and interval planning.
+//! Micro-benchmarks of the hot paths: the admission test, C-SCAN queue
+//! operations, the time-driven buffer, seek-model evaluation, the event
+//! engine, and interval planning. Runs on the in-tree
+//! `cras_bench::timer` harness (`cargo bench --bench micro`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use cras_bench::timer::bench;
 use cras_core::{Admission, AdmissionModel, CrasServer, ServerConfig, StreamParams};
 use cras_core::{BufferedChunk, TimeDrivenBuffer};
 use cras_disk::calibrate::DiskParams;
@@ -14,102 +15,87 @@ use cras_media::StreamProfile;
 use cras_sim::{Duration, Engine, Instant, Rng};
 use cras_ufs::Extent;
 
-fn bench_admission(c: &mut Criterion) {
+fn bench_admission() {
     let adm = Admission::new(DiskParams::paper_table4(), AdmissionModel::Paper);
     let streams = vec![StreamParams::new(187_500.0, 6_250.0); 20];
-    c.bench_function("admission/calculated_io_time_20_streams", |b| {
-        b.iter(|| black_box(adm.calculated_io_time(0.5, black_box(&streams))))
+    bench("admission/calculated_io_time_20_streams", || {
+        black_box(adm.calculated_io_time(0.5, black_box(&streams)));
     });
-    c.bench_function("admission/full_admit_20_streams", |b| {
-        b.iter(|| black_box(adm.admit(0.5, black_box(&streams), 1 << 30)))
+    bench("admission/full_admit_20_streams", || {
+        let _ = black_box(adm.admit(0.5, black_box(&streams), 1 << 30));
     });
     let proto = StreamParams::new(187_500.0, 6_250.0);
-    c.bench_function("admission/capacity_search", |b| {
-        b.iter(|| black_box(adm.capacity(0.5, proto, 1 << 30, 50)))
+    bench("admission/capacity_search", || {
+        black_box(adm.capacity(0.5, proto, 1 << 30, 50));
     });
 }
 
-fn bench_cscan(c: &mut Criterion) {
+fn bench_cscan() {
     let mut rng = Rng::new(7);
     let cyls: Vec<u32> = (0..256).map(|_| rng.below(3510) as u32).collect();
-    c.bench_function("cscan/push_pop_256", |b| {
-        b.iter_batched(
-            || cyls.clone(),
-            |cyls| {
-                let mut q = CScanQueue::new();
-                for &cy in &cyls {
-                    q.push(cy, Instant::ZERO, cy);
-                }
-                let mut head = 0;
-                while let Some(p) = q.pop_next(head) {
-                    head = p.cyl;
-                    black_box(p.item);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("cscan/push_pop_256", || {
+        let mut q = CScanQueue::new();
+        for &cy in &cyls {
+            q.push(cy, Instant::ZERO, cy);
+        }
+        let mut head = 0;
+        while let Some(p) = q.pop_next(head) {
+            head = p.cyl;
+            black_box(p.item);
+        }
     });
 }
 
-fn bench_tdbuffer(c: &mut Criterion) {
-    c.bench_function("tdbuffer/put_get_discard_cycle", |b| {
-        b.iter_batched(
-            || TimeDrivenBuffer::new(1 << 20, Duration::from_millis(100)),
-            |mut buf| {
-                for i in 0..60u32 {
-                    buf.put(
-                        BufferedChunk {
-                            index: i,
-                            timestamp: Duration::from_millis(i as u64 * 33),
-                            duration: Duration::from_millis(33),
-                            size: 6_250,
-                            posted_at: Instant::ZERO,
-                        },
-                        Duration::from_millis(i as u64 * 16),
-                    );
-                    black_box(buf.get(Duration::from_millis(i as u64 * 20)));
-                }
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_tdbuffer() {
+    bench("tdbuffer/put_get_discard_cycle", || {
+        let mut buf = TimeDrivenBuffer::new(1 << 20, Duration::from_millis(100));
+        for i in 0..60u32 {
+            buf.put(
+                BufferedChunk {
+                    index: i,
+                    timestamp: Duration::from_millis(i as u64 * 33),
+                    duration: Duration::from_millis(33),
+                    size: 6_250,
+                    posted_at: Instant::ZERO,
+                },
+                Duration::from_millis(i as u64 * 16),
+            );
+            black_box(buf.get(Duration::from_millis(i as u64 * 20)));
+        }
     });
 }
 
-fn bench_seek(c: &mut Criterion) {
+fn bench_seek() {
     let measured = SeekModel::st32550n_measured();
     let linear = SeekModel::st32550n_linear(3510);
-    c.bench_function("seek/measured_eval", |b| {
-        let mut d = 1u32;
-        b.iter(|| {
-            d = (d * 73 + 11) % 3510;
-            black_box(measured.time_secs(black_box(d)))
-        })
+    let mut d = 1u32;
+    bench("seek/measured_eval", || {
+        d = (d * 73 + 11) % 3510;
+        black_box(measured.time_secs(black_box(d)));
     });
-    c.bench_function("seek/linear_fit_64_samples", |b| {
-        let samples: Vec<(u32, f64)> = (1..=64)
-            .map(|i| (i * 50, linear.time_secs(i * 50)))
-            .collect();
-        b.iter(|| black_box(SeekModel::linear_fit(black_box(&samples))))
+    let samples: Vec<(u32, f64)> = (1..=64)
+        .map(|i| (i * 50, linear.time_secs(i * 50)))
+        .collect();
+    bench("seek/linear_fit_64_samples", || {
+        black_box(SeekModel::linear_fit(black_box(&samples)));
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("engine/schedule_pop_1000", |b| {
-        b.iter(|| {
-            let mut e: Engine<u32> = Engine::new();
-            for i in 0..1000u32 {
-                e.schedule_after(Duration::from_micros((i * 37 % 997) as u64 + 1), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = e.pop() {
-                acc += v as u64;
-            }
-            black_box(acc)
-        })
+fn bench_engine() {
+    bench("engine/schedule_pop_1000", || {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..1000u32 {
+            e.schedule_after(Duration::from_micros((i * 37 % 997) as u64 + 1), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = e.pop() {
+            acc += v as u64;
+        }
+        black_box(acc);
     });
 }
 
-fn bench_interval_plan(c: &mut Criterion) {
+fn bench_interval_plan() {
     // A server with 10 running streams planning one interval.
     let setup = || {
         let mut srv = CrasServer::new(DiskParams::paper_table4(), ServerConfig::default());
@@ -132,31 +118,24 @@ fn bench_interval_plan(c: &mut Criterion) {
         }
         srv
     };
-    c.bench_function("server/interval_tick_10_streams", |b| {
-        b.iter_batched(
-            setup,
-            |mut srv| {
-                for k in 0..4u64 {
-                    let now = Instant::ZERO + Duration::from_millis(500) * k;
-                    let rep = srv.interval_tick(now);
-                    for r in &rep.reqs {
-                        srv.io_done(r.id, now + Duration::from_millis(100));
-                    }
-                    black_box(rep.reqs.len());
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("server/interval_tick_10_streams", || {
+        let mut srv = setup();
+        for k in 0..4u64 {
+            let now = Instant::ZERO + Duration::from_millis(500) * k;
+            let rep = srv.interval_tick(now);
+            for r in &rep.reqs {
+                srv.io_done(r.id, now + Duration::from_millis(100));
+            }
+            black_box(rep.reqs.len());
+        }
     });
 }
 
-criterion_group!(
-    benches,
-    bench_admission,
-    bench_cscan,
-    bench_tdbuffer,
-    bench_seek,
-    bench_engine,
-    bench_interval_plan
-);
-criterion_main!(benches);
+fn main() {
+    bench_admission();
+    bench_cscan();
+    bench_tdbuffer();
+    bench_seek();
+    bench_engine();
+    bench_interval_plan();
+}

@@ -102,6 +102,10 @@ fn main() {
     println!("{}", mc_t.render());
     write_result("measured_capacity", &mc_t.to_json());
 
+    let (cs_fig, _) = wl::capacity_scaling::run(&[1, 2, 4], secs(6, 12), 0xCA9A);
+    println!("{}", cs_fig.render());
+    write_result("capacity_scaling", &cs_fig.to_json());
+
     let (deploy_t, _) = wl::deploy::run(30.0);
     println!("{}", deploy_t.render());
     write_result("deploy", &deploy_t.to_json());

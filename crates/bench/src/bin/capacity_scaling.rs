@@ -1,0 +1,23 @@
+//! Regenerates the capacity-scaling artifact: admitted streams vs number
+//! of volumes under round-robin and striped placement.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_workload::capacity_scaling::run;
+
+fn main() {
+    let measure = Duration::from_secs(if quick_mode() { 6 } else { 12 });
+    let (fig, points) = run(&[1, 2, 4], measure, 0xCA9A);
+    println!("{}", fig.render());
+    for p in &points {
+        println!(
+            "# N={}: round-robin={} striped={} drops={} warnings={}",
+            p.volumes,
+            p.admitted_round_robin,
+            p.admitted_striped,
+            p.dropped_at_admitted,
+            p.overruns
+        );
+    }
+    write_result("capacity_scaling", &fig.to_json());
+}

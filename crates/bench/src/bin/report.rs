@@ -22,7 +22,7 @@ fn main() {
         let Ok(text) = fs::read_to_string(&p) else {
             continue;
         };
-        let Ok(v) = serde_json::from_str(&text) else {
+        let Ok(v) = cras_sim::json::parse(&text) else {
             eprintln!("skipping unparsable {}", p.display());
             continue;
         };

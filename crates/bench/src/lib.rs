@@ -2,12 +2,14 @@
 //!
 //! One binary per evaluation artifact (`cargo run -p cras-bench --release
 //! --bin fig6` etc.); each prints the paper-style rows/series and writes
-//! JSON under `results/`. Criterion micro-benchmarks live in `benches/`.
+//! JSON under `results/`. Micro-benchmarks live in `benches/` on the
+//! in-tree [`timer`] harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod timer;
 
 use std::fs;
 use std::path::Path;

@@ -13,6 +13,9 @@
 //!   dynamic QOS control.
 //! * [`stream`] — per-stream state and the byte-range → disk-extent
 //!   mapping resolved at `crs_open`.
+//! * [`placement`] — movie-to-volume placement over a multi-disk
+//!   [`VolumeSet`](cras_disk::VolumeSet): round-robin whole movies or
+//!   striped extents, and the per-volume rate shares admission uses.
 //! * [`server`] — the five-thread server state machine: interval
 //!   scheduling, ≤256 KB cylinder-ordered reads, the I/O-done queue,
 //!   deadline warnings.
@@ -34,6 +37,7 @@ pub mod api;
 pub mod clock;
 pub mod deploy;
 pub mod fifo;
+pub mod placement;
 pub mod server;
 pub mod stream;
 pub mod tdbuffer;
@@ -44,7 +48,8 @@ pub use api::{crs_close, crs_get, crs_open, crs_seek, crs_start, crs_stop, CrsSe
 pub use clock::LogicalClock;
 pub use deploy::DeployMode;
 pub use fifo::FifoBuffer;
+pub use placement::{on_volume, volume_shares, PlacementPolicy, VolumeExtent};
 pub use server::{CrasServer, IntervalReport, ReadId, ReadReq, ServerConfig, ServerStats};
-pub use stream::{DiskRun, Stream, StreamId};
+pub use stream::{DiskRun, Stream, StreamId, VolumeRun};
 pub use tdbuffer::{BufferStats, BufferedChunk, TimeDrivenBuffer};
 pub use writer::{Recorder, WriteId, WriteReq};

@@ -1,0 +1,133 @@
+//! Movie-to-volume placement: which disk(s) a stream's data lives on.
+//!
+//! With one disk the question never arises; with a [`VolumeSet`] the
+//! server must decide where new movies go and how much of each admitted
+//! stream's bandwidth lands on each spindle. Two policies are modeled:
+//!
+//! * **Round-robin** (default) — each whole movie lives on one volume,
+//!   chosen cyclically. Streams never span disks, so per-volume load is
+//!   simply the sum of the rates of the streams placed there. This is
+//!   the conservative policy: a single stream can never exceed one
+//!   disk's bandwidth, but N volumes admit ~N× the streams.
+//! * **Striped** — a movie's data is split into fixed-size stripe
+//!   chunks dealt across all volumes, so even a single stream's load
+//!   spreads evenly. Stripe chunks must be a multiple of the 8 KB file
+//!   system block so stripe boundaries never split an FFS block.
+//!
+//! [`VolumeSet`]: cras_disk::VolumeSet
+
+use cras_disk::VolumeId;
+use cras_ufs::Extent;
+
+/// How new movies are assigned to volumes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum PlacementPolicy {
+    /// Whole movies on one volume each, chosen cyclically.
+    #[default]
+    RoundRobin,
+    /// Movies dealt across all volumes in `stripe_bytes` chunks.
+    Striped {
+        /// Stripe chunk size in bytes (multiple of the 8 KB FS block).
+        stripe_bytes: u64,
+    },
+}
+
+/// A contiguous on-disk extent on a specific volume.
+///
+/// The volume-aware analogue of [`Extent`]: `extent.file_offset` is the
+/// offset within the *logical movie file*, while `extent.disk_block`
+/// addresses blocks on `volume` only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VolumeExtent {
+    /// The disk holding this extent.
+    pub volume: VolumeId,
+    /// The extent itself (file offset, disk block, length).
+    pub extent: Extent,
+}
+
+/// Wraps a single-volume extent map onto `volume` (the N=1 case and the
+/// round-robin case, where a whole movie lives on one disk).
+pub fn on_volume(volume: VolumeId, extents: Vec<Extent>) -> Vec<VolumeExtent> {
+    extents
+        .into_iter()
+        .map(|extent| VolumeExtent { volume, extent })
+        .collect()
+}
+
+/// Fraction of a movie's bytes on each of `volumes` disks.
+///
+/// This is the weight vector the per-volume admission test scales each
+/// stream's rate by: a whole-volume movie contributes `1.0` to its home
+/// disk, a striped movie close to `1/N` everywhere.
+pub fn volume_shares(extents: &[VolumeExtent], volumes: usize) -> Vec<f64> {
+    let mut bytes = vec![0u64; volumes];
+    for ve in extents {
+        bytes[ve.volume.index()] += ve.extent.nblocks as u64 * 512;
+    }
+    let total: u64 = bytes.iter().sum();
+    if total == 0 {
+        // An empty extent map is charged wholly to volume 0 so its rate
+        // is never dropped from the admission test.
+        let mut shares = vec![0.0; volumes];
+        shares[0] = 1.0;
+        return shares;
+    }
+    bytes
+        .into_iter()
+        .map(|b| {
+            if b == total {
+                1.0
+            } else {
+                b as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(file_offset: u64, disk_block: u64, nblocks: u32) -> Extent {
+        Extent {
+            file_offset,
+            disk_block,
+            nblocks,
+        }
+    }
+
+    #[test]
+    fn on_volume_preserves_extents() {
+        let ves = on_volume(VolumeId(2), vec![ext(0, 100, 16), ext(8192, 900, 16)]);
+        assert_eq!(ves.len(), 2);
+        assert!(ves.iter().all(|v| v.volume == VolumeId(2)));
+        assert_eq!(ves[1].extent.disk_block, 900);
+    }
+
+    #[test]
+    fn shares_of_whole_volume_movie_are_exactly_one() {
+        let ves = on_volume(VolumeId(1), vec![ext(0, 0, 1000)]);
+        let shares = volume_shares(&ves, 3);
+        // Bitwise 1.0 matters: it keeps N=1 admission identical to the
+        // single-disk test (rate * 1.0 == rate).
+        assert_eq!(shares, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn shares_of_even_stripe_are_half_each() {
+        let mut ves = on_volume(VolumeId(0), vec![ext(0, 0, 128)]);
+        ves.extend(on_volume(VolumeId(1), vec![ext(65536, 0, 128)]));
+        assert_eq!(volume_shares(&ves, 2), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut ves = on_volume(VolumeId(0), vec![ext(0, 0, 48)]);
+        ves.extend(on_volume(VolumeId(1), vec![ext(0, 0, 112)]));
+        ves.extend(on_volume(VolumeId(2), vec![ext(0, 0, 96)]));
+        let shares = volume_shares(&ves, 3);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(shares[1] > shares[2] && shares[2] > shares[0]);
+    }
+}

@@ -16,17 +16,26 @@
 //!   warning counter, like the paper's);
 //! * **signal handler** — administrative stop/seek paths
 //!   ([`CrasServer::stop`], [`CrasServer::seek`]).
+//!
+//! The server schedules across a set of volumes (§4's "several disk
+//! devices" variation). Admission runs *per volume*: each spindle must
+//! fit the weighted share of every stream stored on it (the bottleneck
+//! disk bounds the system), while buffer memory — a host resource — is
+//! checked globally. With one volume this reduces exactly to the
+//! paper's single-disk test.
 
 use std::collections::{BTreeMap, HashMap};
 
 use cras_disk::calibrate::DiskParams;
 use cras_disk::geometry::BlockNo;
+use cras_disk::VolumeId;
 use cras_media::ChunkTable;
 use cras_sim::{Duration, Instant};
 use cras_ufs::Extent;
 
 use crate::admission::{Admission, AdmissionError, AdmissionModel, StreamParams, MAX_READ_BYTES};
 use crate::clock::LogicalClock;
+use crate::placement::{on_volume, volume_shares, PlacementPolicy, VolumeExtent};
 use crate::stream::{Stream, StreamId};
 use crate::tdbuffer::{BufferedChunk, TimeDrivenBuffer};
 
@@ -56,6 +65,11 @@ pub struct ServerConfig {
     /// backlog when the server is run past its admitted load, as the
     /// Figure 6 sweep deliberately does.
     pub max_outstanding_batches: usize,
+    /// Number of disk volumes the server schedules across (1 = the
+    /// paper's configuration).
+    pub volumes: usize,
+    /// How new movies are assigned to volumes.
+    pub placement: PlacementPolicy,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +82,8 @@ impl Default for ServerConfig {
             model: AdmissionModel::Paper,
             initial_delay_intervals: 2,
             max_outstanding_batches: 2,
+            volumes: 1,
+            placement: PlacementPolicy::RoundRobin,
         }
     }
 }
@@ -83,7 +99,9 @@ pub struct ReadReq {
     pub id: ReadId,
     /// Owning stream.
     pub stream: StreamId,
-    /// First 512-byte disk block.
+    /// The volume to submit this read to.
+    pub volume: VolumeId,
+    /// First 512-byte disk block on that volume.
     pub block: BlockNo,
     /// Length in 512-byte blocks.
     pub nblocks: u32,
@@ -94,17 +112,20 @@ pub struct ReadReq {
 pub struct IntervalReport {
     /// Interval number (0-based).
     pub index: u64,
-    /// Reads to submit, already sorted in cylinder (block) order.
+    /// Reads to submit, sorted by volume then ascending block (each
+    /// volume's slice is C-SCAN-friendly cylinder order).
     pub reqs: Vec<ReadReq>,
     /// Chunks posted into client buffers at the start of this interval.
     pub posted_chunks: usize,
     /// Whether the previous interval's I/O had not all completed — a
     /// deadline miss (the paper logs a warning).
     pub overran: bool,
-    /// The admission test's calculated I/O time for the streams active in
-    /// this interval, seconds (Figure 8/9 denominator). Zero when no reads
-    /// were issued.
+    /// The admission test's calculated I/O time of the *bottleneck*
+    /// volume for the streams active in this interval, seconds (Figure
+    /// 8/9 denominator). Zero when no reads were issued.
     pub calculated_io_time: f64,
+    /// Per-volume calculated I/O time, seconds (index = volume id).
+    pub per_volume_calculated: Vec<f64>,
 }
 
 /// A point-in-time report on one stream (diagnostics / experiments).
@@ -160,6 +181,7 @@ pub struct CrasServer {
     admission: Admission,
     streams: BTreeMap<u32, Stream>,
     next_stream: u32,
+    next_place: u32,
     pending: HashMap<u64, PendingBatch>,
     read_to_batch: HashMap<u64, u64>,
     done: Vec<FetchedBatch>,
@@ -170,12 +192,18 @@ pub struct CrasServer {
 
 impl CrasServer {
     /// Creates a server over measured disk parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration names zero volumes.
     pub fn new(disk: DiskParams, cfg: ServerConfig) -> CrasServer {
+        assert!(cfg.volumes >= 1, "server needs at least one volume");
         CrasServer {
             admission: Admission::new(disk, cfg.model),
             cfg,
             streams: BTreeMap::new(),
             next_stream: 0,
+            next_place: 0,
             pending: HashMap::new(),
             read_to_batch: HashMap::new(),
             done: Vec::new(),
@@ -188,6 +216,11 @@ impl CrasServer {
     /// The configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.cfg
+    }
+
+    /// Number of volumes the server schedules across.
+    pub fn volumes(&self) -> usize {
+        self.cfg.volumes
     }
 
     /// The admission evaluator.
@@ -229,22 +262,80 @@ impl CrasServer {
                 .sum::<u64>()
     }
 
+    /// The volume a new whole movie should be recorded on under the
+    /// round-robin placement policy; each call advances the cursor.
+    pub fn place_next(&mut self) -> VolumeId {
+        let v = VolumeId(self.next_place % self.cfg.volumes as u32);
+        self.next_place += 1;
+        v
+    }
+
+    /// The admission decision for a prospective stream set, with each
+    /// stream's per-volume byte shares.
+    ///
+    /// Rate and interval feasibility are checked per volume against
+    /// that spindle's weighted load (the bottleneck disk bounds the
+    /// system); buffer memory is a shared host resource and is checked
+    /// globally, exactly as the single-disk test does. With one volume
+    /// every share is 1.0 and this reduces to [`Admission::admit`].
+    fn admit_set(&self, entries: &[(StreamParams, Vec<f64>)]) -> Result<(), AdmissionError> {
+        let t = self.cfg.interval.as_secs_f64();
+        for v in 0..self.cfg.volumes {
+            let scaled: Vec<StreamParams> = entries
+                .iter()
+                .filter(|(_, shares)| shares[v] > 0.0)
+                .map(|(p, shares)| StreamParams::new(p.rate * shares[v], p.chunk))
+                .collect();
+            if scaled.is_empty() {
+                continue;
+            }
+            self.admission.admit(t, &scaled, u64::MAX)?;
+        }
+        let all: Vec<StreamParams> = entries.iter().map(|(p, _)| *p).collect();
+        let needed = self.admission.buffer_total(t, &all);
+        if needed > self.cfg.buffer_budget {
+            return Err(AdmissionError::OutOfMemory {
+                needed,
+                budget: self.cfg.buffer_budget,
+            });
+        }
+        Ok(())
+    }
+
     /// `crs_open`: admission-test a new stream and allocate its buffer.
     ///
-    /// The caller supplies the control-file chunk table and the extent map
-    /// resolved through UFS; worst-case rate and max chunk size drive the
-    /// admission test.
+    /// The extent map addresses volume 0 — the single-disk case. Use
+    /// [`CrasServer::open_placed`] for movies placed across volumes.
     pub fn open(
         &mut self,
         name: &str,
         table: ChunkTable,
         extents: Vec<Extent>,
     ) -> Result<StreamId, AdmissionError> {
+        self.open_placed(name, table, on_volume(VolumeId(0), extents))
+    }
+
+    /// `crs_open` with a volume-aware extent map.
+    ///
+    /// The caller supplies the control-file chunk table and the extent
+    /// map resolved through UFS; worst-case rate and max chunk size
+    /// drive the admission test, weighted per volume by where the bytes
+    /// live.
+    pub fn open_placed(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<VolumeExtent>,
+    ) -> Result<StreamId, AdmissionError> {
         let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
-        let mut all = self.active_params();
-        all.push(params);
-        let t = self.cfg.interval.as_secs_f64();
-        self.admission.admit(t, &all, self.cfg.buffer_budget)?;
+        let shares = volume_shares(&extents, self.cfg.volumes);
+        let mut entries: Vec<(StreamParams, Vec<f64>)> = self
+            .streams
+            .values()
+            .map(|s| (s.params, s.shares.clone()))
+            .collect();
+        entries.push((params, shares));
+        self.admit_set(&entries)?;
         Ok(self.install_stream(name, table, extents, params))
     }
 
@@ -257,6 +348,16 @@ impl CrasServer {
         table: ChunkTable,
         extents: Vec<Extent>,
     ) -> StreamId {
+        self.open_placed_unchecked(name, table, on_volume(VolumeId(0), extents))
+    }
+
+    /// [`CrasServer::open_unchecked`] with a volume-aware extent map.
+    pub fn open_placed_unchecked(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<VolumeExtent>,
+    ) -> StreamId {
         let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
         self.install_stream(name, table, extents, params)
     }
@@ -265,13 +366,14 @@ impl CrasServer {
         &mut self,
         name: &str,
         table: ChunkTable,
-        extents: Vec<Extent>,
+        extents: Vec<VolumeExtent>,
         params: StreamParams,
     ) -> StreamId {
         let t = self.cfg.interval.as_secs_f64();
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
         let buffer_bytes = self.admission.buffer_for(t, &params);
+        let shares = volume_shares(&extents, self.cfg.volumes);
         self.streams.insert(
             id.0,
             Stream {
@@ -280,6 +382,7 @@ impl CrasServer {
                 table,
                 extents,
                 params,
+                shares,
                 clock: LogicalClock::new(),
                 buffer: TimeDrivenBuffer::new(buffer_bytes, self.cfg.jitter),
                 prefetch_cursor: Duration::ZERO,
@@ -346,12 +449,12 @@ impl CrasServer {
             let s = self.streams.get(&id.0).expect("no such stream");
             StreamParams::new(s.table.worst_rate() * rate, s.params.chunk)
         };
-        let all: Vec<StreamParams> = self
+        let entries: Vec<(StreamParams, Vec<f64>)> = self
             .streams
             .values()
-            .map(|s| if s.id == id { base } else { s.params })
+            .map(|s| (if s.id == id { base } else { s.params }, s.shares.clone()))
             .collect();
-        self.admission.admit(t, &all, self.cfg.buffer_budget)?;
+        self.admit_set(&entries)?;
         let need = self.admission.buffer_for(t, &base);
         let s = self.streams.get_mut(&id.0).expect("no such stream");
         s.params = base;
@@ -437,7 +540,7 @@ impl CrasServer {
         // interval (fetched this interval, posted at the next tick).
         let horizon = now + self.cfg.interval * 2;
         let mut reqs: Vec<ReadReq> = Vec::new();
-        let mut active: Vec<StreamParams> = Vec::new();
+        let mut active: Vec<Vec<StreamParams>> = vec![Vec::new(); self.cfg.volumes];
         let stream_ids: Vec<u32> = self.streams.keys().copied().collect();
         for sid in stream_ids {
             let outstanding = self
@@ -449,7 +552,7 @@ impl CrasServer {
                 // The disk is behind for this stream; do not pile on.
                 continue;
             }
-            let (runs, lo, hi, params) = {
+            let (runs, lo, hi, params, shares) = {
                 let s = self.streams.get_mut(&sid).expect("iterating keys");
                 if !s.clock.is_running() {
                     continue;
@@ -472,9 +575,13 @@ impl CrasServer {
                     s.byte_range_to_runs(byte_lo, byte_hi),
                     self.cfg.max_read_bytes,
                 );
-                (runs, lo, hi, s.params)
+                (runs, lo, hi, s.params, s.shares.clone())
             };
-            active.push(params);
+            for (v, share) in shares.iter().enumerate() {
+                if *share > 0.0 {
+                    active[v].push(StreamParams::new(params.rate * share, params.chunk));
+                }
+            }
             let batch_id = self.next_batch;
             self.next_batch += 1;
             self.pending.insert(
@@ -496,25 +603,34 @@ impl CrasServer {
                 reqs.push(ReadReq {
                     id,
                     stream: StreamId(sid),
+                    volume: r.volume,
                     block: r.block,
                     nblocks: r.nblocks,
                 });
             }
         }
-        // Cylinder order: C-SCAN-friendly ascending block order.
-        reqs.sort_by_key(|r| r.block);
-        let calculated = if active.is_empty() {
-            0.0
-        } else {
-            self.admission
-                .calculated_io_time(self.cfg.interval.as_secs_f64(), &active)
-        };
+        // Per volume, cylinder order: C-SCAN-friendly ascending blocks.
+        reqs.sort_by_key(|r| (r.volume, r.block));
+        let t = self.cfg.interval.as_secs_f64();
+        let per_volume_calculated: Vec<f64> = active
+            .iter()
+            .map(|a| {
+                if a.is_empty() {
+                    0.0
+                } else {
+                    self.admission.calculated_io_time(t, a)
+                }
+            })
+            .collect();
+        // The slowest spindle bounds the interval.
+        let calculated = per_volume_calculated.iter().copied().fold(0.0, f64::max);
         IntervalReport {
             index,
             reqs,
             posted_chunks: posted,
             overran,
             calculated_io_time: calculated,
+            per_volume_calculated,
         }
     }
 
@@ -572,6 +688,13 @@ mod tests {
 
     fn server() -> CrasServer {
         CrasServer::new(DiskParams::paper_table4(), ServerConfig::default())
+    }
+
+    fn multi_server(volumes: usize, buffer_budget: u64) -> CrasServer {
+        let mut cfg = ServerConfig::default();
+        cfg.volumes = volumes;
+        cfg.buffer_budget = buffer_budget;
+        CrasServer::new(DiskParams::paper_table4(), cfg)
     }
 
     #[test]
@@ -632,6 +755,7 @@ mod tests {
             .iter()
             .all(|r| r.nblocks as u64 * 512 <= 256 * 1024));
         assert!(rep1.reqs.windows(2).all(|w| w[0].block <= w[1].block));
+        assert!(rep1.reqs.iter().all(|r| r.volume == VolumeId(0)));
 
         // Complete them; chunks post at tick 2 and frame 0 is gettable at
         // media time 0 (real time 1.0 s).
@@ -858,6 +982,172 @@ mod tests {
         let rep = srv.interval_tick(at(500));
         assert!(rep.calculated_io_time > 0.0);
         assert!(rep.calculated_io_time < 0.5);
+        assert_eq!(rep.per_volume_calculated.len(), 1);
+        assert_eq!(rep.per_volume_calculated[0], rep.calculated_io_time);
         let _ = id;
+    }
+
+    /// The movie-table extents wrapped onto one chosen volume.
+    fn movie_on(volume: u32, secs: f64) -> (ChunkTable, Vec<VolumeExtent>) {
+        let (t, e) = movie_table(secs);
+        (t, on_volume(VolumeId(volume), e))
+    }
+
+    #[test]
+    fn place_next_round_robins() {
+        let mut srv = multi_server(3, 8 << 20);
+        let picks: Vec<u32> = (0..7).map(|_| srv.place_next().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn two_volumes_admit_at_least_double() {
+        // Disk-bound capacity (ample memory): each spindle admits its
+        // own full complement, so two volumes fit >= 2x the streams.
+        let count = |volumes: usize| {
+            let mut srv = multi_server(volumes, 1 << 40);
+            let mut n = 0u32;
+            loop {
+                let (t, e) = movie_on(n % volumes as u32, 10.0);
+                if srv.open_placed(&format!("m{n}"), t, e).is_err() {
+                    return n;
+                }
+                n += 1;
+            }
+        };
+        let one = count(1);
+        let two = count(2);
+        assert!(one > 0);
+        assert!(two >= 2 * one, "N=1 admits {one}, N=2 admits {two}");
+    }
+
+    #[test]
+    fn admission_tests_bottleneck_volume() {
+        // Pile every movie on volume 0 of a 2-volume server: capacity
+        // must equal the single-disk capacity — the idle spindle buys
+        // nothing for streams that do not live on it.
+        let mut single = multi_server(1, 1 << 40);
+        let mut lopsided = multi_server(2, 1 << 40);
+        let mut n_single = 0u32;
+        loop {
+            let (t, e) = movie_on(0, 10.0);
+            if single.open_placed(&format!("s{n_single}"), t, e).is_err() {
+                break;
+            }
+            n_single += 1;
+        }
+        let mut n_lop = 0u32;
+        loop {
+            let (t, e) = movie_on(0, 10.0);
+            if lopsided.open_placed(&format!("l{n_lop}"), t, e).is_err() {
+                break;
+            }
+            n_lop += 1;
+        }
+        assert_eq!(n_single, n_lop);
+    }
+
+    #[test]
+    fn close_frees_capacity_on_its_volume() {
+        let mut srv = multi_server(2, 1 << 40);
+        // Fill volume 0 to its brim.
+        let mut ids = Vec::new();
+        loop {
+            let (t, e) = movie_on(0, 10.0);
+            match srv.open_placed("v0", t, e) {
+                Ok(id) => ids.push(id),
+                Err(_) => break,
+            }
+        }
+        // Volume 0 is full; volume 1 still admits...
+        let (t, e) = movie_on(0, 10.0);
+        assert!(srv.open_placed("extra0", t, e).is_err());
+        let (t, e) = movie_on(1, 10.0);
+        let on1 = srv.open_placed("extra1", t, e).unwrap();
+        // ...and closing a volume-0 stream reopens volume-0 capacity.
+        srv.close(*ids.first().expect("admitted at least one"));
+        let (t, e) = movie_on(0, 10.0);
+        assert!(srv.open_placed("refill0", t, e).is_ok());
+        srv.close(on1);
+    }
+
+    #[test]
+    fn striped_stream_spreads_admission_load() {
+        // One movie split evenly across both volumes charges each
+        // spindle half its rate, so a 2-volume server fits more striped
+        // streams than one disk fits whole ones — but fewer than 2x,
+        // because every striped stream pays seek/command overhead on
+        // BOTH spindles (the real cost of striping).
+        let striped = |srv: &mut CrasServer, n: u32| {
+            let (t, e) = movie_table(10.0);
+            let half = e[0].nblocks / 2;
+            let extents = vec![
+                VolumeExtent {
+                    volume: VolumeId(0),
+                    extent: Extent {
+                        file_offset: 0,
+                        disk_block: 10_000,
+                        nblocks: half,
+                    },
+                },
+                VolumeExtent {
+                    volume: VolumeId(1),
+                    extent: Extent {
+                        file_offset: half as u64 * 512,
+                        disk_block: 10_000,
+                        nblocks: e[0].nblocks - half,
+                    },
+                },
+            ];
+            srv.open_placed(&format!("st{n}"), t, extents)
+        };
+        let mut whole = multi_server(1, 1 << 40);
+        let mut n_whole = 0u32;
+        loop {
+            let (t, e) = movie_on(0, 10.0);
+            if whole.open_placed(&format!("w{n_whole}"), t, e).is_err() {
+                break;
+            }
+            n_whole += 1;
+        }
+        let mut srv = multi_server(2, 1 << 40);
+        let mut n_striped = 0u32;
+        while striped(&mut srv, n_striped).is_ok() {
+            n_striped += 1;
+        }
+        assert!(
+            n_striped > n_whole && n_striped <= 2 * n_whole,
+            "whole {n_whole}, striped {n_striped}"
+        );
+    }
+
+    #[test]
+    fn reads_sort_by_volume_then_block() {
+        let mut srv = multi_server(2, 8 << 20);
+        let (t0, e0) = movie_on(1, 10.0); // Volume 1 first by open order...
+        let (t1, e1) = movie_on(0, 10.0);
+        let a = srv.open_placed("on1", t0, e0).unwrap();
+        let b = srv.open_placed("on0", t1, e1).unwrap();
+        srv.start(a, at(0));
+        srv.start(b, at(0));
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(rep.reqs.len() >= 2);
+        // ...but requests come back grouped volume 0 before volume 1.
+        assert!(rep
+            .reqs
+            .windows(2)
+            .all(|w| (w[0].volume, w[0].block) <= (w[1].volume, w[1].block)));
+        assert_eq!(rep.reqs.first().unwrap().volume, VolumeId(0));
+        assert_eq!(rep.reqs.last().unwrap().volume, VolumeId(1));
+        // Both volumes were active, and the bottleneck is their max.
+        assert_eq!(rep.per_volume_calculated.len(), 2);
+        assert!(rep.per_volume_calculated.iter().all(|&c| c > 0.0));
+        let max = rep
+            .per_volume_calculated
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        assert_eq!(rep.calculated_io_time, max);
     }
 }

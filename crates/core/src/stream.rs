@@ -1,23 +1,39 @@
-//! Per-stream server state: chunk table, extent map, logical clock,
-//! time-driven buffer, and the byte-range → disk-extent mapping.
+//! Per-stream server state: chunk table, volume-aware extent map,
+//! logical clock, time-driven buffer, and the byte-range → disk-extent
+//! mapping.
 
 use cras_disk::geometry::BlockNo;
+use cras_disk::VolumeId;
 use cras_media::ChunkTable;
 use cras_sim::Duration;
-use cras_ufs::Extent;
 
 use crate::admission::StreamParams;
 use crate::clock::LogicalClock;
+use crate::placement::{volume_shares, VolumeExtent};
 use crate::tdbuffer::TimeDrivenBuffer;
 
 /// Identifies an open stream within one CRAS server.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct StreamId(pub u32);
 
-/// A physically contiguous disk run backing part of a byte range.
+/// A physically contiguous disk run on an unspecified volume.
+///
+/// Retained for the single-volume recording path ([`crate::Recorder`]),
+/// which always writes to one disk; retrieval uses [`VolumeRun`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DiskRun {
     /// First 512-byte disk block.
+    pub block: BlockNo,
+    /// Length in 512-byte blocks.
+    pub nblocks: u32,
+}
+
+/// A physically contiguous disk run on a specific volume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VolumeRun {
+    /// The disk this run lives on.
+    pub volume: VolumeId,
+    /// First 512-byte disk block on that volume.
     pub block: BlockNo,
     /// Length in 512-byte blocks.
     pub nblocks: u32,
@@ -33,10 +49,13 @@ pub struct Stream {
     /// The control-file chunk table.
     pub table: ChunkTable,
     /// Extent map resolved at open time — CRAS never touches UFS metadata
-    /// during retrieval.
-    pub extents: Vec<Extent>,
+    /// during retrieval. Each extent names the volume it lives on.
+    pub extents: Vec<VolumeExtent>,
     /// Admission parameters this stream was admitted with.
     pub params: StreamParams,
+    /// Fraction of the stream's bytes on each volume (the admission
+    /// test's per-volume rate weights; `[1.0]` for a single-disk movie).
+    pub shares: Vec<f64>,
     /// The stream's logical clock.
     pub clock: LogicalClock,
     /// The time-driven shared memory buffer.
@@ -47,22 +66,30 @@ pub struct Stream {
 }
 
 impl Stream {
+    /// Recomputes [`Stream::shares`] for a server managing `volumes`
+    /// disks.
+    pub fn compute_shares(&mut self, volumes: usize) {
+        self.shares = volume_shares(&self.extents, volumes);
+    }
+
     /// Maps the file byte range `[lo, hi)` onto disk-block runs, merging
-    /// physically adjacent pieces. Ranges are rounded outward to 512-byte
-    /// block boundaries (the device transfers whole blocks).
+    /// physically adjacent pieces on the same volume. Ranges are rounded
+    /// outward to 512-byte block boundaries (the device transfers whole
+    /// blocks).
     ///
     /// # Panics
     ///
     /// Panics if the range is empty or extends past the mapped file.
-    pub fn byte_range_to_runs(&self, lo: u64, hi: u64) -> Vec<DiskRun> {
+    pub fn byte_range_to_runs(&self, lo: u64, hi: u64) -> Vec<VolumeRun> {
         assert!(lo < hi, "empty byte range");
-        let mapped: u64 = self.extents.iter().map(|e| e.bytes()).sum();
+        let mapped: u64 = self.extents.iter().map(|e| e.extent.bytes()).sum();
         assert!(
             hi <= mapped,
             "byte range beyond extent map: {hi} > {mapped}"
         );
-        let mut runs: Vec<DiskRun> = Vec::new();
-        for e in &self.extents {
+        let mut runs: Vec<VolumeRun> = Vec::new();
+        for ve in &self.extents {
+            let e = &ve.extent;
             let e_lo = e.file_offset;
             let e_hi = e.file_offset + e.bytes();
             let a = lo.max(e_lo);
@@ -76,10 +103,16 @@ impl Stream {
             let block = e.disk_block + rel_lo;
             let nblocks = (rel_hi - rel_lo) as u32;
             match runs.last_mut() {
-                Some(last) if last.block + last.nblocks as u64 == block => {
+                Some(last)
+                    if last.volume == ve.volume && last.block + last.nblocks as u64 == block =>
+                {
                     last.nblocks += nblocks;
                 }
-                _ => runs.push(DiskRun { block, nblocks }),
+                _ => runs.push(VolumeRun {
+                    volume: ve.volume,
+                    block,
+                    nblocks,
+                }),
             }
         }
         runs
@@ -89,7 +122,7 @@ impl Stream {
     /// ("CRAS optimizes throughput by reading ... up to 256K bytes at a
     /// time ... If the size of contiguous blocks is less ... CRAS reads
     /// the smaller blocks instead").
-    pub fn split_runs(runs: Vec<DiskRun>, max_bytes: u64) -> Vec<DiskRun> {
+    pub fn split_runs(runs: Vec<VolumeRun>, max_bytes: u64) -> Vec<VolumeRun> {
         let max_blocks = (max_bytes / 512).max(1) as u32;
         let mut out = Vec::with_capacity(runs.len());
         for r in runs {
@@ -97,7 +130,8 @@ impl Stream {
             let mut left = r.nblocks;
             while left > 0 {
                 let take = left.min(max_blocks);
-                out.push(DiskRun {
+                out.push(VolumeRun {
+                    volume: r.volume,
                     block,
                     nblocks: take,
                 });
@@ -112,22 +146,35 @@ impl Stream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::placement::on_volume;
     use cras_media::StreamProfile;
     use cras_sim::Rng;
+    use cras_ufs::Extent;
 
-    fn stream_with_extents(extents: Vec<Extent>) -> Stream {
+    fn stream_with_extents(extents: Vec<VolumeExtent>) -> Stream {
         let mut rng = Rng::new(1);
         let table = cras_media::generate_chunks(&StreamProfile::mpeg1(), 1.0, &mut rng);
-        Stream {
+        let mut s = Stream {
             id: StreamId(0),
             name: "t".into(),
             table,
             extents,
             params: StreamParams::new(187_500.0, 6_250.0),
+            shares: Vec::new(),
             clock: LogicalClock::new(),
             buffer: TimeDrivenBuffer::new(200_000, Duration::from_millis(100)),
             prefetch_cursor: Duration::ZERO,
-        }
+        };
+        s.compute_shares(
+            1.max(
+                s.extents
+                    .iter()
+                    .map(|v| v.volume.index() + 1)
+                    .max()
+                    .unwrap_or(1),
+            ),
+        );
+        s
     }
 
     fn ext(file_offset: u64, disk_block: u64, nblocks: u32) -> Extent {
@@ -138,72 +185,77 @@ mod tests {
         }
     }
 
+    fn vrun(volume: u32, block: u64, nblocks: u32) -> VolumeRun {
+        VolumeRun {
+            volume: VolumeId(volume),
+            block,
+            nblocks,
+        }
+    }
+
     #[test]
     fn single_extent_subrange() {
-        let s = stream_with_extents(vec![ext(0, 1000, 100)]); // 51 200 B.
+        let s = stream_with_extents(on_volume(VolumeId(0), vec![ext(0, 1000, 100)])); // 51 200 B.
         let runs = s.byte_range_to_runs(1024, 2048);
-        assert_eq!(
-            runs,
-            vec![DiskRun {
-                block: 1002,
-                nblocks: 2
-            }]
-        );
+        assert_eq!(runs, vec![vrun(0, 1002, 2)]);
     }
 
     #[test]
     fn unaligned_range_rounds_outward() {
-        let s = stream_with_extents(vec![ext(0, 1000, 100)]);
+        let s = stream_with_extents(on_volume(VolumeId(0), vec![ext(0, 1000, 100)]));
         let runs = s.byte_range_to_runs(100, 700);
         // Bytes 100..700 live in blocks 0 and 1.
-        assert_eq!(
-            runs,
-            vec![DiskRun {
-                block: 1000,
-                nblocks: 2
-            }]
-        );
+        assert_eq!(runs, vec![vrun(0, 1000, 2)]);
     }
 
     #[test]
     fn range_spanning_discontiguous_extents() {
-        let s = stream_with_extents(vec![ext(0, 1000, 16), ext(8192, 5000, 16)]);
+        let s = stream_with_extents(on_volume(
+            VolumeId(0),
+            vec![ext(0, 1000, 16), ext(8192, 5000, 16)],
+        ));
         let runs = s.byte_range_to_runs(4096, 12288);
-        assert_eq!(
-            runs,
-            vec![
-                DiskRun {
-                    block: 1008,
-                    nblocks: 8
-                },
-                DiskRun {
-                    block: 5000,
-                    nblocks: 8
-                },
-            ]
-        );
+        assert_eq!(runs, vec![vrun(0, 1008, 8), vrun(0, 5000, 8)]);
     }
 
     #[test]
     fn adjacent_extents_merge() {
         // Extents contiguous on disk merge into one run.
-        let s = stream_with_extents(vec![ext(0, 1000, 16), ext(8192, 1016, 16)]);
+        let s = stream_with_extents(on_volume(
+            VolumeId(0),
+            vec![ext(0, 1000, 16), ext(8192, 1016, 16)],
+        ));
         let runs = s.byte_range_to_runs(0, 16384);
-        assert_eq!(
-            runs,
-            vec![DiskRun {
-                block: 1000,
-                nblocks: 32
-            }]
-        );
+        assert_eq!(runs, vec![vrun(0, 1000, 32)]);
+    }
+
+    #[test]
+    fn adjacent_blocks_on_different_volumes_do_not_merge() {
+        // Same block numbers, different spindles: never one command.
+        let mut extents = on_volume(VolumeId(0), vec![ext(0, 1000, 16)]);
+        extents.push(VolumeExtent {
+            volume: VolumeId(1),
+            extent: ext(8192, 1016, 16),
+        });
+        let s = stream_with_extents(extents);
+        let runs = s.byte_range_to_runs(0, 16384);
+        assert_eq!(runs, vec![vrun(0, 1000, 16), vrun(1, 1016, 16)]);
+    }
+
+    #[test]
+    fn striped_shares_split_by_bytes() {
+        let mut extents = on_volume(VolumeId(0), vec![ext(0, 1000, 48)]);
+        extents.push(VolumeExtent {
+            volume: VolumeId(1),
+            extent: ext(24576, 2000, 16),
+        });
+        let s = stream_with_extents(extents);
+        assert_eq!(s.shares, vec![0.75, 0.25]);
     }
 
     #[test]
     fn split_respects_256k() {
-        let runs = vec![DiskRun {
-            block: 0,
-            nblocks: 1200,
-        }];
+        let runs = vec![vrun(0, 0, 1200)];
         let split = Stream::split_runs(runs, 256 * 1024); // 512 blocks.
         assert_eq!(split.len(), 3);
         assert_eq!(split[0].nblocks, 512);
@@ -216,16 +268,7 @@ mod tests {
 
     #[test]
     fn split_leaves_small_runs_alone() {
-        let runs = vec![
-            DiskRun {
-                block: 0,
-                nblocks: 10,
-            },
-            DiskRun {
-                block: 100,
-                nblocks: 512,
-            },
-        ];
+        let runs = vec![vrun(0, 0, 10), vrun(1, 100, 512)];
         let split = Stream::split_runs(runs.clone(), 256 * 1024);
         assert_eq!(split, runs);
     }
@@ -233,14 +276,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "beyond extent map")]
     fn out_of_range_panics() {
-        let s = stream_with_extents(vec![ext(0, 1000, 16)]);
+        let s = stream_with_extents(on_volume(VolumeId(0), vec![ext(0, 1000, 16)]));
         s.byte_range_to_runs(0, 9000);
     }
 
     #[test]
     #[should_panic(expected = "empty byte range")]
     fn empty_range_panics() {
-        let s = stream_with_extents(vec![ext(0, 1000, 16)]);
+        let s = stream_with_extents(on_volume(VolumeId(0), vec![ext(0, 1000, 16)]));
         s.byte_range_to_runs(5, 5);
     }
 }

@@ -160,10 +160,7 @@ impl Recorder {
                 }
                 s.write_cursor = hi;
                 let runs = byte_range_to_runs(&s.extents, lo, hi);
-                (
-                    crate::stream::Stream::split_runs(runs, self.cfg.max_read_bytes),
-                    s.id,
-                )
+                (split_runs(runs, self.cfg.max_read_bytes), s.id)
             };
             for r in runs {
                 let id = WriteId(self.next_write);
@@ -234,6 +231,27 @@ fn byte_range_to_runs(extents: &[Extent], lo: u64, hi: u64) -> Vec<DiskRun> {
         }
     }
     runs
+}
+
+/// Splits single-volume runs at the per-command byte cap (the write
+/// path's analogue of [`crate::stream::Stream::split_runs`]).
+fn split_runs(runs: Vec<DiskRun>, max_bytes: u64) -> Vec<DiskRun> {
+    let max_blocks = (max_bytes / 512).max(1) as u32;
+    let mut out = Vec::with_capacity(runs.len());
+    for r in runs {
+        let mut block = r.block;
+        let mut left = r.nblocks;
+        while left > 0 {
+            let take = left.min(max_blocks);
+            out.push(DiskRun {
+                block,
+                nblocks: take,
+            });
+            block += take as u64;
+            left -= take;
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -15,7 +15,9 @@
 //! approximation), rotational positioning against a continuously spinning
 //! platter, and zoned media transfer ([`geometry`]). [`calibrate`]
 //! re-measures the model the way the paper's Appendix A does, producing
-//! Table 4 and the Figure 12 seek curve.
+//! Table 4 and the Figure 12 seek curve. [`volume`] groups several
+//! independent devices into a multi-disk [`VolumeSet`] (the §4
+//! "several disk devices" variation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod geometry;
 pub mod policy;
 pub mod request;
 pub mod seek;
+pub mod volume;
 
 pub use calibrate::{Calibration, DiskParams};
 pub use device::{DiskDevice, DiskStats, DiskTimings};
@@ -36,3 +39,4 @@ pub use geometry::{BlockNo, DiskGeometry, Zone, BLOCK_SIZE};
 pub use policy::{DiskQueue, QueuePolicy};
 pub use request::{Completed, DiskRequest, IoClass, IoKind, ServiceBreakdown};
 pub use seek::SeekModel;
+pub use volume::{VolumeId, VolumeSet};

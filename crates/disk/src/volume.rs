@@ -1,0 +1,231 @@
+//! The volume layer: a set of independent disks addressed by
+//! [`VolumeId`].
+//!
+//! The paper's server manages one ST32550N, but §4 ("one variation of
+//! the system includes several disk devices") anticipates scaling
+//! capacity by adding spindles. A [`VolumeSet`] models that variation
+//! faithfully to the 1996 hardware: each volume is its own
+//! [`DiskDevice`] with its own dual C-SCAN queues, head position,
+//! spindle phase, and at most one operation in flight — volumes share
+//! nothing and overlap freely, so N volumes give N-way I/O parallelism
+//! while every per-disk timing assumption of the admission test still
+//! holds per volume.
+
+use cras_sim::Instant;
+
+use crate::device::{DiskDevice, DiskStats};
+use crate::request::{Completed, DiskRequest};
+
+/// Identifies one disk within a [`VolumeSet`].
+///
+/// Volume ids are dense: a set of `n` volumes uses ids `0..n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VolumeId(pub u32);
+
+impl VolumeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VolumeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vol{}", self.0)
+    }
+}
+
+/// A fixed-size array of independent [`DiskDevice`]s.
+///
+/// The set is purely an addressing layer: submissions and completions
+/// name a volume and are forwarded to that device unchanged, so every
+/// invariant of the single-disk state machine (strict real-time
+/// priority, C-SCAN order, one in-flight op) holds within each volume.
+pub struct VolumeSet<T> {
+    disks: Vec<DiskDevice<T>>,
+}
+
+impl<T> VolumeSet<T> {
+    /// Builds a set from pre-configured devices (ids follow Vec order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set.
+    pub fn new(disks: Vec<DiskDevice<T>>) -> VolumeSet<T> {
+        assert!(!disks.is_empty(), "a volume set needs at least one disk");
+        VolumeSet { disks }
+    }
+
+    /// `n` identical calibrated ST32550N volumes (the paper's disk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn st32550n(n: usize) -> VolumeSet<T> {
+        assert!(n > 0, "a volume set needs at least one disk");
+        VolumeSet::new((0..n).map(|_| DiskDevice::st32550n()).collect())
+    }
+
+    /// Number of volumes.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// True when the set holds a single volume (the seed configuration).
+    pub fn is_empty(&self) -> bool {
+        false // Guaranteed non-empty by construction.
+    }
+
+    /// All valid volume ids, in order.
+    pub fn ids(&self) -> impl Iterator<Item = VolumeId> {
+        (0..self.disks.len() as u32).map(VolumeId)
+    }
+
+    /// The device behind `vol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn volume(&self, vol: VolumeId) -> &DiskDevice<T> {
+        &self.disks[vol.index()]
+    }
+
+    /// Mutable access to the device behind `vol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn volume_mut(&mut self, vol: VolumeId) -> &mut DiskDevice<T> {
+        &mut self.disks[vol.index()]
+    }
+
+    /// Submits a request to one volume; see [`DiskDevice::submit`].
+    pub fn submit(&mut self, vol: VolumeId, now: Instant, req: DiskRequest<T>) -> Option<Instant> {
+        self.volume_mut(vol).submit(now, req)
+    }
+
+    /// Completes the in-flight operation on one volume; see
+    /// [`DiskDevice::complete`].
+    pub fn complete(&mut self, vol: VolumeId, now: Instant) -> (Completed<T>, Option<Instant>) {
+        self.volume_mut(vol).complete(now)
+    }
+
+    /// True if any volume is servicing an operation.
+    pub fn any_busy(&self) -> bool {
+        self.disks.iter().any(|d| d.is_busy())
+    }
+
+    /// Statistics summed across all volumes.
+    pub fn total_stats(&self) -> DiskStats {
+        let mut total = DiskStats::default();
+        for d in &self.disks {
+            let s = d.stats();
+            total.ops.0 += s.ops.0;
+            total.ops.1 += s.ops.1;
+            total.bytes.0 += s.bytes.0;
+            total.bytes.1 += s.bytes.1;
+            total.busy += s.busy;
+            total.seek_time += s.seek_time;
+            total.rotation_time += s.rotation_time;
+            total.transfer_time += s.transfer_time;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::DiskGeometry;
+    use crate::seek::SeekModel;
+    use crate::DiskTimings;
+
+    fn small() -> DiskDevice<u32> {
+        DiskDevice::new(
+            DiskGeometry::uniform(100, 2, 100, 6000),
+            SeekModel::from_min_max(0.001, 0.010, 100),
+            DiskTimings::zero(),
+        )
+    }
+
+    #[test]
+    fn volumes_are_independent() {
+        let mut set = VolumeSet::new(vec![small(), small()]);
+        let t0 = Instant::ZERO;
+        // Both volumes accept an op immediately: neither sees the other's
+        // in-flight state.
+        let f0 = set.submit(VolumeId(0), t0, DiskRequest::read(0, 1, 10));
+        let f1 = set.submit(VolumeId(1), t0, DiskRequest::read(0, 1, 11));
+        assert!(f0.is_some() && f1.is_some());
+        assert!(set.volume(VolumeId(0)).is_busy());
+        assert!(set.volume(VolumeId(1)).is_busy());
+        let (done0, _) = set.complete(VolumeId(0), f0.unwrap());
+        let (done1, _) = set.complete(VolumeId(1), f1.unwrap());
+        assert_eq!((done0.req.tag, done1.req.tag), (10, 11));
+        assert!(!set.any_busy());
+    }
+
+    #[test]
+    fn queues_do_not_cross_volumes() {
+        let mut set = VolumeSet::new(vec![small(), small()]);
+        let t0 = Instant::ZERO;
+        let f0 = set
+            .submit(VolumeId(0), t0, DiskRequest::read(0, 1, 1))
+            .unwrap();
+        // A second request to volume 0 queues there, volume 1 stays idle.
+        assert!(set
+            .submit(VolumeId(0), t0, DiskRequest::read(500, 1, 2))
+            .is_none());
+        assert_eq!(set.volume(VolumeId(0)).queue_depths(), (0, 1));
+        assert_eq!(set.volume(VolumeId(1)).queue_depths(), (0, 0));
+        assert!(!set.volume(VolumeId(1)).is_busy());
+        let (_, next) = set.complete(VolumeId(0), f0);
+        assert!(next.is_some(), "queued op starts on its own volume");
+    }
+
+    #[test]
+    fn total_stats_sum_across_volumes() {
+        let mut set = VolumeSet::new(vec![small(), small()]);
+        let t0 = Instant::ZERO;
+        for v in [VolumeId(0), VolumeId(1)] {
+            let fin = set.submit(v, t0, DiskRequest::rt_read(0, 16, 1)).unwrap();
+            set.complete(v, fin);
+        }
+        let total = set.total_stats();
+        assert_eq!(total.ops, (2, 0));
+        assert_eq!(total.bytes.0, 2 * 16 * 512);
+    }
+
+    #[test]
+    fn single_volume_set_matches_bare_device() {
+        // N=1 must be a pure pass-through: same completion times as a
+        // bare DiskDevice fed the same sequence.
+        let mut set: VolumeSet<u32> = VolumeSet::st32550n(1);
+        let mut dev: DiskDevice<u32> = DiskDevice::st32550n();
+        let mut now_set = Instant::ZERO;
+        let mut now_dev = Instant::ZERO;
+        for (i, blk) in [0u64, 9_000, 40_000, 123].into_iter().enumerate() {
+            let fs = set
+                .submit(
+                    VolumeId(0),
+                    now_set,
+                    DiskRequest::rt_read(blk, 64, i as u32),
+                )
+                .unwrap();
+            let fd = dev
+                .submit(now_dev, DiskRequest::rt_read(blk, 64, i as u32))
+                .unwrap();
+            assert_eq!(fs, fd);
+            set.complete(VolumeId(0), fs);
+            dev.complete(fd);
+            now_set = fs;
+            now_dev = fd;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn empty_set_panics() {
+        let _: VolumeSet<u32> = VolumeSet::new(vec![]);
+    }
+}

@@ -344,13 +344,16 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use crate::rng::Rng;
 
-        proptest! {
-            /// Events always pop in non-decreasing time order, FIFO among
-            /// equal timestamps.
-            #[test]
-            fn pop_order_is_stable_sort(delays in proptest::collection::vec(0u64..1000, 1..100)) {
+        /// Events always pop in non-decreasing time order, FIFO among
+        /// equal timestamps. Randomized over 200 seeded cases.
+        #[test]
+        fn pop_order_is_stable_sort() {
+            let mut rng = Rng::new(0xE4617E);
+            for case in 0..200 {
+                let n = rng.range_inclusive(1, 99) as usize;
+                let delays: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
                 let mut e: Engine<usize> = Engine::new();
                 for (i, &d) in delays.iter().enumerate() {
                     e.schedule_after(Duration::from_micros(d), i);
@@ -359,18 +362,24 @@ mod tests {
                 while let Some((t, i)) = e.pop() {
                     popped.push((t.as_nanos(), i));
                 }
-                prop_assert_eq!(popped.len(), delays.len());
+                assert_eq!(popped.len(), delays.len(), "case {case}");
                 for w in popped.windows(2) {
-                    prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+                    assert!(w[0].0 <= w[1].0, "time went backwards (case {case})");
                     if w[0].0 == w[1].0 {
-                        prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal time");
+                        assert!(w[0].1 < w[1].1, "FIFO violated at equal time (case {case})");
                     }
                 }
             }
+        }
 
-            /// Cancelling an arbitrary subset removes exactly that subset.
-            #[test]
-            fn cancel_subset(delays in proptest::collection::vec((0u64..100, any::<bool>()), 1..60)) {
+        /// Cancelling an arbitrary subset removes exactly that subset.
+        #[test]
+        fn cancel_subset() {
+            let mut rng = Rng::new(0xCA9CE1);
+            for case in 0..200 {
+                let n = rng.range_inclusive(1, 59) as usize;
+                let delays: Vec<(u64, bool)> =
+                    (0..n).map(|_| (rng.below(100), rng.chance(0.5))).collect();
                 let mut e: Engine<usize> = Engine::new();
                 let mut keep = Vec::new();
                 for (i, &(d, cancel)) in delays.iter().enumerate() {
@@ -387,7 +396,7 @@ mod tests {
                 }
                 popped.sort_unstable();
                 keep.sort_unstable();
-                prop_assert_eq!(popped, keep);
+                assert_eq!(popped, keep, "case {case}");
             }
         }
     }

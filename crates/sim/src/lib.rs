@@ -12,6 +12,7 @@
 //! * [`rng`] — a seedable, forkable deterministic PRNG.
 //! * [`stats`] — online statistics, histograms, time series,
 //!   time-weighted averages.
+//! * [`json`] — a minimal JSON value/parser for the result artifacts.
 //! * [`table`] — plain-text rendering for the experiment harness.
 //! * [`trace`] — a bounded event-trace ring for post-mortem debugging.
 //!
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -415,37 +415,47 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use crate::rng::Rng;
 
-        proptest! {
-            /// Duration add/sub round-trips.
-            #[test]
-            fn add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
-                let da = Duration::from_nanos(a);
-                let db = Duration::from_nanos(b);
-                prop_assert_eq!((da + db) - db, da);
-                prop_assert_eq!((da + db).saturating_sub(da), db);
+        /// Duration add/sub round-trips.
+        #[test]
+        fn add_sub_roundtrip() {
+            let mut rng = Rng::new(0xADD5);
+            for _ in 0..1000 {
+                let da = Duration::from_nanos(rng.below(u64::MAX / 4));
+                let db = Duration::from_nanos(rng.below(u64::MAX / 4));
+                assert_eq!((da + db) - db, da);
+                assert_eq!((da + db).saturating_sub(da), db);
             }
+        }
 
-            /// f64 conversion round-trips within a nanosecond per second
-            /// of magnitude.
-            #[test]
-            fn f64_roundtrip(ns in 0u64..(1u64 << 53)) {
+        /// f64 conversion round-trips within a nanosecond per second
+        /// of magnitude.
+        #[test]
+        fn f64_roundtrip() {
+            let mut rng = Rng::new(0xF64);
+            for _ in 0..1000 {
+                let ns = rng.below(1u64 << 53);
                 let d = Duration::from_nanos(ns);
                 let back = Duration::from_secs_f64(d.as_secs_f64());
                 let err = back.as_nanos().abs_diff(ns);
-                prop_assert!(err <= 1 + ns / 1_000_000_000, "err {}", err);
+                assert!(err <= 1 + ns / 1_000_000_000, "err {err}");
             }
+        }
 
-            /// align_up lands on a multiple and never moves backwards.
-            #[test]
-            fn align_up_properties(t in 0u64..u64::MAX / 2, p in 1u64..1_000_000) {
+        /// align_up lands on a multiple and never moves backwards.
+        #[test]
+        fn align_up_properties() {
+            let mut rng = Rng::new(0xA119);
+            for _ in 0..1000 {
+                let t = rng.below(u64::MAX / 2);
+                let p = rng.range_inclusive(1, 999_999);
                 let inst = Instant::from_nanos(t);
                 let period = Duration::from_nanos(p);
                 let aligned = inst.align_up(period);
-                prop_assert!(aligned >= inst);
-                prop_assert_eq!(aligned.as_nanos() % p, 0);
-                prop_assert!(aligned.as_nanos() - t < p);
+                assert!(aligned >= inst);
+                assert_eq!(aligned.as_nanos() % p, 0);
+                assert!(aligned.as_nanos() - t < p);
             }
         }
     }

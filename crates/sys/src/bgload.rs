@@ -19,6 +19,8 @@ pub struct BgReader {
     pub id: ClientId,
     /// File being read.
     pub ino: Ino,
+    /// Volume the file lives on.
+    pub vol: u32,
     /// File size in bytes.
     pub size: u64,
     /// Current read position.
@@ -50,6 +52,7 @@ impl BgReader {
         BgReader {
             id,
             ino,
+            vol: 0,
             size,
             pos: 0,
             read_size,
@@ -99,6 +102,8 @@ pub struct BgWriter {
     pub id: ClientId,
     /// File being written.
     pub ino: Ino,
+    /// Volume the file lives on.
+    pub vol: u32,
     /// Bytes per write call.
     pub write_size: u64,
     /// Time between write calls.
@@ -121,6 +126,7 @@ impl BgWriter {
         BgWriter {
             id,
             ino,
+            vol: 0,
             write_size,
             period,
             bytes_written: 0,

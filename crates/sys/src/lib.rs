@@ -27,5 +27,5 @@ pub use config::{prio, CpuCosts, SchedMode, SysConfig};
 pub use metrics::{IntervalIo, Metrics};
 pub use net::Link;
 pub use player::{Player, PlayerMode, PlayerStats};
-pub use system::{System, UOwner};
+pub use system::{MoviePlacement, System, UOwner, UReq};
 pub use tags::{ClientId, CpuTag, DiskTag, Event};

@@ -17,11 +17,16 @@ use crate::tags::DiskTag;
 // Re-export friendly aliases used throughout the crate.
 pub use cras_sim::stats::{OnlineStats, Samples, TimeSeries};
 
-/// Per-interval disk I/O accounting.
+/// Per-interval, per-volume disk I/O accounting. With one volume there is
+/// exactly one record per non-empty interval; with several, each volume
+/// that received requests gets its own record so its actual I/O time is
+/// compared against *its* calculated time (admission is per spindle).
 #[derive(Clone, Debug)]
 pub struct IntervalIo {
     /// Interval index.
     pub index: u64,
+    /// Volume the requests went to.
+    pub volume: u32,
     /// When the requests were issued.
     pub issued_at: Instant,
     /// Calculated I/O time from the admission test (seconds).
@@ -88,7 +93,9 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Records an interval tick and indexes its reads.
+    /// Records an interval tick and indexes its reads: one record per
+    /// volume that received requests (the report's requests are sorted by
+    /// volume, so volumes form consecutive runs).
     pub fn on_interval(&mut self, rep: &IntervalReport, now: Instant) {
         if rep.overran {
             self.overruns += 1;
@@ -96,18 +103,33 @@ impl Metrics {
         if rep.reqs.is_empty() {
             return;
         }
-        let idx = self.intervals.len();
-        self.intervals.push(IntervalIo {
-            index: rep.index,
-            issued_at: now,
-            calculated: rep.calculated_io_time,
-            total_reqs: rep.reqs.len(),
-            remaining: rep.reqs.len(),
-            last_done: now,
-            service_sum: 0.0,
-        });
-        for r in &rep.reqs {
-            self.read_interval.insert(r.id.0, idx);
+        let mut start = 0;
+        while start < rep.reqs.len() {
+            let vol = rep.reqs[start].volume;
+            let mut end = start;
+            while end < rep.reqs.len() && rep.reqs[end].volume == vol {
+                end += 1;
+            }
+            let calculated = rep
+                .per_volume_calculated
+                .get(vol.index())
+                .copied()
+                .unwrap_or(rep.calculated_io_time);
+            let idx = self.intervals.len();
+            self.intervals.push(IntervalIo {
+                index: rep.index,
+                volume: vol.0,
+                issued_at: now,
+                calculated,
+                total_reqs: end - start,
+                remaining: end - start,
+                last_done: now,
+                service_sum: 0.0,
+            });
+            for r in &rep.reqs[start..end] {
+                self.read_interval.insert(r.id.0, idx);
+            }
+            start = end;
         }
     }
 
@@ -159,7 +181,7 @@ impl Metrics {
 mod tests {
     use super::*;
     use cras_core::{ReadReq, StreamId};
-    use cras_disk::{DiskRequest, ServiceBreakdown};
+    use cras_disk::{DiskRequest, ServiceBreakdown, VolumeId};
 
     fn report(reads: &[u64], calc: f64) -> IntervalReport {
         IntervalReport {
@@ -169,6 +191,7 @@ mod tests {
                 .map(|&i| ReadReq {
                     id: ReadId(i),
                     stream: StreamId(0),
+                    volume: VolumeId(0),
                     block: i * 100,
                     nblocks: 8,
                 })
@@ -176,6 +199,7 @@ mod tests {
             posted_chunks: 0,
             overran: false,
             calculated_io_time: calc,
+            per_volume_calculated: vec![calc],
         }
     }
 
@@ -227,6 +251,57 @@ mod tests {
         // Warmup skipping.
         let (avg1, _) = m.ratio_summary(1);
         assert!((avg1 - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_volume_interval_splits_records() {
+        let mut m = Metrics::new();
+        let rep = IntervalReport {
+            index: 3,
+            reqs: vec![
+                ReadReq {
+                    id: ReadId(1),
+                    stream: StreamId(0),
+                    volume: VolumeId(0),
+                    block: 100,
+                    nblocks: 8,
+                },
+                ReadReq {
+                    id: ReadId(2),
+                    stream: StreamId(1),
+                    volume: VolumeId(1),
+                    block: 50,
+                    nblocks: 8,
+                },
+                ReadReq {
+                    id: ReadId(3),
+                    stream: StreamId(2),
+                    volume: VolumeId(1),
+                    block: 90,
+                    nblocks: 8,
+                },
+            ],
+            posted_chunks: 0,
+            overran: false,
+            calculated_io_time: 0.2,
+            per_volume_calculated: vec![0.1, 0.2],
+        };
+        m.on_interval(&rep, Instant::ZERO);
+        assert_eq!(m.intervals().len(), 2, "one record per volume");
+        assert_eq!(m.intervals()[0].volume, 0);
+        assert_eq!(m.intervals()[0].total_reqs, 1);
+        assert!((m.intervals()[0].calculated - 0.1).abs() < 1e-12);
+        assert_eq!(m.intervals()[1].volume, 1);
+        assert_eq!(m.intervals()[1].total_reqs, 2);
+        assert!((m.intervals()[1].calculated - 0.2).abs() < 1e-12);
+        // Completions land on their own volume's record.
+        m.on_cras_read_done(ReadId(2), &completed(10, 4));
+        m.on_cras_read_done(ReadId(3), &completed(30, 4));
+        assert_eq!(m.intervals()[1].remaining, 0);
+        assert_eq!(m.intervals()[0].remaining, 1);
+        let rs = m.admission_ratios(0);
+        assert_eq!(rs.len(), 1, "only volume 1 is complete");
+        assert!((rs[0] - 0.04).abs() < 1e-9, "ratio {}", rs[0]);
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub enum PlayerMode {
     Ufs {
         /// The movie file.
         ino: Ino,
+        /// Volume the file lives on.
+        vol: u32,
     },
 }
 
@@ -181,7 +183,7 @@ mod tests {
     fn player(stride: u32) -> Player {
         Player::new(
             ClientId(0),
-            PlayerMode::Ufs { ino: 0 },
+            PlayerMode::Ufs { ino: 0, vol: 0 },
             table(),
             stride,
             ThreadId::from_raw(0),

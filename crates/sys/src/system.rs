@@ -1,21 +1,23 @@
-//! The orchestrated system: one event loop binding the disk, the CPU, the
-//! Unix server, CRAS and the client applications.
+//! The orchestrated system: one event loop binding the disk volumes, the
+//! CPU, the Unix server, CRAS and the client applications.
 //!
 //! Components are pure state machines; this module is the only place
 //! events are scheduled. Every figure in the paper is a run of this system
-//! under a different configuration.
+//! under a different configuration. The storage backend is a
+//! [`VolumeSet`]: §4's "several disk devices" variation. With one volume
+//! the system is byte-identical to the single-disk original.
 
 use std::collections::{BTreeMap, HashSet};
 
-use cras_core::{AdmissionError, CrasServer};
-use cras_disk::{DiskDevice, DiskRequest};
+use cras_core::{on_volume, AdmissionError, CrasServer, PlacementPolicy, VolumeExtent};
+use cras_disk::{DiskDevice, DiskRequest, VolumeId, VolumeSet};
 use cras_media::{Movie, StreamProfile};
 use cras_rtmach::port::{FullPolicy, Port};
 use cras_rtmach::{Cpu, SchedPolicy, ThreadId};
 use cras_sim::trace::Trace;
 use cras_sim::{Duration, Engine, Instant, Rng};
 use cras_ufs::layout::fsblock_to_disk;
-use cras_ufs::{FsReq, Ino, MkfsParams, Step, Ufs, UnixServer, SECT_PER_FSBLOCK};
+use cras_ufs::{Extent, FsReq, Ino, MkfsParams, Step, Ufs, UnixServer, BSIZE, SECT_PER_FSBLOCK};
 
 use crate::bgload::{BgReader, BgWriter};
 use crate::config::{prio, SchedMode, SysConfig};
@@ -44,20 +46,50 @@ pub enum UOwner {
     },
 }
 
+/// One Unix-server request: the volume whose file system it reads and the
+/// client it serves. The volume routes the request's synchronous fetches
+/// and read-ahead to the right spindle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UReq {
+    /// Volume holding the file.
+    pub vol: u32,
+    /// Requesting client.
+    pub owner: UOwner,
+}
+
+/// Where a recorded movie's data lives across the volume set.
+#[derive(Clone, Debug)]
+pub enum MoviePlacement {
+    /// The whole movie on one volume (round-robin placement).
+    Whole {
+        /// The volume.
+        vol: u32,
+        /// The media data file on that volume.
+        ino: Ino,
+    },
+    /// Striped across all volumes in `stripe_bytes` units.
+    Striped {
+        /// `stripes[v]` is the stripe file on volume `v`.
+        stripes: Vec<Ino>,
+        /// Stripe unit in bytes (multiple of the fs block size).
+        stripe_bytes: u64,
+        /// Total media bytes.
+        total_bytes: u64,
+    },
+}
+
 /// The assembled system.
 pub struct System {
     /// Configuration it was built with.
     pub cfg: SysConfig,
     /// The event queue and virtual clock.
     pub engine: Engine<Event>,
-    /// The disk.
-    pub disk: DiskDevice<DiskTag>,
+    /// The disk volumes.
+    pub disks: VolumeSet<DiskTag>,
     /// The CPU.
     pub cpu: Cpu,
-    /// The file system.
-    pub ufs: Ufs,
     /// The serialized Unix server.
-    pub userver: UnixServer<UOwner>,
+    pub userver: UnixServer<UReq>,
     /// The CRAS server.
     pub cras: CrasServer,
     /// Players by client id.
@@ -75,11 +107,16 @@ pub struct System {
     /// Post-mortem event trace (disabled by default; enable with
     /// `sys.trace.set_enabled(true)`).
     pub trace: Trace,
+    /// Per-volume file systems (index = volume id).
+    fs: Vec<Ufs>,
+    /// Movie placements by name.
+    placements: BTreeMap<String, MoviePlacement>,
     tags: TagArena,
-    /// File-system blocks with disk I/O in flight (sync or read-ahead).
-    inflight_blocks: HashSet<cras_ufs::FsBlock>,
+    /// `(volume, block)` pairs with disk I/O in flight (sync or
+    /// read-ahead).
+    inflight_blocks: HashSet<(u32, cras_ufs::FsBlock)>,
     /// Blocks the Unix server's current fetch step is waiting on.
-    server_wait: Option<HashSet<cras_ufs::FsBlock>>,
+    server_wait: Option<HashSet<(u32, cras_ufs::FsBlock)>>,
     cras_tid: ThreadId,
     hog_tids: Vec<ThreadId>,
     next_client: u32,
@@ -88,25 +125,36 @@ pub struct System {
 }
 
 impl System {
-    /// Builds a system: ST32550N disk, tuned UFS, calibrated CRAS.
+    /// Builds a system: `cfg.server.volumes` ST32550N disks, a tuned UFS
+    /// per volume, calibrated CRAS.
     ///
     /// Disk parameters for the admission test come from running the
     /// Appendix A calibration against a scratch copy of the same disk
-    /// model — CRAS only ever sees what a real system could measure.
+    /// model — CRAS only ever sees what a real system could measure. The
+    /// volumes are homogeneous, so one calibration serves all of them.
     pub fn new(cfg: SysConfig) -> System {
+        assert!(cfg.server.volumes >= 1, "system needs at least one volume");
         let mut rng = Rng::new(cfg.seed);
-        let mut disk: DiskDevice<DiskTag> = DiskDevice::st32550n();
-        if cfg.disk_fault_prob > 0.0 {
-            disk.set_fault_injector(Some(cras_disk::FaultInjector::new(
-                cfg.disk_fault_prob,
-                cfg.disk_fault_penalty,
-                cfg.seed ^ 0xFA17,
-            )));
+        let nvol = cfg.server.volumes;
+        let mut devices: Vec<DiskDevice<DiskTag>> = Vec::with_capacity(nvol);
+        for v in 0..nvol as u64 {
+            let mut disk: DiskDevice<DiskTag> = DiskDevice::st32550n();
+            if cfg.disk_fault_prob > 0.0 {
+                disk.set_fault_injector(Some(cras_disk::FaultInjector::new(
+                    cfg.disk_fault_prob,
+                    cfg.disk_fault_penalty,
+                    cfg.seed ^ 0xFA17 ^ (v << 32),
+                )));
+            }
+            devices.push(disk);
         }
+        let disks = VolumeSet::new(devices);
         let mut scratch: DiskDevice<u8> = DiskDevice::st32550n();
         let cal = cras_disk::calibrate::calibrate(&mut scratch, 64 * 1024);
-        let geom = disk.geometry().clone();
-        let ufs = Ufs::format(&geom, MkfsParams::tuned(&geom), rng.fork().next_u64());
+        let geom = disks.volume(VolumeId(0)).geometry().clone();
+        let fs: Vec<Ufs> = (0..nvol as u32)
+            .map(|v| Ufs::format_volume(&geom, MkfsParams::tuned(&geom), rng.fork().next_u64(), v))
+            .collect();
         let cras = CrasServer::new(cal.params, cfg.server);
         let mut cpu = Cpu::new();
         let cras_tid = cpu.create("cras-sched", Self::policy_for(&cfg, prio::CRAS));
@@ -116,9 +164,8 @@ impl System {
         System {
             cfg,
             engine: Engine::new(),
-            disk,
+            disks,
             cpu,
-            ufs,
             userver: UnixServer::new(),
             cras,
             players: BTreeMap::new(),
@@ -127,6 +174,8 @@ impl System {
             metrics: Metrics::new(),
             deadline_port: Port::new(64, FullPolicy::DropOldest),
             trace: Trace::new(4096),
+            fs,
+            placements: BTreeMap::new(),
             tags: TagArena::default(),
             inflight_blocks: HashSet::new(),
             server_wait: None,
@@ -153,11 +202,181 @@ impl System {
         self.engine.now()
     }
 
+    /// Number of volumes.
+    pub fn volumes(&self) -> usize {
+        self.fs.len()
+    }
+
+    /// The volume-0 disk (single-disk compatibility accessor).
+    pub fn disk(&self) -> &DiskDevice<DiskTag> {
+        self.disks.volume(VolumeId(0))
+    }
+
+    /// Mutable volume-0 disk.
+    pub fn disk_mut(&mut self) -> &mut DiskDevice<DiskTag> {
+        self.disks.volume_mut(VolumeId(0))
+    }
+
+    /// The volume-0 file system (single-disk compatibility accessor).
+    pub fn ufs(&self) -> &Ufs {
+        &self.fs[0]
+    }
+
+    /// Mutable volume-0 file system.
+    pub fn ufs_mut(&mut self) -> &mut Ufs {
+        &mut self.fs[0]
+    }
+
+    /// The file system on volume `vol`.
+    pub fn ufs_on(&self, vol: u32) -> &Ufs {
+        &self.fs[vol as usize]
+    }
+
+    /// Mutable file system on volume `vol`.
+    pub fn ufs_on_mut(&mut self, vol: u32) -> &mut Ufs {
+        &mut self.fs[vol as usize]
+    }
+
+    /// Where a movie's data lives (if it was recorded through
+    /// [`System::record_movie`]).
+    pub fn placement(&self, name: &str) -> Option<&MoviePlacement> {
+        self.placements.get(name)
+    }
+
     /// Records a movie into the file system (setup phase; consumes no
-    /// simulated time).
+    /// simulated time). Under round-robin placement the whole movie lands
+    /// on the next volume in rotation; under striped placement its data is
+    /// spread over every volume in stripe units.
     pub fn record_movie(&mut self, name: &str, profile: StreamProfile, secs: f64) -> Movie {
-        cras_media::record_movie(&mut self.ufs, name, profile, secs, &mut self.rng)
-            .expect("movie recording failed")
+        match self.cfg.server.placement {
+            PlacementPolicy::RoundRobin => {
+                let vol = self.cras.place_next();
+                let movie = cras_media::record_movie(
+                    &mut self.fs[vol.index()],
+                    name,
+                    profile,
+                    secs,
+                    &mut self.rng,
+                )
+                .expect("movie recording failed");
+                self.placements.insert(
+                    name.to_string(),
+                    MoviePlacement::Whole {
+                        vol: vol.0,
+                        ino: movie.ino,
+                    },
+                );
+                movie
+            }
+            PlacementPolicy::Striped { stripe_bytes } => {
+                self.record_movie_striped(name, profile, secs, stripe_bytes)
+            }
+        }
+    }
+
+    /// Records a movie striped across all volumes: stripe unit `k` of the
+    /// data goes to volume `k mod N`, appended to a per-volume stripe
+    /// file. The control file lives on volume 0, as in the whole-movie
+    /// layout.
+    fn record_movie_striped(
+        &mut self,
+        name: &str,
+        profile: StreamProfile,
+        secs: f64,
+        stripe_bytes: u64,
+    ) -> Movie {
+        assert!(stripe_bytes > 0, "zero stripe unit");
+        assert!(
+            stripe_bytes.is_multiple_of(BSIZE as u64),
+            "stripe unit must be a multiple of the fs block size"
+        );
+        let table = cras_media::generate_chunks(&profile, secs, &mut self.rng);
+        let total = table.total_bytes();
+        let n = self.fs.len() as u64;
+        // Stripe k (the last may be short) lands on volume k mod N.
+        let nstripes = total.div_ceil(stripe_bytes);
+        let mut per_vol = vec![0u64; n as usize];
+        for k in 0..nstripes {
+            let len = stripe_bytes.min(total - k * stripe_bytes);
+            per_vol[(k % n) as usize] += len;
+        }
+        let mut stripes = Vec::with_capacity(n as usize);
+        for (v, bytes) in per_vol.iter().enumerate() {
+            let fsv = &mut self.fs[v];
+            let ino = fsv.create(&format!("{name}.s{v}")).expect("stripe file");
+            if *bytes > 0 {
+                fsv.append(ino, *bytes).expect("stripe allocation");
+            }
+            stripes.push(ino);
+        }
+        let ctl = cras_media::container::encode(&table);
+        let ctl_ino = self.fs[0]
+            .create(&format!("{name}.ctl"))
+            .expect("control file");
+        self.fs[0]
+            .append(ctl_ino, ctl.len() as u64)
+            .expect("control file fits");
+        let ino = stripes[0];
+        self.placements.insert(
+            name.to_string(),
+            MoviePlacement::Striped {
+                stripes,
+                stripe_bytes,
+                total_bytes: total,
+            },
+        );
+        Movie {
+            name: name.to_string(),
+            ino,
+            table,
+            profile,
+        }
+    }
+
+    /// Resolves a movie's placed extent map for `crs_open`: each extent
+    /// tagged with the volume it lives on, file offsets in logical media
+    /// bytes.
+    fn movie_extents(&self, movie: &Movie) -> Vec<VolumeExtent> {
+        match self.placements.get(&movie.name) {
+            // The placement names the volume; the `Movie` handle names the
+            // inode (tools like the fragmenter re-home a movie's data into
+            // a fresh inode under the same name).
+            Some(MoviePlacement::Whole { vol, ino: _ }) => {
+                on_volume(VolumeId(*vol), self.fs[*vol as usize].extent_map(movie.ino))
+            }
+            Some(MoviePlacement::Striped {
+                stripes,
+                stripe_bytes,
+                total_bytes,
+            }) => {
+                let maps: Vec<Vec<Extent>> = stripes
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &ino)| self.fs[v].extent_map(ino))
+                    .collect();
+                striped_extents(&maps, *stripe_bytes, *total_bytes)
+            }
+            // Movies created directly through `ufs_mut()` (tests,
+            // experiments) live on volume 0.
+            None => on_volume(VolumeId(0), self.fs[0].extent_map(movie.ino)),
+        }
+    }
+
+    /// The single volume holding a movie's data, for Unix-server access
+    /// paths that read one file.
+    ///
+    /// # Panics
+    ///
+    /// Panics for striped movies: the Unix server reads whole files and
+    /// has no stripe-reassembly layer.
+    fn movie_volume(&self, movie: &Movie) -> u32 {
+        match self.placements.get(&movie.name) {
+            Some(MoviePlacement::Whole { vol, .. }) => *vol,
+            Some(MoviePlacement::Striped { .. }) => {
+                panic!("Unix-server access to a striped movie is not supported")
+            }
+            None => 0,
+        }
     }
 
     /// Starts CRAS's interval timer (idempotent).
@@ -188,21 +407,20 @@ impl System {
         movie: &Movie,
         stride: u32,
     ) -> Result<ClientId, AdmissionError> {
-        let extents = self.ufs.extent_map(movie.ino);
+        let extents = self.movie_extents(movie);
         let stream = if self.cfg.enforce_admission {
-            self.cras.open(&movie.name, movie.table.clone(), extents)?
+            self.cras
+                .open_placed(&movie.name, movie.table.clone(), extents)?
         } else {
-            match self.cras.open(
-                &movie.name,
-                movie.table.clone(),
-                self.ufs.extent_map(movie.ino),
-            ) {
+            match self
+                .cras
+                .open_placed(&movie.name, movie.table.clone(), extents.clone())
+            {
                 Ok(id) => id,
-                Err(_) => self.cras.open_unchecked(
-                    &movie.name,
-                    movie.table.clone(),
-                    self.ufs.extent_map(movie.ino),
-                ),
+                Err(_) => {
+                    self.cras
+                        .open_placed_unchecked(&movie.name, movie.table.clone(), extents)
+                }
             }
         };
         let id = self.alloc_client();
@@ -225,6 +443,7 @@ impl System {
 
     /// Adds a player that reads the movie through the Unix file system.
     pub fn add_ufs_player(&mut self, movie: &Movie, stride: u32) -> ClientId {
+        let vol = self.movie_volume(movie);
         let id = self.alloc_client();
         let tid = self.cpu.create(
             &format!("player{}", id.0),
@@ -234,7 +453,10 @@ impl System {
             id.0,
             Player::new(
                 id,
-                PlayerMode::Ufs { ino: movie.ino },
+                PlayerMode::Ufs {
+                    ino: movie.ino,
+                    vol,
+                },
                 movie.table.clone(),
                 stride,
                 tid,
@@ -254,19 +476,21 @@ impl System {
     /// feasible (Figure 7 compares the systems "when both file systems
     /// achieve the same throughput").
     pub fn add_bg_reader_paced(&mut self, movie: &Movie, pause: Duration) -> ClientId {
+        let vol = self.movie_volume(movie);
         let id = self.alloc_client();
-        let size = self.ufs.file_size(movie.ino);
+        let size = self.fs[vol as usize].file_size(movie.ino);
         let mut bg = BgReader::new(id, movie.ino, size, 64 * 1024);
+        bg.vol = vol;
         bg.pause = pause;
         self.bgs.insert(id.0, bg);
         id
     }
 
     /// Adds an editor appending `write_size` bytes every `period` to a
-    /// fresh file (delayed writes drained by the syncer).
+    /// fresh file on volume 0 (delayed writes drained by the syncer).
     pub fn add_bg_writer(&mut self, name: &str, write_size: u64, period: Duration) -> ClientId {
         let id = self.alloc_client();
-        let ino = self.ufs.create(name).expect("fresh edit file");
+        let ino = self.fs[0].create(name).expect("fresh edit file");
         self.writers
             .insert(id.0, BgWriter::new(id, ino, write_size, period));
         id
@@ -359,7 +583,7 @@ impl System {
         match ev {
             Event::CrasTick => self.on_cras_tick(now),
             Event::CpuSlice(tok) => self.on_cpu_slice(tok, now),
-            Event::DiskDone => self.on_disk_done(now),
+            Event::DiskDone(vol) => self.on_disk_done(vol, now),
             Event::PlayerFrame(c) | Event::PlayerPoll(c) => self.on_player_tick(c, now),
             Event::BgKick(c) => self.on_bg_kick(c, now),
             Event::BgWrite(c) => self.on_bg_write(c, now),
@@ -377,10 +601,10 @@ impl System {
         }
     }
 
-    fn submit_disk(&mut self, req: DiskRequest<DiskTag>) {
+    fn submit_disk(&mut self, vol: u32, req: DiskRequest<DiskTag>) {
         let now = self.now();
-        if let Some(at) = self.disk.submit(now, req) {
-            self.engine.schedule(at, Event::DiskDone);
+        if let Some(at) = self.disks.submit(VolumeId(vol), now, req) {
+            self.engine.schedule(at, Event::DiskDone(vol));
         }
     }
 
@@ -424,11 +648,10 @@ impl System {
                 });
                 self.metrics.on_interval(&rep, now);
                 for r in &rep.reqs {
-                    self.submit_disk(DiskRequest::rt_read(
-                        r.block,
-                        r.nblocks,
-                        DiskTag::Cras(r.id),
-                    ));
+                    self.submit_disk(
+                        r.volume.0,
+                        DiskRequest::rt_read(r.block, r.nblocks, DiskTag::Cras(r.id)),
+                    );
                 }
             }
             CpuTag::PlayerDecode { client, frame } => {
@@ -443,10 +666,10 @@ impl System {
         }
     }
 
-    fn on_disk_done(&mut self, now: Instant) {
-        let (done, next) = self.disk.complete(now);
+    fn on_disk_done(&mut self, vol: u32, now: Instant) {
+        let (done, next) = self.disks.complete(VolumeId(vol), now);
         if let Some(at) = next {
-            self.engine.schedule(at, Event::DiskDone);
+            self.engine.schedule(at, Event::DiskDone(vol));
         }
         match done.req.tag {
             DiskTag::Cras(rid) => {
@@ -457,11 +680,11 @@ impl System {
             DiskTag::CrasWrite(_) => {
                 self.metrics.cras_write_bytes += done.req.bytes();
             }
-            DiskTag::UfsWriteback(_) => {}
-            DiskTag::UfsFetch(run) | DiskTag::UfsReadAhead(run) => {
+            DiskTag::UfsWriteback(_, _) => {}
+            DiskTag::UfsFetch(v, run) | DiskTag::UfsReadAhead(v, run) => {
                 for b in run.blocks() {
-                    self.ufs.mark_cached(b);
-                    self.inflight_blocks.remove(&b);
+                    self.fs[v as usize].mark_cached(b);
+                    self.inflight_blocks.remove(&(v, b));
                 }
                 self.check_server_wait(now);
             }
@@ -469,11 +692,12 @@ impl System {
         }
     }
 
-    /// Issues a read through the Unix server on behalf of `owner`.
-    fn ufs_read(&mut self, owner: UOwner, ino: Ino, offset: u64, len: u64) {
-        let plan = self.ufs.plan_read(ino, offset, len);
+    /// Issues a read through the Unix server on behalf of `owner`, against
+    /// the file system on `vol`.
+    fn ufs_read(&mut self, vol: u32, owner: UOwner, ino: Ino, offset: u64, len: u64) {
+        let plan = self.fs[vol as usize].plan_read(ino, offset, len);
         let req = FsReq {
-            tag: owner,
+            tag: UReq { vol, owner },
             fetch: plan.fetch,
             read_ahead: plan.read_ahead,
         };
@@ -490,7 +714,7 @@ impl System {
             None => false,
             Some(wait) => {
                 // Keep only blocks whose I/O is still in flight.
-                wait.retain(|b| self.inflight_blocks.contains(b));
+                wait.retain(|k| self.inflight_blocks.contains(k));
                 wait.is_empty()
             }
         };
@@ -501,17 +725,22 @@ impl System {
         }
     }
 
-    fn drive_userver(&mut self, first: Step<UOwner>, now: Instant) {
+    fn drive_userver(&mut self, first: Step<UReq>, now: Instant) {
         let mut step = Some(first);
         while let Some(s) = step.take() {
             match s {
                 Step::Fetch(run) => {
+                    let vol = self
+                        .userver
+                        .current_tag()
+                        .expect("a fetch step implies a request in service")
+                        .vol;
                     // Blocks may have arrived (or be in flight) since the
                     // plan was made: fetch only what is truly absent, and
                     // sleep on in-flight buffers instead of re-issuing.
                     let missing: Vec<cras_ufs::FsBlock> = run
                         .blocks()
-                        .filter(|b| !self.ufs.cache().peek(*b))
+                        .filter(|b| !self.fs[vol as usize].cache().peek(*b))
                         .collect();
                     if missing.is_empty() {
                         step = Some(self.userver.fetch_done());
@@ -520,23 +749,27 @@ impl System {
                     let to_submit: Vec<cras_ufs::FsBlock> = missing
                         .iter()
                         .copied()
-                        .filter(|b| !self.inflight_blocks.contains(b))
+                        .filter(|b| !self.inflight_blocks.contains(&(vol, *b)))
                         .collect();
                     for sub in cras_ufs::fs::merge_runs(&to_submit, u32::MAX) {
                         for b in sub.blocks() {
-                            self.inflight_blocks.insert(b);
+                            self.inflight_blocks.insert((vol, b));
                         }
-                        self.submit_disk(DiskRequest::read(
-                            fsblock_to_disk(sub.start),
-                            SECT_PER_FSBLOCK * sub.len,
-                            DiskTag::UfsFetch(sub),
-                        ));
+                        self.submit_disk(
+                            vol,
+                            DiskRequest::read(
+                                fsblock_to_disk(sub.start),
+                                SECT_PER_FSBLOCK * sub.len,
+                                DiskTag::UfsFetch(vol, sub),
+                            ),
+                        );
                     }
-                    self.server_wait = Some(missing.into_iter().collect());
+                    self.server_wait = Some(missing.into_iter().map(|b| (vol, b)).collect());
                     // The server blocks until the blocks arrive.
                     return;
                 }
                 Step::Done(req) => {
+                    let vol = req.tag.vol;
                     // Driver-level asynchronous read-ahead fills the cache
                     // without occupying the server; blocks already cached
                     // or in flight are skipped.
@@ -544,21 +777,25 @@ impl System {
                         let fresh: Vec<cras_ufs::FsBlock> = run
                             .blocks()
                             .filter(|b| {
-                                !self.ufs.cache().peek(*b) && !self.inflight_blocks.contains(b)
+                                !self.fs[vol as usize].cache().peek(*b)
+                                    && !self.inflight_blocks.contains(&(vol, *b))
                             })
                             .collect();
                         for sub in cras_ufs::fs::merge_runs(&fresh, u32::MAX) {
                             for b in sub.blocks() {
-                                self.inflight_blocks.insert(b);
+                                self.inflight_blocks.insert((vol, b));
                             }
-                            self.submit_disk(DiskRequest::read(
-                                fsblock_to_disk(sub.start),
-                                SECT_PER_FSBLOCK * sub.len,
-                                DiskTag::UfsReadAhead(sub),
-                            ));
+                            self.submit_disk(
+                                vol,
+                                DiskRequest::read(
+                                    fsblock_to_disk(sub.start),
+                                    SECT_PER_FSBLOCK * sub.len,
+                                    DiskTag::UfsReadAhead(vol, sub),
+                                ),
+                            );
                         }
                     }
-                    match req.tag {
+                    match req.tag.owner {
                         UOwner::Player {
                             client,
                             frame,
@@ -628,8 +865,9 @@ impl System {
                     }
                 }
             }
-            PlayerMode::Ufs { ino } => {
+            PlayerMode::Ufs { ino, vol } => {
                 self.ufs_read(
+                    vol,
                     UOwner::Player {
                         client,
                         frame: k,
@@ -657,10 +895,10 @@ impl System {
         let Some(w) = self.writers.get_mut(&client.0) else {
             return;
         };
-        let (ino, bytes, period) = (w.ino, w.write_size, w.period);
+        let (ino, vol, bytes, period) = (w.ino, w.vol, w.write_size, w.period);
         w.complete();
         // Delayed write: allocate + dirty in memory; no disk I/O here.
-        self.ufs
+        self.fs[vol as usize]
             .append_dirty(ino, bytes)
             .expect("edit file grows within limits");
         self.engine.schedule_after(period, Event::BgWrite(client));
@@ -670,12 +908,18 @@ impl System {
         // Flush everything dirty each pass, like the classic update
         // daemon: write-back arrives in bursts, which is exactly the
         // disk contention the editing experiment studies.
-        for run in self.ufs.take_dirty(usize::MAX) {
-            self.submit_disk(DiskRequest::write(
-                fsblock_to_disk(run.start),
-                SECT_PER_FSBLOCK * run.len,
-                DiskTag::UfsWriteback(run),
-            ));
+        for v in 0..self.fs.len() {
+            let runs = self.fs[v].take_dirty(usize::MAX);
+            for run in runs {
+                self.submit_disk(
+                    v as u32,
+                    DiskRequest::write(
+                        fsblock_to_disk(run.start),
+                        SECT_PER_FSBLOCK * run.len,
+                        DiskTag::UfsWriteback(v as u32, run),
+                    ),
+                );
+            }
         }
         if !self.writers.is_empty() {
             self.engine
@@ -691,10 +935,49 @@ impl System {
             return;
         }
         let (pos, len) = bg.next_range();
-        let ino = bg.ino;
+        let (ino, vol) = (bg.ino, bg.vol);
         self.bgs.get_mut(&client.0).expect("exists").in_flight = true;
-        self.ufs_read(UOwner::Bg { client, bytes: len }, ino, pos, len);
+        self.ufs_read(vol, UOwner::Bg { client, bytes: len }, ino, pos, len);
     }
+}
+
+/// Composes the placed extent map of a striped movie from the per-volume
+/// stripe files' extent maps. Stripe `k` (logical bytes
+/// `[k·S, k·S+len)`) is the `k/N`-th stripe inside volume `k mod N`'s
+/// stripe file; only the final logical stripe may be short, and it is the
+/// last one in its file, so within-file stripe offsets are exact
+/// multiples of the stripe unit.
+fn striped_extents(maps: &[Vec<Extent>], stripe_bytes: u64, total: u64) -> Vec<VolumeExtent> {
+    let n = maps.len() as u64;
+    let mut out = Vec::new();
+    let mut logical = 0u64;
+    let mut k = 0u64;
+    while logical < total {
+        let len = stripe_bytes.min(total - logical);
+        let vol = (k % n) as usize;
+        let within = (k / n) * stripe_bytes;
+        let (lo, hi) = (within, within + len);
+        for e in &maps[vol] {
+            let e_lo = e.file_offset;
+            let e_hi = e.file_offset + e.nblocks as u64 * 512;
+            let a = lo.max(e_lo);
+            let b = hi.min(e_hi);
+            if a >= b {
+                continue;
+            }
+            out.push(VolumeExtent {
+                volume: VolumeId(vol as u32),
+                extent: Extent {
+                    file_offset: logical + (a - lo),
+                    disk_block: e.disk_block + (a - e_lo) / 512,
+                    nblocks: (b - a).div_ceil(512) as u32,
+                },
+            });
+        }
+        logical += len;
+        k += 1;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -838,5 +1121,103 @@ mod tests {
         // pessimistic (actual well under calculated).
         assert!(avg > 0.0 && avg < 0.6, "avg ratio {avg}");
         assert!(max < 1.0, "max ratio {max}");
+    }
+
+    #[test]
+    fn round_robin_places_movies_on_alternate_volumes() {
+        let mut cfg = SysConfig::default();
+        cfg.server.volumes = 2;
+        let mut s = sys(cfg);
+        let a = s.record_movie("a", StreamProfile::mpeg1(), 4.0);
+        let b = s.record_movie("b", StreamProfile::mpeg1(), 4.0);
+        match s.placement(&a.name) {
+            Some(MoviePlacement::Whole { vol, .. }) => assert_eq!(*vol, 0),
+            other => panic!("unexpected placement {other:?}"),
+        }
+        match s.placement(&b.name) {
+            Some(MoviePlacement::Whole { vol, .. }) => assert_eq!(*vol, 1),
+            other => panic!("unexpected placement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_volume_system_plays_from_both_disks() {
+        let mut cfg = SysConfig::default();
+        cfg.server.volumes = 2;
+        let mut s = sys(cfg);
+        let a = s.record_movie("a", StreamProfile::mpeg1(), 8.0);
+        let b = s.record_movie("b", StreamProfile::mpeg1(), 8.0);
+        let ca = s.add_cras_player(&a, 1).unwrap();
+        let cb = s.add_cras_player(&b, 1).unwrap();
+        s.start_playback(ca);
+        s.start_playback(cb);
+        s.run_for(Duration::from_secs(12));
+        for c in [ca, cb] {
+            let p = &s.players[&c.0];
+            assert!(p.done, "player {} unfinished", c.0);
+            assert_eq!(p.stats.frames_dropped, 0, "player {} dropped", c.0);
+        }
+        let (rt0, _) = s.disks.volume(VolumeId(0)).stats().ops;
+        let (rt1, _) = s.disks.volume(VolumeId(1)).stats().ops;
+        assert!(rt0 > 0, "volume 0 idle");
+        assert!(rt1 > 0, "volume 1 idle");
+    }
+
+    #[test]
+    fn striped_movie_reads_every_volume() {
+        let mut cfg = SysConfig::default();
+        cfg.server.volumes = 2;
+        cfg.server.placement = PlacementPolicy::Striped {
+            stripe_bytes: 256 * 1024,
+        };
+        let mut s = sys(cfg);
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 8.0);
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(12));
+        let p = &s.players[&c.0];
+        assert!(p.done, "playback should finish");
+        assert_eq!(p.stats.frames_dropped, 0, "no drops expected");
+        let (rt0, _) = s.disks.volume(VolumeId(0)).stats().ops;
+        let (rt1, _) = s.disks.volume(VolumeId(1)).stats().ops;
+        assert!(rt0 > 0, "volume 0 idle");
+        assert!(rt1 > 0, "volume 1 idle");
+    }
+
+    #[test]
+    fn striped_extents_cover_movie_bytes_in_order() {
+        let mut cfg = SysConfig::default();
+        cfg.server.volumes = 2;
+        cfg.server.placement = PlacementPolicy::Striped {
+            stripe_bytes: 256 * 1024,
+        };
+        let mut s = sys(cfg);
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 6.0);
+        let extents = s.movie_extents(&movie);
+        assert!(extents.len() >= 2, "striping should split extents");
+        let mut cursor = 0u64;
+        for ve in &extents {
+            assert_eq!(ve.extent.file_offset, cursor, "gap in logical bytes");
+            cursor += ve.extent.nblocks as u64 * 512;
+        }
+        assert!(
+            cursor >= movie.table.total_bytes(),
+            "extents cover the movie"
+        );
+        let vols: std::collections::BTreeSet<u32> = extents.iter().map(|ve| ve.volume.0).collect();
+        assert_eq!(vols.len(), 2, "both volumes hold data");
+    }
+
+    #[test]
+    #[should_panic(expected = "striped movie is not supported")]
+    fn ufs_player_on_striped_movie_panics() {
+        let mut cfg = SysConfig::default();
+        cfg.server.volumes = 2;
+        cfg.server.placement = PlacementPolicy::Striped {
+            stripe_bytes: 256 * 1024,
+        };
+        let mut s = sys(cfg);
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 4.0);
+        s.add_ufs_player(&movie, 1);
     }
 }

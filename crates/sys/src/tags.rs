@@ -11,8 +11,8 @@ pub struct ClientId(pub u32);
 /// The global event enum dispatched by the system loop.
 #[derive(Clone, Copy, Debug)]
 pub enum Event {
-    /// The disk finished its in-flight operation.
-    DiskDone,
+    /// The disk on this volume finished its in-flight operation.
+    DiskDone(u32),
     /// A CPU slice boundary (burst completion or quantum expiry).
     CpuSlice(SliceToken),
     /// CRAS's interval timer fired.
@@ -40,12 +40,13 @@ pub enum DiskTag {
     Cras(ReadId),
     /// A CRAS recorder real-time write.
     CrasWrite(WriteId),
-    /// A synchronous clustered UFS fetch on behalf of the Unix server.
-    UfsFetch(FetchRun),
-    /// An asynchronous UFS read-ahead run.
-    UfsReadAhead(FetchRun),
-    /// A syncer write-back of dirty blocks.
-    UfsWriteback(FetchRun),
+    /// A synchronous clustered UFS fetch on behalf of the Unix server
+    /// (volume, run).
+    UfsFetch(u32, FetchRun),
+    /// An asynchronous UFS read-ahead run (volume, run).
+    UfsReadAhead(u32, FetchRun),
+    /// A syncer write-back of dirty blocks (volume, run).
+    UfsWriteback(u32, FetchRun),
     /// Raw traffic from calibration or ad-hoc experiments.
     Raw(u64),
 }

@@ -148,11 +148,26 @@ pub struct Ufs {
     /// delayed-write path; a syncer drains them).
     dirty: BTreeSet<FsBlock>,
     rng: Rng,
+    /// The volume this file system is formatted on (0 for a single-disk
+    /// deployment; block numbers address that volume only).
+    volume: u32,
 }
 
 impl Ufs {
-    /// Formats a file system over `geom` with the given parameters.
+    /// Formats a file system over `geom` with the given parameters (on
+    /// volume 0 — the single-disk deployment).
     pub fn format(geom: &cras_disk::geometry::DiskGeometry, params: MkfsParams, seed: u64) -> Ufs {
+        Ufs::format_volume(geom, params, seed, 0)
+    }
+
+    /// Formats a file system over one volume of a multi-disk set. Every
+    /// block number the file system hands out addresses that volume.
+    pub fn format_volume(
+        geom: &cras_disk::geometry::DiskGeometry,
+        params: MkfsParams,
+        seed: u64,
+        volume: u32,
+    ) -> Ufs {
         let layout = FsLayout::compute(geom, params.cyl_per_group);
         let mut alloc = Allocator::new(layout, params.maxbpg);
         // Reserve block 0 as the superblock area.
@@ -165,7 +180,13 @@ impl Ufs {
             cache: BufferCache::new(params.cache_blocks),
             dirty: BTreeSet::new(),
             rng: Rng::new(seed),
+            volume,
         }
+    }
+
+    /// The volume this file system lives on.
+    pub fn volume(&self) -> u32 {
+        self.volume
     }
 
     /// The layout in use.

@@ -88,6 +88,13 @@ impl<T> UnixServer<T> {
         self.served
     }
 
+    /// The routing tag of the request in service, if any (the
+    /// orchestrator uses it to route the in-flight fetch's completion,
+    /// e.g. to the volume the request is reading).
+    pub fn current_tag(&self) -> Option<&T> {
+        self.current.as_ref().map(|c| &c.req.tag)
+    }
+
     /// Submits a request. If the server is idle it starts immediately and
     /// the first step is returned; otherwise the request queues FIFO.
     pub fn submit(&mut self, req: FsReq<T>) -> Option<Step<T>> {
@@ -207,6 +214,18 @@ mod tests {
         }
         assert!(s.next_request().is_none());
         assert_eq!(s.served(), 3);
+    }
+
+    #[test]
+    fn current_tag_names_request_in_service() {
+        let mut s = UnixServer::new();
+        assert_eq!(s.current_tag(), None);
+        s.submit(req(7, vec![10]));
+        s.submit(req(8, vec![20]));
+        assert_eq!(s.current_tag(), Some(&7));
+        s.fetch_done();
+        s.next_request();
+        assert_eq!(s.current_tag(), Some(&8));
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub fn run_one(storage: Storage, write_rate: f64, measure: Duration, seed: u64) 
         max_delay,
         dropped: p.stats.frames_dropped,
         written: sys.writers.values().map(|w| w.bytes_written).sum(),
-        dirty_backlog: sys.ufs.dirty_blocks(),
+        dirty_backlog: sys.ufs().dirty_blocks(),
     }
 }
 

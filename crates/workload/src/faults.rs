@@ -63,7 +63,11 @@ pub fn sweep(
             start = sys.start_playback(p).max(start);
         }
         sys.run_until(start + measure);
-        let injected = sys.disk.fault_injector().map(|f| f.injected()).unwrap_or(0);
+        let injected = sys
+            .disk()
+            .fault_injector()
+            .map(|f| f.injected())
+            .unwrap_or(0);
         let dropped = sys.players.values().map(|p| p.stats.frames_dropped).sum();
         let max_delay = sys
             .players

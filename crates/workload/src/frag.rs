@@ -67,19 +67,19 @@ pub fn run_condition(cond: Condition, streams: usize, measure: Duration, seed: u
             match cond {
                 Condition::Contiguous => m,
                 Condition::Fragmented => {
-                    fragment_movie(&mut sys.ufs, &m, 1.0, &mut rng).expect("fragmenting fits")
+                    fragment_movie(sys.ufs_mut(), &m, 1.0, &mut rng).expect("fragmenting fits")
                 }
                 Condition::Rearranged => {
                     let f =
-                        fragment_movie(&mut sys.ufs, &m, 1.0, &mut rng).expect("fragmenting fits");
-                    rearrange_movie(&mut sys.ufs, &f).expect("rearranging fits")
+                        fragment_movie(sys.ufs_mut(), &m, 1.0, &mut rng).expect("fragmenting fits");
+                    rearrange_movie(sys.ufs_mut(), &f).expect("rearranging fits")
                 }
             }
         })
         .collect();
     let contiguity = movies
         .iter()
-        .map(|m| sys.ufs.fragmentation(m.ino).contiguity)
+        .map(|m| sys.ufs().fragmentation(m.ino).contiguity)
         .sum::<f64>()
         / streams as f64;
 

@@ -9,6 +9,7 @@
 //! | [`fig10`] | Figure 10: fixed-priority vs round-robin scheduling |
 //! | [`fig12`] | Figure 12 + Table 4: disk calibration (Appendix A) |
 //! | [`capacity`] | §3.1 capacity claim + Table 1/3 parameters + §2.1 memory |
+//! | [`capacity_scaling`] | §4 multi-disk variation: admitted streams vs volumes |
 //! | [`frag`] | §3.2 fragmentation problem + rearranger ablation |
 //! | [`vbr`] | §3.2 VBR buffer-waste ablation |
 //! | [`ablate`] | admission-model ablation (per-stream vs per-read) |
@@ -34,6 +35,7 @@ pub mod ablate;
 pub mod admission_acc;
 pub mod buffer_ablation;
 pub mod capacity;
+pub mod capacity_scaling;
 pub mod deploy;
 pub mod disk_sched;
 pub mod editing;

@@ -1,10 +1,11 @@
 //! Common result containers for the experiments, serializable so the
 //! harness can emit JSON next to the printed tables.
 
-use serde::Serialize;
+use cras_sim::json::Json;
+use std::collections::BTreeMap;
 
 /// One named series of `(x, y)` points.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label.
     pub name: String,
@@ -37,8 +38,25 @@ impl Series {
     }
 }
 
+impl Series {
+    fn to_value(&self) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("name".to_string(), Json::Str(self.name.clone()));
+        m.insert(
+            "points".to_string(),
+            Json::Arr(
+                self.points
+                    .iter()
+                    .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                    .collect(),
+            ),
+        );
+        Json::Obj(m)
+    }
+}
+
 /// A figure: several series over shared axes.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Figure id, e.g. `"fig6"`.
     pub id: String,
@@ -114,12 +132,21 @@ impl Figure {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        let mut m = BTreeMap::new();
+        m.insert("id".to_string(), Json::Str(self.id.clone()));
+        m.insert("title".to_string(), Json::Str(self.title.clone()));
+        m.insert("xlabel".to_string(), Json::Str(self.xlabel.clone()));
+        m.insert("ylabel".to_string(), Json::Str(self.ylabel.clone()));
+        m.insert(
+            "series".to_string(),
+            Json::Arr(self.series.iter().map(Series::to_value).collect()),
+        );
+        Json::Obj(m).pretty()
     }
 }
 
 /// A generic key/value result table (Table 3/4 style).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct KvTable {
     /// Table id.
     pub id: String,
@@ -156,7 +183,25 @@ impl KvTable {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        let mut m = BTreeMap::new();
+        m.insert("id".to_string(), Json::Str(self.id.clone()));
+        m.insert("title".to_string(), Json::Str(self.title.clone()));
+        m.insert(
+            "rows".to_string(),
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|(n, v, u)| {
+                        Json::Arr(vec![
+                            Json::Str(n.clone()),
+                            Json::Str(v.clone()),
+                            Json::Str(u.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        Json::Obj(m).pretty()
     }
 }
 
@@ -193,8 +238,8 @@ mod tests {
         f.series_mut("s").push(1.0, 1.5);
         let j = f.to_json();
         assert!(j.contains("\"points\""));
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v["id"], "f");
+        let v = cras_sim::json::parse(&j).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("f"));
     }
 
     #[test]

@@ -15,8 +15,8 @@ fn main() {
     let mut sys = System::new(SysConfig::default());
     println!(
         "disk: {:.2} GB, {} cylinders",
-        sys.disk.geometry().capacity_bytes() as f64 / 1e9,
-        sys.disk.geometry().cylinders()
+        sys.disk().geometry().capacity_bytes() as f64 / 1e9,
+        sys.disk().geometry().cylinders()
     );
 
     // 2. Record a 20-second MPEG-1-rate movie into the file system.

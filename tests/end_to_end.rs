@@ -54,7 +54,7 @@ fn cras_reads_respect_256k_limit_and_rt_class() {
     assert!(stats.reads_issued >= 2 * stats.intervals.min(10) / 2);
     // Disk saw real-time traffic only (no UFS fetches in this scenario
     // beyond none — the movie is read via raw extents).
-    let (rt_ops, normal_ops) = sys.disk.stats().ops;
+    let (rt_ops, normal_ops) = sys.disk().stats().ops;
     assert!(rt_ops > 0);
     assert_eq!(normal_ops, 0);
     let p = &sys.players[&client.0];

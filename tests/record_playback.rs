@@ -18,9 +18,11 @@ fn record_then_play_roundtrip() {
     //    expanded").
     let secs = 12.0f64;
     let bytes = (secs * 187_500.0) as u64 + 8192;
-    let ino = sys.ufs.create("capture.mov").expect("fresh fs");
-    sys.ufs.preallocate(ino, bytes).expect("space available");
-    let extents = sys.ufs.extent_map(ino);
+    let ino = sys.ufs_mut().create("capture.mov").expect("fresh fs");
+    sys.ufs_mut()
+        .preallocate(ino, bytes)
+        .expect("space available");
+    let extents = sys.ufs().extent_map(ino);
 
     // 2. Record at constant rate through the Recorder (driven against a
     //    standalone disk instance, as a capture box would run).

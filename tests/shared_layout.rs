@@ -30,8 +30,8 @@ fn cras_and_ufs_read_the_same_file() {
 
     // Both paths really hit the same physical blocks: the CRAS extents
     // cover the UFS data blocks of the inode.
-    let extents = sys.ufs.extent_map(movie.ino);
-    let inode = sys.ufs.inode(movie.ino);
+    let extents = sys.ufs().extent_map(movie.ino);
+    let inode = sys.ufs().inode(movie.ino);
     for fb in 0..inode.nblocks() {
         let data = inode.bmap(fb).expect("mapped").data;
         let disk_block = fsblock_to_disk(data);
@@ -52,11 +52,11 @@ fn rt_and_normal_traffic_share_the_disk() {
     sys.start_playback(u);
     sys.run_for(Duration::from_secs(12));
     // The device saw both classes.
-    let (rt_ops, normal_ops) = sys.disk.stats().ops;
+    let (rt_ops, normal_ops) = sys.disk().stats().ops;
     assert!(rt_ops > 0, "CRAS issued real-time reads");
     assert!(normal_ops > 0, "UFS issued normal reads");
     // No cross-contamination of tags is possible by construction; spot
     // check the stats split: RT bytes match CRAS's accounting.
-    assert_eq!(sys.disk.stats().bytes.0, sys.metrics.cras_read_bytes);
+    assert_eq!(sys.disk().stats().bytes.0, sys.metrics.cras_read_bytes);
     let _ = DiskTag::Raw(0); // Type is exported and usable downstream.
 }
