@@ -93,6 +93,13 @@ fn main() {
     println!("{}", faults_t.render());
     write_result("faults", &faults_t.to_json());
 
+    let fo_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8, 12] };
+    let (fo_t, fo_f, _) = wl::failover::sweep(fo_counts, 4, secs(10, 20), 0xF417);
+    println!("{}", fo_t.render());
+    println!("{}", fo_f.render());
+    write_result("failover", &fo_t.to_json());
+    write_result("failover_rebuild", &fo_f.to_json());
+
     let intervals: &[f64] = if quick {
         &[0.5]
     } else {

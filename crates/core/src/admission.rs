@@ -74,6 +74,9 @@ pub enum AdmissionError {
         /// Budget bytes.
         budget: u64,
     },
+    /// Every volume holding the stream's data is failed — no replica
+    /// can serve it.
+    VolumeFailed,
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -90,6 +93,9 @@ impl std::fmt::Display for AdmissionError {
             }
             AdmissionError::OutOfMemory { needed, budget } => {
                 write!(f, "needs {needed} B of buffer, budget {budget} B")
+            }
+            AdmissionError::VolumeFailed => {
+                write!(f, "every volume holding the stream's data is failed")
             }
         }
     }

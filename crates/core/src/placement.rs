@@ -13,6 +13,12 @@
 //!   chunks dealt across all volumes, so even a single stream's load
 //!   spreads evenly. Stripe chunks must be a multiple of the 8 KB file
 //!   system block so stripe boundaries never split an FFS block.
+//! * **Mirrored** — each movie is written in full to a primary volume
+//!   *and* to a mirror volume. Admission charges the worst case — the
+//!   full rate on *both* replicas — so the guarantee survives either
+//!   spindle failing; in exchange the interval scheduler may steer each
+//!   interval's reads to whichever replica is lighter, and a stream
+//!   keeps its deadline through the loss of one volume.
 //!
 //! [`VolumeSet`]: cras_disk::VolumeSet
 
@@ -30,6 +36,9 @@ pub enum PlacementPolicy {
         /// Stripe chunk size in bytes (multiple of the 8 KB FS block).
         stripe_bytes: u64,
     },
+    /// Whole movies written twice: to a primary volume and to a mirror
+    /// volume (never the same spindle). Needs at least two volumes.
+    Mirrored,
 }
 
 /// A contiguous on-disk extent on a specific volume.
@@ -54,17 +63,43 @@ pub fn on_volume(volume: VolumeId, extents: Vec<Extent>) -> Vec<VolumeExtent> {
         .collect()
 }
 
-/// Fraction of a movie's bytes on each of `volumes` disks.
+/// Fraction of a movie's *logical* bytes on each of `volumes` disks.
 ///
 /// This is the weight vector the per-volume admission test scales each
 /// stream's rate by: a whole-volume movie contributes `1.0` to its home
-/// disk, a striped movie close to `1/N` everywhere.
+/// disk, a striped movie close to `1/N` everywhere, and a mirrored
+/// movie `1.0` to *each* replica volume (shares sum to the replication
+/// factor, not to one — admission must charge the worst-case copy on
+/// every spindle that may have to serve the stream alone).
+///
+/// The denominator is the union of the extents' logical file ranges,
+/// not the sum of their on-disk bytes: replica extents cover the same
+/// logical bytes twice, and dividing by the summed footprint would
+/// undercount each replica's load by the replication factor. For
+/// non-replicated maps (disjoint logical ranges) the union equals the
+/// sum, so round-robin and striped shares are bitwise unchanged.
 pub fn volume_shares(extents: &[VolumeExtent], volumes: usize) -> Vec<f64> {
     let mut bytes = vec![0u64; volumes];
+    let mut ranges: Vec<(u64, u64)> = Vec::with_capacity(extents.len());
     for ve in extents {
-        bytes[ve.volume.index()] += ve.extent.nblocks as u64 * 512;
+        let len = ve.extent.nblocks as u64 * 512;
+        bytes[ve.volume.index()] += len;
+        ranges.push((ve.extent.file_offset, ve.extent.file_offset + len));
     }
-    let total: u64 = bytes.iter().sum();
+    ranges.sort_unstable();
+    let mut total = 0u64;
+    let mut end = 0u64;
+    let mut start_new = true;
+    for (lo, hi) in ranges {
+        if start_new || lo > end {
+            total += hi - lo;
+            end = hi;
+            start_new = false;
+        } else if hi > end {
+            total += hi - end;
+            end = hi;
+        }
+    }
     if total == 0 {
         // An empty extent map is charged wholly to volume 0 so its rate
         // is never dropped from the admission test.
@@ -121,10 +156,31 @@ mod tests {
     }
 
     #[test]
+    fn mirrored_shares_charge_each_replica_in_full() {
+        // The same logical bytes live on volume 0 and volume 2: each
+        // replica volume must be charged the full rate (worst case: the
+        // other replica is gone), so shares are exactly 1.0 twice.
+        let mut ves = on_volume(VolumeId(0), vec![ext(0, 0, 1000)]);
+        ves.extend(on_volume(VolumeId(2), vec![ext(0, 5000, 1000)]));
+        let shares = volume_shares(&ves, 3);
+        assert_eq!(shares, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mirrored_shares_with_fragmented_replicas() {
+        // Replicas may fragment differently; each still covers the
+        // whole file, so each volume's share is still exactly 1.0.
+        let mut ves = on_volume(VolumeId(1), vec![ext(0, 0, 128), ext(65536, 900, 128)]);
+        ves.extend(on_volume(VolumeId(3), vec![ext(0, 77, 256)]));
+        let shares = volume_shares(&ves, 4);
+        assert_eq!(shares, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
     fn shares_sum_to_one() {
         let mut ves = on_volume(VolumeId(0), vec![ext(0, 0, 48)]);
-        ves.extend(on_volume(VolumeId(1), vec![ext(0, 0, 112)]));
-        ves.extend(on_volume(VolumeId(2), vec![ext(0, 0, 96)]));
+        ves.extend(on_volume(VolumeId(1), vec![ext(48 * 512, 0, 112)]));
+        ves.extend(on_volume(VolumeId(2), vec![ext(160 * 512, 0, 96)]));
         let shares = volume_shares(&ves, 3);
         let sum: f64 = shares.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);

@@ -126,6 +126,9 @@ pub struct IntervalReport {
     pub calculated_io_time: f64,
     /// Per-volume calculated I/O time, seconds (index = volume id).
     pub per_volume_calculated: Vec<f64>,
+    /// Mirrored streams forced onto their mirror replica this interval
+    /// because the primary's volume is failed (degraded mode).
+    pub degraded_streams: usize,
 }
 
 /// A point-in-time report on one stream (diagnostics / experiments).
@@ -158,6 +161,11 @@ pub struct ServerStats {
     pub chunks_posted: u64,
     /// Deadline (interval overrun) warnings.
     pub deadline_misses: u64,
+    /// Reads re-issued against a surviving replica after a failure.
+    pub degraded_reads: u64,
+    /// Failed reads with no surviving replica (data lost; the batch is
+    /// dropped rather than posted).
+    pub lost_reads: u64,
 }
 
 struct PendingBatch {
@@ -175,6 +183,15 @@ struct FetchedBatch {
     completed_at: Instant,
 }
 
+/// Per-read bookkeeping: the owning batch, plus the logical byte range
+/// and volume so a failed read can be re-mapped through another replica.
+struct ReadInfo {
+    batch: u64,
+    byte_lo: u64,
+    byte_hi: u64,
+    volume: VolumeId,
+}
+
 /// The CRAS server.
 pub struct CrasServer {
     cfg: ServerConfig,
@@ -183,11 +200,15 @@ pub struct CrasServer {
     next_stream: u32,
     next_place: u32,
     pending: HashMap<u64, PendingBatch>,
-    read_to_batch: HashMap<u64, u64>,
+    read_info: HashMap<u64, ReadInfo>,
     done: Vec<FetchedBatch>,
     next_read: u64,
     next_batch: u64,
     stats: ServerStats,
+    /// Per-volume failed flags (index = volume id). A failed volume is
+    /// skipped by read steering, placement, and the per-volume rate
+    /// test, until a rebuild restores it.
+    failed: Vec<bool>,
 }
 
 impl CrasServer {
@@ -205,11 +226,12 @@ impl CrasServer {
             next_stream: 0,
             next_place: 0,
             pending: HashMap::new(),
-            read_to_batch: HashMap::new(),
+            read_info: HashMap::new(),
             done: Vec::new(),
             next_read: 0,
             next_batch: 0,
             stats: ServerStats::default(),
+            failed: vec![false; cfg.volumes],
         }
     }
 
@@ -270,6 +292,44 @@ impl CrasServer {
         v
     }
 
+    /// Primary and mirror volumes for a new mirrored movie: the rotation
+    /// cursor picks the primary among live volumes, the mirror is the
+    /// next live volume after it — never the same spindle.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two live volumes (mirroring is impossible).
+    pub fn place_next_pair(&mut self) -> (VolumeId, VolumeId) {
+        let live: Vec<u32> = (0..self.cfg.volumes as u32)
+            .filter(|&v| !self.failed[v as usize])
+            .collect();
+        assert!(
+            live.len() >= 2,
+            "mirrored placement needs at least two live volumes"
+        );
+        let i = self.next_place as usize % live.len();
+        self.next_place += 1;
+        (VolumeId(live[i]), VolumeId(live[(i + 1) % live.len()]))
+    }
+
+    /// Marks a volume failed (or restored after rebuild). While failed,
+    /// the volume is skipped by read steering and mirrored placement,
+    /// its per-volume rate test is waived (a dead spindle serves no
+    /// load), and streams whose data lives only there are rejected at
+    /// open.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn set_volume_failed(&mut self, vol: VolumeId, failed: bool) {
+        self.failed[vol.index()] = failed;
+    }
+
+    /// Whether a volume is currently marked failed.
+    pub fn volume_failed(&self, vol: VolumeId) -> bool {
+        self.failed[vol.index()]
+    }
+
     /// The admission decision for a prospective stream set, with each
     /// stream's per-volume byte shares.
     ///
@@ -281,6 +341,13 @@ impl CrasServer {
     fn admit_set(&self, entries: &[(StreamParams, Vec<f64>)]) -> Result<(), AdmissionError> {
         let t = self.cfg.interval.as_secs_f64();
         for v in 0..self.cfg.volumes {
+            if self.failed[v] {
+                // A dead spindle serves no load; mirrored streams'
+                // full-rate charge on the surviving replica keeps the
+                // guarantee, and restoring the volume restores exactly
+                // the pre-failure test.
+                continue;
+            }
             let scaled: Vec<StreamParams> = entries
                 .iter()
                 .filter(|(_, shares)| shares[v] > 0.0)
@@ -327,8 +394,30 @@ impl CrasServer {
         table: ChunkTable,
         extents: Vec<VolumeExtent>,
     ) -> Result<StreamId, AdmissionError> {
+        self.open_replicated(name, table, extents, None)
+    }
+
+    /// `crs_open` for a (possibly mirrored) movie: the primary extent
+    /// map plus an optional mirror replica map. Admission charges each
+    /// replica volume the full rate — the worst case where the other
+    /// replica is gone — so the guarantee survives either spindle
+    /// failing.
+    pub fn open_replicated(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<VolumeExtent>,
+        mirror: Option<Vec<VolumeExtent>>,
+    ) -> Result<StreamId, AdmissionError> {
         let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
-        let shares = volume_shares(&extents, self.cfg.volumes);
+        let shares = self.shares_of(&extents, mirror.as_deref());
+        if !shares
+            .iter()
+            .enumerate()
+            .any(|(v, sh)| *sh > 0.0 && !self.failed[v])
+        {
+            return Err(AdmissionError::VolumeFailed);
+        }
         let mut entries: Vec<(StreamParams, Vec<f64>)> = self
             .streams
             .values()
@@ -336,7 +425,18 @@ impl CrasServer {
             .collect();
         entries.push((params, shares));
         self.admit_set(&entries)?;
-        Ok(self.install_stream(name, table, extents, params))
+        Ok(self.install_stream(name, table, extents, mirror, params))
+    }
+
+    fn shares_of(&self, extents: &[VolumeExtent], mirror: Option<&[VolumeExtent]>) -> Vec<f64> {
+        match mirror {
+            None => volume_shares(extents, self.cfg.volumes),
+            Some(m) => {
+                let mut all = extents.to_vec();
+                all.extend(m.iter().cloned());
+                volume_shares(&all, self.cfg.volumes)
+            }
+        }
     }
 
     /// Opens a stream *without* the admission test — the Figure 6 sweep
@@ -358,8 +458,19 @@ impl CrasServer {
         table: ChunkTable,
         extents: Vec<VolumeExtent>,
     ) -> StreamId {
+        self.open_replicated_unchecked(name, table, extents, None)
+    }
+
+    /// [`CrasServer::open_replicated`] without the admission test.
+    pub fn open_replicated_unchecked(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<VolumeExtent>,
+        mirror: Option<Vec<VolumeExtent>>,
+    ) -> StreamId {
         let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
-        self.install_stream(name, table, extents, params)
+        self.install_stream(name, table, extents, mirror, params)
     }
 
     fn install_stream(
@@ -367,13 +478,14 @@ impl CrasServer {
         name: &str,
         table: ChunkTable,
         extents: Vec<VolumeExtent>,
+        mirror: Option<Vec<VolumeExtent>>,
         params: StreamParams,
     ) -> StreamId {
         let t = self.cfg.interval.as_secs_f64();
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
         let buffer_bytes = self.admission.buffer_for(t, &params);
-        let shares = volume_shares(&extents, self.cfg.volumes);
+        let shares = self.shares_of(&extents, mirror.as_deref());
         self.streams.insert(
             id.0,
             Stream {
@@ -381,6 +493,7 @@ impl CrasServer {
                 name: name.to_string(),
                 table,
                 extents,
+                mirror,
                 params,
                 shares,
                 clock: LogicalClock::new(),
@@ -541,6 +654,10 @@ impl CrasServer {
         let horizon = now + self.cfg.interval * 2;
         let mut reqs: Vec<ReadReq> = Vec::new();
         let mut active: Vec<Vec<StreamParams>> = vec![Vec::new(); self.cfg.volumes];
+        // Bytes planned per volume so far this interval — the read
+        // steering signal for mirrored streams.
+        let mut planned = vec![0u64; self.cfg.volumes];
+        let mut degraded_streams = 0usize;
         let stream_ids: Vec<u32> = self.streams.keys().copied().collect();
         for sid in stream_ids {
             let outstanding = self
@@ -552,7 +669,7 @@ impl CrasServer {
                 // The disk is behind for this stream; do not pile on.
                 continue;
             }
-            let (runs, lo, hi, params, shares) = {
+            let (runs, lo, hi, params, active_shares, degraded) = {
                 let s = self.streams.get_mut(&sid).expect("iterating keys");
                 if !s.clock.is_running() {
                     continue;
@@ -571,13 +688,54 @@ impl CrasServer {
                 let byte_lo = chunks.first().expect("non-empty").file_offset;
                 let last = chunks.last().expect("non-empty");
                 let byte_hi = last.file_offset + last.size as u64;
-                let runs = Stream::split_runs(
-                    s.byte_range_to_runs(byte_lo, byte_hi),
+                // Pick the replica to read from. Without a mirror this
+                // is the primary map, exactly the pre-redundancy path.
+                let mut map_idx = 0usize;
+                let mut degraded = false;
+                if let Some(m) = &s.mirror {
+                    let hp = Stream::home_volume(&s.extents);
+                    let hm = Stream::home_volume(m);
+                    let p_ok = !self.failed[hp.index()];
+                    let m_ok = !self.failed[hm.index()];
+                    map_idx = match (p_ok, m_ok) {
+                        (true, false) => 0,
+                        (false, true) => 1,
+                        // Both live: steer to the spindle with fewer
+                        // bytes planned this interval (ties favor the
+                        // primary). Both dead: issue to the primary and
+                        // let the error path drop the batch.
+                        (true, true) => usize::from(planned[hm.index()] < planned[hp.index()]),
+                        (false, false) => 0,
+                    };
+                    degraded = map_idx == 1 && !p_ok;
+                }
+                let map: &[VolumeExtent] = match map_idx {
+                    0 => &s.extents,
+                    _ => s.mirror.as_ref().expect("mirror chosen above"),
+                };
+                let runs = Stream::split_runs_tagged(
+                    Stream::runs_in(map, byte_lo, byte_hi),
                     self.cfg.max_read_bytes,
                 );
-                (runs, lo, hi, s.params, s.shares.clone())
+                // A mirrored stream's whole load lands on the chosen
+                // replica's volume this interval; non-mirrored streams
+                // keep their static per-volume shares.
+                let active_shares = if s.mirror.is_some() {
+                    let mut v = vec![0.0; self.cfg.volumes];
+                    v[Stream::home_volume(map).index()] = 1.0;
+                    v
+                } else {
+                    s.shares.clone()
+                };
+                (runs, lo, hi, s.params, active_shares, degraded)
             };
-            for (v, share) in shares.iter().enumerate() {
+            if degraded {
+                degraded_streams += 1;
+            }
+            for (_, r) in &runs {
+                planned[r.volume.index()] += r.nblocks as u64 * 512;
+            }
+            for (v, share) in active_shares.iter().enumerate() {
                 if *share > 0.0 {
                     active[v].push(StreamParams::new(params.rate * share, params.chunk));
                 }
@@ -594,10 +752,18 @@ impl CrasServer {
                     issued_at: now,
                 },
             );
-            for r in runs {
+            for (logical, r) in runs {
                 let id = ReadId(self.next_read);
                 self.next_read += 1;
-                self.read_to_batch.insert(id.0, batch_id);
+                self.read_info.insert(
+                    id.0,
+                    ReadInfo {
+                        batch: batch_id,
+                        byte_lo: logical,
+                        byte_hi: logical + r.nblocks as u64 * 512,
+                        volume: r.volume,
+                    },
+                );
                 self.stats.reads_issued += 1;
                 self.stats.bytes_requested += r.nblocks as u64 * 512;
                 reqs.push(ReadReq {
@@ -631,6 +797,7 @@ impl CrasServer {
             overran,
             calculated_io_time: calculated,
             per_volume_calculated,
+            degraded_streams,
         }
     }
 
@@ -638,15 +805,15 @@ impl CrasServer {
     /// batch is in, it is queued for posting at the next tick; returns
     /// `Some((stream, issued_at))` at that moment.
     pub fn io_done(&mut self, read: ReadId, now: Instant) -> Option<(StreamId, Instant)> {
-        let Some(batch_id) = self.read_to_batch.remove(&read.0) else {
+        let Some(info) = self.read_info.remove(&read.0) else {
             return None; // Stream closed while in flight.
         };
-        let batch = self.pending.get_mut(&batch_id)?;
+        let batch = self.pending.get_mut(&info.batch)?;
         batch.remaining -= 1;
         if batch.remaining > 0 {
             return None;
         }
-        let batch = self.pending.remove(&batch_id).expect("present above");
+        let batch = self.pending.remove(&info.batch).expect("present above");
         let result = (batch.stream, batch.issued_at);
         self.done.push(FetchedBatch {
             stream: batch.stream,
@@ -656,6 +823,79 @@ impl CrasServer {
         });
         let _ = self.done.last().map(|b| b.completed_at); // Recorded for future use.
         Some(result)
+    }
+
+    /// Degraded-read fallback: a read came back failed (media error or
+    /// volume down). If the stream has a surviving replica on another
+    /// live volume, the same logical bytes are re-mapped through it and
+    /// the replacement reads are returned for the orchestrator to submit
+    /// (real-time class, same batch — the interval deadline still
+    /// holds). With no surviving replica the read is dropped and, once
+    /// its batch drains, the batch is discarded unposted: the frames are
+    /// lost but the stream does not overrun forever.
+    pub fn io_failed(&mut self, read: ReadId) -> Vec<ReadReq> {
+        let Some(info) = self.read_info.remove(&read.0) else {
+            return Vec::new(); // Stream closed while in flight.
+        };
+        let Some(sid) = self.pending.get(&info.batch).map(|b| b.stream) else {
+            return Vec::new();
+        };
+        let runs = self.streams.get(&sid.0).and_then(|s| {
+            s.replica_maps()
+                .find(|m| {
+                    let home = Stream::home_volume(m);
+                    home != info.volume && !self.failed[home.index()]
+                })
+                .map(|m| {
+                    Stream::split_runs_tagged(
+                        Stream::runs_in(m, info.byte_lo, info.byte_hi),
+                        self.cfg.max_read_bytes,
+                    )
+                })
+        });
+        match runs {
+            Some(runs) if !runs.is_empty() => {
+                let batch_id = info.batch;
+                self.pending
+                    .get_mut(&batch_id)
+                    .expect("checked above")
+                    .remaining += runs.len() - 1;
+                let mut reqs = Vec::with_capacity(runs.len());
+                for (logical, r) in runs {
+                    let id = ReadId(self.next_read);
+                    self.next_read += 1;
+                    self.read_info.insert(
+                        id.0,
+                        ReadInfo {
+                            batch: batch_id,
+                            byte_lo: logical,
+                            byte_hi: logical + r.nblocks as u64 * 512,
+                            volume: r.volume,
+                        },
+                    );
+                    self.stats.reads_issued += 1;
+                    self.stats.bytes_requested += r.nblocks as u64 * 512;
+                    self.stats.degraded_reads += 1;
+                    reqs.push(ReadReq {
+                        id,
+                        stream: sid,
+                        volume: r.volume,
+                        block: r.block,
+                        nblocks: r.nblocks,
+                    });
+                }
+                reqs
+            }
+            _ => {
+                self.stats.lost_reads += 1;
+                let batch = self.pending.get_mut(&info.batch).expect("checked above");
+                batch.remaining -= 1;
+                if batch.remaining == 0 {
+                    self.pending.remove(&info.batch);
+                }
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -1119,6 +1359,192 @@ mod tests {
             n_striped > n_whole && n_striped <= 2 * n_whole,
             "whole {n_whole}, striped {n_striped}"
         );
+    }
+
+    /// The movie-table extents as a mirrored pair: primary on `p`,
+    /// mirror (different disk blocks) on `m`.
+    fn mirrored_movie(
+        p: u32,
+        m: u32,
+        secs: f64,
+    ) -> (ChunkTable, Vec<VolumeExtent>, Vec<VolumeExtent>) {
+        let (t, e) = movie_table(secs);
+        let primary = on_volume(VolumeId(p), e.clone());
+        let mirror = on_volume(
+            VolumeId(m),
+            e.into_iter()
+                .map(|mut x| {
+                    x.disk_block += 50_000;
+                    x
+                })
+                .collect(),
+        );
+        (t, primary, mirror)
+    }
+
+    #[test]
+    fn place_next_pair_never_colocates_and_skips_failed() {
+        let mut srv = multi_server(4, 8 << 20);
+        for _ in 0..16 {
+            let (p, m) = srv.place_next_pair();
+            assert_ne!(p, m);
+        }
+        srv.set_volume_failed(VolumeId(2), true);
+        for _ in 0..16 {
+            let (p, m) = srv.place_next_pair();
+            assert_ne!(p, m);
+            assert_ne!(p, VolumeId(2));
+            assert_ne!(m, VolumeId(2));
+        }
+    }
+
+    #[test]
+    fn mirrored_admission_charges_both_replicas_in_full() {
+        // A 2-volume mirrored server admits exactly what one disk does:
+        // every stream charges the full rate to both spindles.
+        let single = {
+            let mut srv = multi_server(1, 1 << 40);
+            let mut n = 0u32;
+            loop {
+                let (t, e) = movie_on(0, 10.0);
+                if srv.open_placed(&format!("s{n}"), t, e).is_err() {
+                    break;
+                }
+                n += 1;
+            }
+            n
+        };
+        let mut srv = multi_server(2, 1 << 40);
+        let mut n = 0u32;
+        loop {
+            let (p, m) = srv.place_next_pair();
+            let (t, pri, mir) = mirrored_movie(p.0, m.0, 10.0);
+            if srv
+                .open_replicated(&format!("m{n}"), t, pri, Some(mir))
+                .is_err()
+            {
+                break;
+            }
+            n += 1;
+        }
+        assert_eq!(n, single, "mirrored N=2 capacity = single-disk capacity");
+    }
+
+    #[test]
+    fn steering_balances_replicas_when_both_live() {
+        let mut srv = multi_server(2, 8 << 20);
+        let (t, pri, mir) = mirrored_movie(0, 1, 10.0);
+        let id = srv.open_replicated("m", t, pri, Some(mir)).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(!rep.reqs.is_empty());
+        // With nothing else planned, the tie goes to the primary.
+        assert!(rep.reqs.iter().all(|r| r.volume == VolumeId(0)));
+        assert_eq!(rep.degraded_streams, 0);
+        // A second mirrored stream opened the other way round lands on
+        // its primary too; steering splits load when volumes are uneven.
+        let (t2, pri2, mir2) = mirrored_movie(1, 0, 10.0);
+        let id2 = srv.open_replicated("m2", t2, pri2, Some(mir2)).unwrap();
+        srv.start(id2, at(500));
+        let _ = id2;
+    }
+
+    #[test]
+    fn degraded_read_remaps_to_mirror_and_still_posts() {
+        let mut srv = multi_server(2, 8 << 20);
+        let (t, pri, mir) = mirrored_movie(0, 1, 10.0);
+        let id = srv.open_replicated("m", t, pri, Some(mir)).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(rep.reqs.iter().all(|r| r.volume == VolumeId(0)));
+        // Volume 0 dies with the interval's reads in flight: each read
+        // fails and is re-mapped to the same logical bytes on volume 1.
+        srv.set_volume_failed(VolumeId(0), true);
+        let mut remapped = Vec::new();
+        for r in &rep.reqs {
+            remapped.extend(srv.io_failed(r.id));
+        }
+        assert!(!remapped.is_empty());
+        assert!(remapped.iter().all(|r| r.volume == VolumeId(1)));
+        // The mirror copy lives 50 000 blocks up: same data, other disk.
+        let total_pri: u64 = rep.reqs.iter().map(|r| r.nblocks as u64).sum();
+        let total_mir: u64 = remapped.iter().map(|r| r.nblocks as u64).sum();
+        assert_eq!(total_pri, total_mir);
+        assert_eq!(srv.stats().degraded_reads, remapped.len() as u64);
+        // Completing the remapped reads posts the batch: no overrun.
+        for r in &remapped {
+            srv.io_done(r.id, at(700));
+        }
+        let rep2 = srv.interval_tick(at(1000));
+        assert!(!rep2.overran, "remapped batch met its deadline");
+        assert!(rep2.posted_chunks > 0);
+        // Subsequent intervals read from the mirror directly (degraded).
+        let rep3 = srv.interval_tick(at(1500));
+        assert!(rep3.reqs.iter().all(|r| r.volume == VolumeId(1)));
+        assert_eq!(rep3.degraded_streams, 1);
+    }
+
+    #[test]
+    fn failed_read_without_replica_drops_batch() {
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(!rep.reqs.is_empty());
+        srv.set_volume_failed(VolumeId(0), true);
+        for r in &rep.reqs {
+            assert!(srv.io_failed(r.id).is_empty(), "no replica to remap to");
+        }
+        assert_eq!(srv.stats().lost_reads, rep.reqs.len() as u64);
+        // The batch is dropped, not stuck: no overrun, nothing posted.
+        let rep2 = srv.interval_tick(at(1000));
+        assert!(!rep2.overran);
+        assert_eq!(rep2.posted_chunks, 0);
+    }
+
+    #[test]
+    fn degraded_capacity_recovers_after_volume_restore() {
+        // Capacity drops (or holds) when a volume fails and returns to
+        // exactly the pre-failure count when rebuild restores it.
+        let count = |srv: &mut CrasServer| {
+            let mut ids = Vec::new();
+            loop {
+                let (p, m) = srv.place_next_pair();
+                let (t, pri, mir) = mirrored_movie(p.0, m.0, 10.0);
+                match srv.open_replicated("c", t, pri, Some(mir)) {
+                    Ok(id) => ids.push(id),
+                    Err(_) => break,
+                }
+            }
+            for id in &ids {
+                srv.close(*id);
+            }
+            ids.len()
+        };
+        let mut srv = multi_server(4, 1 << 40);
+        let before = count(&mut srv);
+        srv.set_volume_failed(VolumeId(1), true);
+        let during = count(&mut srv);
+        assert!(during <= before, "degraded capacity must not grow");
+        srv.set_volume_failed(VolumeId(1), false);
+        let after = count(&mut srv);
+        assert_eq!(after, before, "restore must return exact capacity");
+    }
+
+    #[test]
+    fn open_rejects_when_all_replicas_are_failed() {
+        let mut srv = multi_server(2, 1 << 40);
+        srv.set_volume_failed(VolumeId(0), true);
+        let (t, e) = movie_on(0, 10.0);
+        let err = srv.open_placed("dead", t, e);
+        assert!(matches!(err, Err(AdmissionError::VolumeFailed)));
+        // A mirrored stream with one live replica is still admitted.
+        let (t, pri, mir) = mirrored_movie(0, 1, 10.0);
+        assert!(srv.open_replicated("half", t, pri, Some(mir)).is_ok());
     }
 
     #[test]

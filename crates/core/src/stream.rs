@@ -51,6 +51,10 @@ pub struct Stream {
     /// Extent map resolved at open time — CRAS never touches UFS metadata
     /// during retrieval. Each extent names the volume it lives on.
     pub extents: Vec<VolumeExtent>,
+    /// Mirror replica's extent map (same logical bytes on another
+    /// volume), when the movie was placed with
+    /// [`PlacementPolicy::Mirrored`](crate::PlacementPolicy::Mirrored).
+    pub mirror: Option<Vec<VolumeExtent>>,
     /// Admission parameters this stream was admitted with.
     pub params: StreamParams,
     /// Fraction of the stream's bytes on each volume (the admission
@@ -67,28 +71,50 @@ pub struct Stream {
 
 impl Stream {
     /// Recomputes [`Stream::shares`] for a server managing `volumes`
-    /// disks.
+    /// disks. Replica extents are included: a mirrored stream charges
+    /// the full rate to each replica volume.
     pub fn compute_shares(&mut self, volumes: usize) {
-        self.shares = volume_shares(&self.extents, volumes);
+        self.shares = match &self.mirror {
+            None => volume_shares(&self.extents, volumes),
+            Some(m) => {
+                let mut all = self.extents.clone();
+                all.extend(m.iter().cloned());
+                volume_shares(&all, volumes)
+            }
+        };
     }
 
-    /// Maps the file byte range `[lo, hi)` onto disk-block runs, merging
-    /// physically adjacent pieces on the same volume. Ranges are rounded
-    /// outward to 512-byte block boundaries (the device transfers whole
-    /// blocks).
+    /// The stream's replica extent maps: the primary map first, then the
+    /// mirror map if the movie is mirrored.
+    pub fn replica_maps(&self) -> impl Iterator<Item = &Vec<VolumeExtent>> {
+        std::iter::once(&self.extents).chain(self.mirror.iter())
+    }
+
+    /// The volume a replica map lives on — the volume of its first
+    /// extent. Meaningful for whole-volume maps (round-robin, mirrored);
+    /// striped maps span volumes and have no single home.
+    pub fn home_volume(map: &[VolumeExtent]) -> VolumeId {
+        map.first().map(|ve| ve.volume).unwrap_or(VolumeId(0))
+    }
+
+    /// Maps the file byte range `[lo, hi)` through an arbitrary extent
+    /// map onto disk-block runs, each tagged with the logical file byte
+    /// offset its first block corresponds to (block-aligned). The tags
+    /// let a failed read be re-mapped through another replica of the
+    /// same logical bytes.
     ///
     /// # Panics
     ///
     /// Panics if the range is empty or extends past the mapped file.
-    pub fn byte_range_to_runs(&self, lo: u64, hi: u64) -> Vec<VolumeRun> {
+    pub fn runs_in(extents: &[VolumeExtent], lo: u64, hi: u64) -> Vec<(u64, VolumeRun)> {
         assert!(lo < hi, "empty byte range");
-        let mapped: u64 = self.extents.iter().map(|e| e.extent.bytes()).sum();
+        let mapped: u64 = extents.iter().map(|e| e.extent.bytes()).sum();
         assert!(
             hi <= mapped,
             "byte range beyond extent map: {hi} > {mapped}"
         );
-        let mut runs: Vec<VolumeRun> = Vec::new();
-        for ve in &self.extents {
+        let mut runs: Vec<(u64, VolumeRun)> = Vec::new();
+        for ve in extents {
             let e = &ve.extent;
             let e_lo = e.file_offset;
             let e_hi = e.file_offset + e.bytes();
@@ -102,20 +128,66 @@ impl Stream {
             let rel_hi = (b - e_lo).div_ceil(512);
             let block = e.disk_block + rel_lo;
             let nblocks = (rel_hi - rel_lo) as u32;
+            let logical = e_lo + rel_lo * 512;
             match runs.last_mut() {
-                Some(last)
+                Some((_, last))
                     if last.volume == ve.volume && last.block + last.nblocks as u64 == block =>
                 {
                     last.nblocks += nblocks;
                 }
-                _ => runs.push(VolumeRun {
-                    volume: ve.volume,
-                    block,
-                    nblocks,
-                }),
+                _ => runs.push((
+                    logical,
+                    VolumeRun {
+                        volume: ve.volume,
+                        block,
+                        nblocks,
+                    },
+                )),
             }
         }
         runs
+    }
+
+    /// Maps the file byte range `[lo, hi)` onto disk-block runs through
+    /// the primary extent map, merging physically adjacent pieces on the
+    /// same volume. Ranges are rounded outward to 512-byte block
+    /// boundaries (the device transfers whole blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or extends past the mapped file.
+    pub fn byte_range_to_runs(&self, lo: u64, hi: u64) -> Vec<VolumeRun> {
+        Stream::runs_in(&self.extents, lo, hi)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// Splits tagged runs so that no single disk command exceeds
+    /// `max_bytes`, keeping each piece's logical offset tag accurate.
+    pub fn split_runs_tagged(runs: Vec<(u64, VolumeRun)>, max_bytes: u64) -> Vec<(u64, VolumeRun)> {
+        let max_blocks = (max_bytes / 512).max(1) as u32;
+        let mut out = Vec::with_capacity(runs.len());
+        for (logical, r) in runs {
+            let mut block = r.block;
+            let mut off = logical;
+            let mut left = r.nblocks;
+            while left > 0 {
+                let take = left.min(max_blocks);
+                out.push((
+                    off,
+                    VolumeRun {
+                        volume: r.volume,
+                        block,
+                        nblocks: take,
+                    },
+                ));
+                block += take as u64;
+                off += take as u64 * 512;
+                left -= take;
+            }
+        }
+        out
     }
 
     /// Splits runs so that no single disk command exceeds `max_bytes`
@@ -123,23 +195,10 @@ impl Stream {
     /// time ... If the size of contiguous blocks is less ... CRAS reads
     /// the smaller blocks instead").
     pub fn split_runs(runs: Vec<VolumeRun>, max_bytes: u64) -> Vec<VolumeRun> {
-        let max_blocks = (max_bytes / 512).max(1) as u32;
-        let mut out = Vec::with_capacity(runs.len());
-        for r in runs {
-            let mut block = r.block;
-            let mut left = r.nblocks;
-            while left > 0 {
-                let take = left.min(max_blocks);
-                out.push(VolumeRun {
-                    volume: r.volume,
-                    block,
-                    nblocks: take,
-                });
-                block += take as u64;
-                left -= take;
-            }
-        }
-        out
+        Stream::split_runs_tagged(runs.into_iter().map(|r| (0, r)).collect(), max_bytes)
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
     }
 }
 
@@ -159,6 +218,7 @@ mod tests {
             name: "t".into(),
             table,
             extents,
+            mirror: None,
             params: StreamParams::new(187_500.0, 6_250.0),
             shares: Vec::new(),
             clock: LogicalClock::new(),
@@ -271,6 +331,46 @@ mod tests {
         let runs = vec![vrun(0, 0, 10), vrun(1, 100, 512)];
         let split = Stream::split_runs(runs.clone(), 256 * 1024);
         assert_eq!(split, runs);
+    }
+
+    #[test]
+    fn tagged_runs_carry_logical_offsets() {
+        let extents = on_volume(VolumeId(0), vec![ext(0, 1000, 16), ext(8192, 5000, 16)]);
+        let runs = Stream::runs_in(&extents, 4096, 12288);
+        assert_eq!(
+            runs,
+            vec![(4096, vrun(0, 1008, 8)), (8192, vrun(0, 5000, 8))]
+        );
+        // Splitting preserves tag accuracy piece by piece.
+        let split = Stream::split_runs_tagged(runs, 2048); // 4 blocks each.
+        assert_eq!(split[0], (4096, vrun(0, 1008, 4)));
+        assert_eq!(split[1], (6144, vrun(0, 1012, 4)));
+        assert_eq!(split[2], (8192, vrun(0, 5000, 4)));
+    }
+
+    #[test]
+    fn logical_range_remaps_through_a_differently_fragmented_mirror() {
+        // The same logical bytes map through either replica; fragment
+        // boundaries differ but total coverage is identical.
+        let primary = on_volume(VolumeId(0), vec![ext(0, 1000, 32)]);
+        let mirror = on_volume(VolumeId(1), vec![ext(0, 70, 16), ext(8192, 300, 16)]);
+        let (lo, hi) = (4096, 12288);
+        let p_blocks: u32 = Stream::runs_in(&primary, lo, hi)
+            .iter()
+            .map(|(_, r)| r.nblocks)
+            .sum();
+        let m_runs = Stream::runs_in(&mirror, lo, hi);
+        let m_blocks: u32 = m_runs.iter().map(|(_, r)| r.nblocks).sum();
+        assert_eq!(p_blocks, m_blocks);
+        assert!(m_runs.iter().all(|(_, r)| r.volume == VolumeId(1)));
+    }
+
+    #[test]
+    fn mirrored_stream_shares_charge_both_replicas() {
+        let mut s = stream_with_extents(on_volume(VolumeId(0), vec![ext(0, 1000, 64)]));
+        s.mirror = Some(on_volume(VolumeId(1), vec![ext(0, 4000, 64)]));
+        s.compute_shares(2);
+        assert_eq!(s.shares, vec![1.0, 1.0]);
     }
 
     #[test]

@@ -99,7 +99,12 @@ struct Inflight<T> {
     started_at: Instant,
     finishes_at: Instant,
     breakdown: ServiceBreakdown,
+    failed: bool,
 }
+
+/// How long a downed volume takes to return an error for an operation:
+/// the controller answers the command, the drive never does.
+const ERROR_LATENCY: Duration = Duration::from_millis(1);
 
 /// The simulated disk: queues + head position + spindle + service model.
 pub struct DiskDevice<T> {
@@ -112,6 +117,7 @@ pub struct DiskDevice<T> {
     inflight: Option<Inflight<T>>,
     stats: DiskStats,
     faults: Option<FaultInjector>,
+    down: bool,
 }
 
 impl<T> DiskDevice<T> {
@@ -127,7 +133,28 @@ impl<T> DiskDevice<T> {
             inflight: None,
             stats: DiskStats::default(),
             faults: None,
+            down: false,
         }
+    }
+
+    /// Marks the volume permanently failed (or revived). While down,
+    /// every operation — including the one currently in flight —
+    /// completes with `failed = true`; queued and future operations are
+    /// answered with a fast error return instead of being serviced.
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+        if down {
+            if let Some(infl) = &mut self.inflight {
+                // The spindle died under the in-flight op: it still
+                // "completes" at its scheduled time, as an error.
+                infl.failed = true;
+            }
+        }
+    }
+
+    /// Whether the volume is marked down.
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     /// Installs a transient-fault injector (None disables injection).
@@ -158,6 +185,12 @@ impl<T> DiskDevice<T> {
     /// The installed injector, if any (for its counters).
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.faults.as_ref()
+    }
+
+    /// Mutable access to the installed injector (for scheduling faults
+    /// on an already-installed carrier).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.faults.as_mut()
     }
 
     /// The calibrated ST32550N device used by the paper's evaluation, with
@@ -255,15 +288,18 @@ impl<T> DiskDevice<T> {
             started_at: fin.started_at,
             finished_at: fin.finishes_at,
             breakdown: fin.breakdown,
+            failed: fin.failed,
         };
+        // Failed operations count as ops but transfer no bytes.
+        let bytes = if done.failed { 0 } else { done.req.bytes() };
         match done.req.class {
             IoClass::RealTime => {
                 self.stats.ops.0 += 1;
-                self.stats.bytes.0 += done.req.bytes();
+                self.stats.bytes.0 += bytes;
             }
             IoClass::Normal => {
                 self.stats.ops.1 += 1;
-                self.stats.bytes.1 += done.req.bytes();
+                self.stats.bytes.1 += bytes;
             }
         }
         let next = self.start_next(now);
@@ -340,15 +376,36 @@ impl<T> DiskDevice<T> {
             .pop_next(self.head_cyl)
             .or_else(|| self.normal_queue.pop_next(self.head_cyl))?;
         let req = pending.item;
-        let mut breakdown = self.service_breakdown(now, self.head_cyl, req.block, req.nblocks);
-        if let Some(f) = &mut self.faults {
-            // Retry stalls show up as extra rotational/positioning time.
-            breakdown.rotation += f.sample();
+        if let Some(f) = &self.faults {
+            if f.volume_down(now) {
+                self.down = true;
+            }
         }
+        let (breakdown, failed) = if self.down {
+            // A dead volume answers each command with a fast error; the
+            // head never moves and no media time is spent.
+            let b = ServiceBreakdown {
+                command: ERROR_LATENCY,
+                seek: Duration::ZERO,
+                rotation: Duration::ZERO,
+                transfer: Duration::ZERO,
+            };
+            (b, true)
+        } else {
+            let mut b = self.service_breakdown(now, self.head_cyl, req.block, req.nblocks);
+            let mut failed = false;
+            if let Some(f) = &mut self.faults {
+                // Retry stalls show up as extra rotational/positioning
+                // time; a media error pays them and then fails.
+                let fault = f.next_op();
+                b.rotation += fault.delay;
+                failed = fault.media_error;
+            }
+            let end_block = req.block + req.nblocks as u64 - 1;
+            self.head_cyl = self.geom.cylinder_of(end_block);
+            (b, failed)
+        };
         let finishes_at = now + breakdown.total();
-
-        let end_block = req.block + req.nblocks as u64 - 1;
-        self.head_cyl = self.geom.cylinder_of(end_block);
         self.stats.busy += breakdown.total();
         self.stats.seek_time += breakdown.seek;
         self.stats.rotation_time += breakdown.rotation;
@@ -360,6 +417,7 @@ impl<T> DiskDevice<T> {
             started_at: now,
             finishes_at,
             breakdown,
+            failed,
         });
         Some(finishes_at)
     }
@@ -518,6 +576,66 @@ mod tests {
         }
         // Head at cylinder 0 after first op: inward sweep 10, 50, 90.
         assert_eq!(order, vec![10, 50, 90]);
+    }
+
+    #[test]
+    fn down_volume_fails_fast() {
+        let mut d = small_dev();
+        d.set_down(true);
+        let t0 = Instant::ZERO;
+        let fin = d.submit(t0, DiskRequest::rt_read(0, 64, 1)).unwrap();
+        assert_eq!(fin, t0 + ERROR_LATENCY, "error returns are fast");
+        let (done, _) = d.complete(fin);
+        assert!(done.failed);
+        assert_eq!(d.stats().bytes.0, 0, "no bytes transfer on failure");
+        assert_eq!(d.stats().ops.0, 1, "the op itself is still counted");
+    }
+
+    #[test]
+    fn set_down_fails_the_inflight_op() {
+        let mut d = small_dev();
+        let t0 = Instant::ZERO;
+        let fin = d.submit(t0, DiskRequest::rt_read(0, 64, 1)).unwrap();
+        d.set_down(true);
+        // The op still completes at its already-scheduled time, as an
+        // error.
+        let (done, _) = d.complete(fin);
+        assert!(done.failed);
+    }
+
+    #[test]
+    fn scheduled_volume_failure_via_injector() {
+        let mut d = small_dev();
+        let mut f = FaultInjector::none(1);
+        f.fail_volume_at(Instant::ZERO + Duration::from_secs(1));
+        d.set_fault_injector(Some(f));
+        let fin = d.submit(Instant::ZERO, DiskRequest::read(0, 8, 1)).unwrap();
+        let (done, _) = d.complete(fin);
+        assert!(!done.failed, "before the schedule fires");
+        let late = Instant::ZERO + Duration::from_secs(2);
+        let fin = d.submit(late, DiskRequest::read(0, 8, 2)).unwrap();
+        let (done, _) = d.complete(fin);
+        assert!(done.failed, "after the schedule fires");
+        assert!(d.is_down());
+    }
+
+    #[test]
+    fn media_error_fails_one_op_only() {
+        let mut d = small_dev();
+        let mut f = FaultInjector::none(1);
+        f.fail_at(2);
+        d.set_fault_injector(Some(f));
+        let mut now = Instant::ZERO;
+        let mut failures = Vec::new();
+        for i in 0..3 {
+            let fin = d.submit(now, DiskRequest::read(0, 8, i)).unwrap();
+            now = fin;
+            let (done, _) = d.complete(now);
+            failures.push(done.failed);
+        }
+        assert_eq!(failures, vec![false, true, false]);
+        assert!(!d.is_down(), "a media error does not down the volume");
+        assert_eq!(d.fault_injector().unwrap().media_errors(), 1);
     }
 
     #[test]

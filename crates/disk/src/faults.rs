@@ -1,18 +1,46 @@
-//! Fault injection: transient per-operation slowdowns.
+//! Fault injection: transient slowdowns, per-operation media errors, and
+//! permanent volume failures.
 //!
 //! Real drives occasionally retry a read (thermal recalibration, ECC
 //! retries, bad-sector remapping) and stall the operation for tens of
 //! milliseconds. The paper's deadline-manager thread exists exactly for
 //! such events ("executes the recovery action from a missed deadline");
 //! injecting them exercises that path and the time-driven buffer's
-//! tolerance.
+//! tolerance. Beyond transient stalls, the redundancy subsystem needs two
+//! harder failure modes:
 //!
-//! Faults are deterministic: a seeded PRNG decides, per operation,
-//! whether to add a retry penalty.
+//! * **media errors** — a specific operation exhausts its retries and
+//!   returns failure ([`FaultInjector::fail_at`]);
+//! * **volume loss** — the whole spindle drops off the bus at a scheduled
+//!   time ([`FaultInjector::fail_volume_at`]); every operation from then
+//!   on fails until a replacement volume is attached.
+//!
+//! All faults are deterministic: a seeded PRNG decides transient stalls,
+//! and the permanent-failure schedule is explicit, so runs reproduce bit
+//! for bit.
 
-use cras_sim::{Duration, Rng};
+use std::collections::BTreeSet;
 
-/// A transient-slowdown injector.
+use cras_sim::{Duration, Instant, Rng};
+
+/// What the injector decided for one operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Extra positioning delay (retries); zero for a clean operation.
+    pub delay: Duration,
+    /// The operation fails with a media error after its retries.
+    pub media_error: bool,
+}
+
+impl Fault {
+    /// A clean operation: no delay, no error.
+    pub const NONE: Fault = Fault {
+        delay: Duration::ZERO,
+        media_error: false,
+    };
+}
+
+/// A deterministic fault injector.
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     /// Probability that an operation takes a retry penalty.
@@ -23,6 +51,12 @@ pub struct FaultInjector {
     rng: Rng,
     injected: u64,
     ops_seen: u64,
+    /// Operation ordinals (1-based, by [`FaultInjector::ops_seen`]) that
+    /// return a media error.
+    fail_ops: BTreeSet<u64>,
+    media_errors: u64,
+    /// When the whole volume fails permanently.
+    volume_fail_at: Option<Instant>,
 }
 
 impl FaultInjector {
@@ -39,6 +73,9 @@ impl FaultInjector {
             rng: Rng::new(seed),
             injected: 0,
             ops_seen: 0,
+            fail_ops: BTreeSet::new(),
+            media_errors: 0,
+            volume_fail_at: None,
         }
     }
 
@@ -48,20 +85,63 @@ impl FaultInjector {
         FaultInjector::new(0.01, Duration::from_millis(25), seed)
     }
 
-    /// Decides the extra delay (possibly zero) for the next operation.
-    pub fn sample(&mut self) -> Duration {
-        self.ops_seen += 1;
-        if self.prob > 0.0 && self.rng.chance(self.prob) {
-            self.injected += 1;
-            self.penalty
-        } else {
-            Duration::ZERO
-        }
+    /// An injector with no transient stalls — a carrier for the
+    /// deterministic permanent-failure schedule only.
+    pub fn none(seed: u64) -> FaultInjector {
+        FaultInjector::new(0.0, Duration::ZERO, seed)
     }
 
-    /// Operations that took the penalty.
+    /// Schedules a media error on the `op_n`-th operation this injector
+    /// sees (1-based). Idempotent per ordinal.
+    pub fn fail_at(&mut self, op_n: u64) {
+        self.fail_ops.insert(op_n);
+    }
+
+    /// Schedules permanent volume failure at time `t`. Every operation
+    /// started at or after `t` fails until the volume is replaced.
+    pub fn fail_volume_at(&mut self, t: Instant) {
+        self.volume_fail_at = Some(t);
+    }
+
+    /// Whether the permanent-failure schedule has fired by `now`.
+    pub fn volume_down(&self, now: Instant) -> bool {
+        self.volume_fail_at.is_some_and(|t| now >= t)
+    }
+
+    /// Decides the fault outcome of the next operation.
+    pub fn next_op(&mut self) -> Fault {
+        self.ops_seen += 1;
+        let mut f = Fault::NONE;
+        if self.prob > 0.0 && self.rng.chance(self.prob) {
+            self.injected += 1;
+            f.delay = self.penalty;
+        }
+        if self.fail_ops.contains(&self.ops_seen) {
+            self.media_errors += 1;
+            // An error return still pays the retry penalty: the drive
+            // retried before giving up.
+            f.delay = self.penalty;
+            f.media_error = true;
+        }
+        f
+    }
+
+    /// Decides the extra delay (possibly zero) for the next operation.
+    ///
+    /// Shorthand for [`FaultInjector::next_op`] when the caller only
+    /// models transient stalls.
+    pub fn sample(&mut self) -> Duration {
+        self.next_op().delay
+    }
+
+    /// Operations that took the transient penalty.
     pub fn injected(&self) -> u64 {
         self.injected
+    }
+
+    /// Media errors returned.
+    pub fn media_errors(&self) -> u64 {
+        self.media_errors
     }
 
     /// Operations observed.
@@ -117,5 +197,37 @@ mod tests {
     #[should_panic(expected = "bad fault probability")]
     fn invalid_probability_panics() {
         FaultInjector::new(1.5, Duration::ZERO, 1);
+    }
+
+    #[test]
+    fn scheduled_media_error_fires_once() {
+        let mut f = FaultInjector::none(7);
+        f.fail_at(3);
+        let outcomes: Vec<Fault> = (0..5).map(|_| f.next_op()).collect();
+        assert!(!outcomes[0].media_error && !outcomes[1].media_error);
+        assert!(outcomes[2].media_error, "third op must fail");
+        assert!(!outcomes[3].media_error && !outcomes[4].media_error);
+        assert_eq!(f.media_errors(), 1);
+        // No transient penalty configured, so the error costs no delay.
+        assert_eq!(outcomes[2].delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn media_error_pays_retry_penalty() {
+        let mut f = FaultInjector::new(0.0, Duration::from_millis(25), 7);
+        f.fail_at(1);
+        let o = f.next_op();
+        assert!(o.media_error);
+        assert_eq!(o.delay, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn volume_failure_schedule() {
+        let mut f = FaultInjector::none(1);
+        assert!(!f.volume_down(Instant::ZERO));
+        f.fail_volume_at(Instant::ZERO + Duration::from_secs(5));
+        assert!(!f.volume_down(Instant::ZERO + Duration::from_secs(4)));
+        assert!(f.volume_down(Instant::ZERO + Duration::from_secs(5)));
+        assert!(f.volume_down(Instant::ZERO + Duration::from_secs(6)));
     }
 }

@@ -34,7 +34,7 @@ pub mod volume;
 
 pub use calibrate::{Calibration, DiskParams};
 pub use device::{DiskDevice, DiskStats, DiskTimings};
-pub use faults::FaultInjector;
+pub use faults::{Fault, FaultInjector};
 pub use geometry::{BlockNo, DiskGeometry, Zone, BLOCK_SIZE};
 pub use policy::{DiskQueue, QueuePolicy};
 pub use request::{Completed, DiskRequest, IoClass, IoKind, ServiceBreakdown};

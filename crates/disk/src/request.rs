@@ -130,6 +130,9 @@ pub struct Completed<T> {
     pub finished_at: Instant,
     /// Phase timing.
     pub breakdown: ServiceBreakdown,
+    /// The operation failed (media error or volume down); no data was
+    /// transferred.
+    pub failed: bool,
 }
 
 impl<T> Completed<T> {
@@ -183,6 +186,7 @@ mod tests {
             started_at: Instant::from_nanos(300),
             finished_at: Instant::from_nanos(900),
             breakdown: ServiceBreakdown::default(),
+            failed: false,
         };
         assert_eq!(c.queue_delay(), Duration::from_nanos(200));
         assert_eq!(c.latency(), Duration::from_nanos(800));

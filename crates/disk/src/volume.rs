@@ -115,6 +115,43 @@ impl<T> VolumeSet<T> {
         self.disks.iter().any(|d| d.is_busy())
     }
 
+    /// Marks a volume permanently down: its in-flight operation fails
+    /// and all further operations are answered with fast error returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn fail_volume(&mut self, vol: VolumeId) {
+        self.volume_mut(vol).set_down(true);
+    }
+
+    /// Whether a volume is marked down.
+    pub fn is_down(&self, vol: VolumeId) -> bool {
+        self.volume(vol).is_down()
+    }
+
+    /// Number of volumes not marked down.
+    pub fn live_count(&self) -> usize {
+        self.disks.iter().filter(|d| !d.is_down()).count()
+    }
+
+    /// Swaps in a replacement device for `vol` (a fresh spindle after a
+    /// failure). The old device's statistics are discarded with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the old device still has an operation in flight — its
+    /// completion event would otherwise fire against the new device.
+    /// Error returns on a downed volume drain in ~1 ms each, so callers
+    /// attach the replacement once the error queue has emptied.
+    pub fn replace_volume(&mut self, vol: VolumeId, device: DiskDevice<T>) {
+        assert!(
+            !self.volume(vol).is_busy(),
+            "cannot replace {vol} while an operation is in flight"
+        );
+        self.disks[vol.index()] = device;
+    }
+
     /// Statistics summed across all volumes.
     pub fn total_stats(&self) -> DiskStats {
         let mut total = DiskStats::default();

@@ -82,6 +82,14 @@ pub struct SysConfig {
     pub disk_fault_prob: f64,
     /// Stall added to a faulted disk operation.
     pub disk_fault_penalty: Duration,
+    /// Rebuild copy rate in bytes per second. The rebuild manager paces
+    /// its normal-priority copy chunks so their long-run throughput never
+    /// exceeds this; the real-time queue's strict priority already keeps
+    /// admitted streams safe, the rate bounds how much *normal-queue*
+    /// bandwidth (UFS traffic) the rebuild may take.
+    pub rebuild_rate: f64,
+    /// Size of one rebuild copy chunk in bytes.
+    pub rebuild_chunk: u64,
 }
 
 impl Default for SysConfig {
@@ -97,6 +105,8 @@ impl Default for SysConfig {
             enforce_admission: true,
             disk_fault_prob: 0.0,
             disk_fault_penalty: Duration::from_millis(25),
+            rebuild_rate: 4.0 * 1024.0 * 1024.0,
+            rebuild_chunk: 256 * 1024,
         }
     }
 }

@@ -6,6 +6,7 @@
 //! * [`player`] — QtPlay-like clients measuring per-frame delay.
 //! * [`bgload`] — the `cat` background readers.
 //! * [`config`] — scheduling mode, CPU cost model, priorities.
+//! * [`rebuild`] — rate-controlled mirror rebuild after a volume loss.
 //! * [`metrics`] — per-interval admission-accuracy accounting.
 //! * [`tags`] — the global event enum and routing tags.
 //! * [`net`] — a minimal NPS-like network link for the distributed
@@ -19,13 +20,15 @@ pub mod config;
 pub mod metrics;
 pub mod net;
 pub mod player;
+pub mod rebuild;
 pub mod system;
 pub mod tags;
 
 pub use bgload::BgReader;
 pub use config::{prio, CpuCosts, SchedMode, SysConfig};
-pub use metrics::{IntervalIo, Metrics};
+pub use metrics::{IntervalIo, Metrics, VolumeHealth};
 pub use net::Link;
 pub use player::{Player, PlayerMode, PlayerStats};
+pub use rebuild::{CopyChunk, RebuildManager};
 pub use system::{MoviePlacement, System, UOwner, UReq};
 pub use tags::{ClientId, CpuTag, DiskTag, Event};

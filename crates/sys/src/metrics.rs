@@ -85,6 +85,37 @@ pub struct Metrics {
     pub cras_write_bytes: u64,
     /// Deadline overruns reported by the server.
     pub overruns: u64,
+    /// CRAS reads that came back failed and were re-issued against a
+    /// surviving replica.
+    pub degraded_reads: u64,
+    /// CRAS reads that came back failed with no surviving replica.
+    pub lost_reads: u64,
+    /// Intervals in which at least one stream read from its mirror
+    /// because the primary volume was down.
+    pub degraded_intervals: u64,
+    /// When a volume failure was declared (first one, if several).
+    pub volume_failed_at: Option<Instant>,
+    /// When the rebuild started copying.
+    pub rebuild_started_at: Option<Instant>,
+    /// When the rebuild finished and capacity was restored.
+    pub rebuild_finished_at: Option<Instant>,
+    /// Bytes copied by the rebuild manager.
+    pub rebuild_bytes: u64,
+}
+
+/// Per-volume fault/health report assembled from the disk substrate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct VolumeHealth {
+    /// Volume id.
+    pub volume: u32,
+    /// Operations the fault injector has seen (0 without an injector).
+    pub ops_seen: u64,
+    /// Transient retry stalls injected.
+    pub transient_faults: u64,
+    /// Media errors injected (each fails one operation).
+    pub media_errors: u64,
+    /// Whether the volume is currently down.
+    pub down: bool,
 }
 
 impl Metrics {
@@ -99,6 +130,9 @@ impl Metrics {
     pub fn on_interval(&mut self, rep: &IntervalReport, now: Instant) {
         if rep.overran {
             self.overruns += 1;
+        }
+        if rep.degraded_streams > 0 {
+            self.degraded_intervals += 1;
         }
         if rep.reqs.is_empty() {
             return;
@@ -147,6 +181,49 @@ impl Metrics {
             if rec.remaining == 0 {
                 self.read_interval.retain(|_, v| *v != idx);
             }
+        }
+    }
+
+    /// Records a CRAS read that came back failed and was replaced by
+    /// `retries` reads against a surviving replica (empty if the data is
+    /// lost). The interval record inherits the retries so its actual I/O
+    /// time still converges; the error's service time (the fast-error
+    /// command overhead) is charged to the interval like any other
+    /// service time.
+    pub fn on_cras_read_failed(
+        &mut self,
+        rid: ReadId,
+        done: &Completed<DiskTag>,
+        retries: &[ReadId],
+    ) {
+        if retries.is_empty() {
+            self.lost_reads += 1;
+        } else {
+            self.degraded_reads += 1;
+        }
+        if let Some(idx) = self.read_interval.remove(&rid.0) {
+            let rec = &mut self.intervals[idx];
+            rec.service_sum += done.breakdown.total().as_secs_f64();
+            if done.finished_at > rec.last_done {
+                rec.last_done = done.finished_at;
+            }
+            rec.remaining -= 1;
+            rec.remaining += retries.len();
+            rec.total_reqs += retries.len();
+            for r in retries {
+                self.read_interval.insert(r.0, idx);
+            }
+            if rec.remaining == 0 {
+                self.read_interval.retain(|_, v| *v != idx);
+            }
+        }
+    }
+
+    /// Rebuild copy time, once the rebuild has finished.
+    pub fn rebuild_time(&self) -> Option<Duration> {
+        match (self.rebuild_started_at, self.rebuild_finished_at) {
+            (Some(s), Some(f)) => Some(f.since(s)),
+            _ => None,
         }
     }
 
@@ -200,6 +277,7 @@ mod tests {
             overran: false,
             calculated_io_time: calc,
             per_volume_calculated: vec![calc],
+            degraded_streams: 0,
         }
     }
 
@@ -213,6 +291,7 @@ mod tests {
                 command: Duration::from_millis(service_ms),
                 ..ServiceBreakdown::default()
             },
+            failed: false,
         }
     }
 
@@ -285,6 +364,7 @@ mod tests {
             overran: false,
             calculated_io_time: 0.2,
             per_volume_calculated: vec![0.1, 0.2],
+            degraded_streams: 0,
         };
         m.on_interval(&rep, Instant::ZERO);
         assert_eq!(m.intervals().len(), 2, "one record per volume");
@@ -302,6 +382,34 @@ mod tests {
         let rs = m.admission_ratios(0);
         assert_eq!(rs.len(), 1, "only volume 1 is complete");
         assert!((rs[0] - 0.04).abs() < 1e-9, "ratio {}", rs[0]);
+    }
+
+    #[test]
+    fn failed_read_hands_its_interval_slot_to_the_retries() {
+        let mut m = Metrics::new();
+        m.on_interval(&report(&[1], 0.1), Instant::ZERO);
+        let mut err = completed(5, 1);
+        err.failed = true;
+        m.on_cras_read_failed(ReadId(1), &err, &[ReadId(9)]);
+        assert_eq!(m.degraded_reads, 1);
+        assert!(m.admission_ratios(0).is_empty(), "retry still outstanding");
+        m.on_cras_read_done(ReadId(9), &completed(20, 10));
+        let rs = m.admission_ratios(0);
+        assert_eq!(rs.len(), 1);
+        // 1 ms fast error + 10 ms retry service over 100 ms calculated.
+        assert!((rs[0] - 0.11).abs() < 1e-9, "ratio {}", rs[0]);
+    }
+
+    #[test]
+    fn lost_read_completes_the_interval_record() {
+        let mut m = Metrics::new();
+        m.on_interval(&report(&[1], 0.1), Instant::ZERO);
+        let mut err = completed(5, 1);
+        err.failed = true;
+        m.on_cras_read_failed(ReadId(1), &err, &[]);
+        assert_eq!(m.lost_reads, 1);
+        assert_eq!(m.intervals()[0].remaining, 0);
+        assert_eq!(m.admission_ratios(0).len(), 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use cras_core::{on_volume, AdmissionError, CrasServer, PlacementPolicy, VolumeExtent};
+use cras_core::{on_volume, AdmissionError, CrasServer, PlacementPolicy, ReadId, VolumeExtent};
 use cras_disk::{DiskDevice, DiskRequest, VolumeId, VolumeSet};
 use cras_media::{Movie, StreamProfile};
 use cras_rtmach::port::{FullPolicy, Port};
@@ -21,8 +21,9 @@ use cras_ufs::{Extent, FsReq, Ino, MkfsParams, Step, Ufs, UnixServer, BSIZE, SEC
 
 use crate::bgload::{BgReader, BgWriter};
 use crate::config::{prio, SchedMode, SysConfig};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, VolumeHealth};
 use crate::player::{Player, PlayerMode};
+use crate::rebuild::{plan_chunks, RebuildManager};
 use crate::tags::{ClientId, CpuTag, DiskTag, Event, TagArena};
 
 /// Owner of a Unix-server request.
@@ -76,6 +77,17 @@ pub enum MoviePlacement {
         /// Total media bytes.
         total_bytes: u64,
     },
+    /// Written in full to a primary volume and to a mirror volume.
+    Mirrored {
+        /// Primary volume.
+        primary: u32,
+        /// Mirror volume (never the primary's spindle).
+        mirror: u32,
+        /// The media data file on the primary volume.
+        ino: Ino,
+        /// The replica data file on the mirror volume.
+        mirror_ino: Ino,
+    },
 }
 
 /// The assembled system.
@@ -122,6 +134,8 @@ pub struct System {
     next_client: u32,
     rng: Rng,
     ticks_active: bool,
+    /// Rebuild in progress (at most one at a time).
+    rebuild: Option<RebuildManager>,
 }
 
 impl System {
@@ -184,6 +198,7 @@ impl System {
             next_client: 0,
             rng,
             ticks_active: false,
+            rebuild: None,
         }
     }
 
@@ -271,7 +286,34 @@ impl System {
             PlacementPolicy::Striped { stripe_bytes } => {
                 self.record_movie_striped(name, profile, secs, stripe_bytes)
             }
+            PlacementPolicy::Mirrored => self.record_movie_mirrored(name, profile, secs),
         }
+    }
+
+    /// Records a movie twice: normally onto a primary volume, and as a
+    /// same-size replica file (`{name}.mir`) onto a mirror volume. The
+    /// replica allocates its own extents, so the two copies may fragment
+    /// differently — degraded reads remap by logical byte range, not by
+    /// disk block.
+    fn record_movie_mirrored(&mut self, name: &str, profile: StreamProfile, secs: f64) -> Movie {
+        let (p, m) = self.cras.place_next_pair();
+        let movie =
+            cras_media::record_movie(&mut self.fs[p.index()], name, profile, secs, &mut self.rng)
+                .expect("movie recording failed");
+        let total = movie.table.total_bytes();
+        let fsm = &mut self.fs[m.index()];
+        let mirror_ino = fsm.create(&format!("{name}.mir")).expect("mirror file");
+        fsm.append(mirror_ino, total).expect("mirror allocation");
+        self.placements.insert(
+            name.to_string(),
+            MoviePlacement::Mirrored {
+                primary: p.0,
+                mirror: m.0,
+                ino: movie.ino,
+                mirror_ino,
+            },
+        );
+        movie
     }
 
     /// Records a movie striped across all volumes: stripe unit `k` of the
@@ -356,9 +398,26 @@ impl System {
                     .collect();
                 striped_extents(&maps, *stripe_bytes, *total_bytes)
             }
+            Some(MoviePlacement::Mirrored { primary, .. }) => on_volume(
+                VolumeId(*primary),
+                self.fs[*primary as usize].extent_map(movie.ino),
+            ),
             // Movies created directly through `ufs_mut()` (tests,
             // experiments) live on volume 0.
             None => on_volume(VolumeId(0), self.fs[0].extent_map(movie.ino)),
+        }
+    }
+
+    /// The mirror replica's extent map, if the movie is mirrored.
+    fn movie_mirror_extents(&self, movie: &Movie) -> Option<Vec<VolumeExtent>> {
+        match self.placements.get(&movie.name) {
+            Some(MoviePlacement::Mirrored {
+                mirror, mirror_ino, ..
+            }) => Some(on_volume(
+                VolumeId(*mirror),
+                self.fs[*mirror as usize].extent_map(*mirror_ino),
+            )),
+            _ => None,
         }
     }
 
@@ -372,6 +431,7 @@ impl System {
     fn movie_volume(&self, movie: &Movie) -> u32 {
         match self.placements.get(&movie.name) {
             Some(MoviePlacement::Whole { vol, .. }) => *vol,
+            Some(MoviePlacement::Mirrored { primary, .. }) => *primary,
             Some(MoviePlacement::Striped { .. }) => {
                 panic!("Unix-server access to a striped movie is not supported")
             }
@@ -408,19 +468,24 @@ impl System {
         stride: u32,
     ) -> Result<ClientId, AdmissionError> {
         let extents = self.movie_extents(movie);
+        let mirror = self.movie_mirror_extents(movie);
         let stream = if self.cfg.enforce_admission {
             self.cras
-                .open_placed(&movie.name, movie.table.clone(), extents)?
+                .open_replicated(&movie.name, movie.table.clone(), extents, mirror)?
         } else {
-            match self
-                .cras
-                .open_placed(&movie.name, movie.table.clone(), extents.clone())
-            {
+            match self.cras.open_replicated(
+                &movie.name,
+                movie.table.clone(),
+                extents.clone(),
+                mirror.clone(),
+            ) {
                 Ok(id) => id,
-                Err(_) => {
-                    self.cras
-                        .open_placed_unchecked(&movie.name, movie.table.clone(), extents)
-                }
+                Err(_) => self.cras.open_replicated_unchecked(
+                    &movie.name,
+                    movie.table.clone(),
+                    extents,
+                    mirror,
+                ),
             }
         };
         let id = self.alloc_client();
@@ -577,6 +642,150 @@ impl System {
         self.players.values().all(|p| p.done)
     }
 
+    // ----- redundancy: failure, detection and rebuild -----------------
+
+    /// Declares a permanent failure of `vol` now: the device fails its
+    /// in-flight and all future operations fast, and CRAS immediately
+    /// steers mirrored streams to their surviving replicas and stops
+    /// admitting new load against the volume.
+    pub fn fail_volume(&mut self, vol: u32) {
+        let now = self.now();
+        self.disks.fail_volume(VolumeId(vol));
+        self.cras.set_volume_failed(VolumeId(vol), true);
+        if self.metrics.volume_failed_at.is_none() {
+            self.metrics.volume_failed_at = Some(now);
+        }
+        self.trace
+            .log_with(now, "volume", || format!("volume {vol} failed"));
+        // Conservatively abort any rebuild in progress: the dead spindle
+        // may be the copy's source, and a rebuild onto it is moot.
+        self.rebuild = None;
+    }
+
+    /// Whether a rebuild is currently running.
+    pub fn rebuild_active(&self) -> bool {
+        self.rebuild.is_some()
+    }
+
+    /// Attaches a fresh replacement disk for a failed volume and starts
+    /// the rate-controlled rebuild of every mirrored replica that lived
+    /// there. The volume rejoins admission (and read steering) only once
+    /// the rebuild completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volume is not marked failed, if its error queue has
+    /// not drained yet, or if a rebuild is already running.
+    pub fn attach_replacement(&mut self, vol: u32) {
+        assert!(
+            self.cras.volume_failed(VolumeId(vol)),
+            "volume {vol} is not failed"
+        );
+        assert!(self.rebuild.is_none(), "a rebuild is already in progress");
+        self.disks
+            .replace_volume(VolumeId(vol), DiskDevice::st32550n());
+        if self.cfg.disk_fault_prob > 0.0 {
+            // The replacement spindle gets its own fault stream.
+            self.disks
+                .volume_mut(VolumeId(vol))
+                .set_fault_injector(Some(cras_disk::FaultInjector::new(
+                    self.cfg.disk_fault_prob,
+                    self.cfg.disk_fault_penalty,
+                    self.cfg.seed ^ 0xFA17 ^ ((vol as u64) << 32) ^ 0x5EB1,
+                )));
+        }
+        let mirrored: Vec<(u32, u32, Ino, Ino)> = self
+            .placements
+            .values()
+            .filter_map(|p| match p {
+                MoviePlacement::Mirrored {
+                    primary,
+                    mirror,
+                    ino,
+                    mirror_ino,
+                } => Some((*primary, *mirror, *ino, *mirror_ino)),
+                _ => None,
+            })
+            .collect();
+        let mut chunks = Vec::new();
+        for (p, m, ino, mino) in mirrored {
+            let (src, dst) = if p == vol {
+                (
+                    on_volume(VolumeId(m), self.fs[m as usize].extent_map(mino)),
+                    on_volume(VolumeId(p), self.fs[p as usize].extent_map(ino)),
+                )
+            } else if m == vol {
+                (
+                    on_volume(VolumeId(p), self.fs[p as usize].extent_map(ino)),
+                    on_volume(VolumeId(m), self.fs[m as usize].extent_map(mino)),
+                )
+            } else {
+                continue;
+            };
+            chunks.extend(plan_chunks(&src, &dst, self.cfg.rebuild_chunk));
+        }
+        let now = self.now();
+        self.metrics.rebuild_started_at = Some(now);
+        self.rebuild = Some(RebuildManager::new(vol, chunks, self.cfg.rebuild_rate, now));
+        self.trace
+            .log_with(now, "rebuild", || format!("rebuilding volume {vol}"));
+        self.engine.schedule_now(Event::RebuildStep);
+    }
+
+    /// Per-volume fault/health snapshot from the disk substrate.
+    pub fn volume_health(&self) -> Vec<VolumeHealth> {
+        (0..self.volumes() as u32)
+            .map(|v| {
+                let d = self.disks.volume(VolumeId(v));
+                let (ops_seen, transient_faults, media_errors) = d
+                    .fault_injector()
+                    .map(|f| (f.ops_seen(), f.injected(), f.media_errors()))
+                    .unwrap_or((0, 0, 0));
+                VolumeHealth {
+                    volume: v,
+                    ops_seen,
+                    transient_faults,
+                    media_errors,
+                    down: d.is_down(),
+                }
+            })
+            .collect()
+    }
+
+    fn on_rebuild_step(&mut self, _now: Instant) {
+        let Some(rb) = &mut self.rebuild else {
+            return;
+        };
+        match rb.take_next() {
+            Some((idx, c)) => {
+                // Normal-priority read: the RT queue's strict priority
+                // protects admitted streams from the rebuild traffic.
+                self.submit_disk(
+                    c.src_vol,
+                    DiskRequest::read(c.src_block, c.nblocks, DiskTag::RebuildRead(idx)),
+                );
+            }
+            None => self.finish_rebuild(),
+        }
+    }
+
+    fn finish_rebuild(&mut self) {
+        let Some(rb) = self.rebuild.take() else {
+            return;
+        };
+        let now = self.now();
+        self.cras.set_volume_failed(VolumeId(rb.volume()), false);
+        self.metrics.rebuild_finished_at = Some(now);
+        self.metrics.rebuild_bytes = rb.copied_bytes();
+        self.trace.log_with(now, "rebuild", || {
+            format!(
+                "volume {} rebuilt ({} bytes)",
+                rb.volume(),
+                rb.copied_bytes()
+            )
+        });
+    }
+
     // ----- event dispatch ---------------------------------------------
 
     fn handle(&mut self, ev: Event, now: Instant) {
@@ -588,6 +797,7 @@ impl System {
             Event::BgKick(c) => self.on_bg_kick(c, now),
             Event::BgWrite(c) => self.on_bg_write(c, now),
             Event::Sync => self.on_sync(now),
+            Event::RebuildStep => self.on_rebuild_step(now),
             Event::RecorderTick => {}
             Event::Checkpoint(_) => {}
         }
@@ -672,6 +882,31 @@ impl System {
             self.engine.schedule(at, Event::DiskDone(vol));
         }
         match done.req.tag {
+            DiskTag::Cras(rid) if done.failed => {
+                // Failure detection lives in the I/O-done manager: a
+                // fast-error from a down volume takes the spindle out of
+                // admission and steering; the failed read is re-issued
+                // against the surviving replica (degraded read) or, with
+                // no replica, its batch is dropped.
+                let v = VolumeId(vol);
+                if self.disks.is_down(v) && !self.cras.volume_failed(v) {
+                    self.cras.set_volume_failed(v, true);
+                    if self.metrics.volume_failed_at.is_none() {
+                        self.metrics.volume_failed_at = Some(now);
+                    }
+                    self.trace
+                        .log_with(now, "volume", || format!("volume {vol} error detected"));
+                }
+                let retries = self.cras.io_failed(rid);
+                let ids: Vec<ReadId> = retries.iter().map(|r| r.id).collect();
+                self.metrics.on_cras_read_failed(rid, &done, &ids);
+                for r in &retries {
+                    self.submit_disk(
+                        r.volume.0,
+                        DiskRequest::rt_read(r.block, r.nblocks, DiskTag::Cras(r.id)),
+                    );
+                }
+            }
             DiskTag::Cras(rid) => {
                 self.metrics.on_cras_read_done(rid, &done);
                 // I/O-done manager thread: cheap, handled inline.
@@ -679,6 +914,30 @@ impl System {
             }
             DiskTag::CrasWrite(_) => {
                 self.metrics.cras_write_bytes += done.req.bytes();
+            }
+            DiskTag::RebuildRead(idx) => {
+                if done.failed {
+                    // The surviving replica failed under us: abort.
+                    self.rebuild = None;
+                } else if let Some(rb) = &self.rebuild {
+                    let c = rb.chunk(idx);
+                    self.submit_disk(
+                        c.dst_vol,
+                        DiskRequest::write(c.dst_block, c.nblocks, DiskTag::RebuildWrite(idx)),
+                    );
+                }
+            }
+            DiskTag::RebuildWrite(idx) => {
+                if done.failed {
+                    self.rebuild = None;
+                } else if let Some(rb) = &mut self.rebuild {
+                    match rb.chunk_copied(idx, now) {
+                        Some(due) => {
+                            self.engine.schedule(due, Event::RebuildStep);
+                        }
+                        None => self.finish_rebuild(),
+                    }
+                }
             }
             DiskTag::UfsWriteback(_, _) => {}
             DiskTag::UfsFetch(v, run) | DiskTag::UfsReadAhead(v, run) => {
@@ -1206,6 +1465,112 @@ mod tests {
         );
         let vols: std::collections::BTreeSet<u32> = extents.iter().map(|ve| ve.volume.0).collect();
         assert_eq!(vols.len(), 2, "both volumes hold data");
+    }
+
+    fn mirrored_cfg(volumes: usize) -> SysConfig {
+        let mut cfg = SysConfig::default();
+        cfg.server.volumes = volumes;
+        cfg.server.placement = PlacementPolicy::Mirrored;
+        cfg
+    }
+
+    fn mirrored_placement(s: &System, name: &str) -> (u32, u32) {
+        match s.placement(name) {
+            Some(MoviePlacement::Mirrored {
+                primary, mirror, ..
+            }) => (*primary, *mirror),
+            other => panic!("unexpected placement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mirrored_movies_never_share_the_spindle() {
+        let mut s = sys(mirrored_cfg(4));
+        for i in 0..6 {
+            let name = format!("m{i}");
+            s.record_movie(&name, StreamProfile::mpeg1(), 3.0);
+            let (p, m) = mirrored_placement(&s, &name);
+            assert_ne!(p, m, "movie {name} mirrored onto its own volume");
+        }
+    }
+
+    #[test]
+    fn mirrored_stream_survives_a_volume_failure() {
+        let mut s = sys(mirrored_cfg(4));
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 10.0);
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(3));
+        let (p, _) = mirrored_placement(&s, "m");
+        s.fail_volume(p);
+        s.run_for(Duration::from_secs(12));
+        let pl = &s.players[&c.0];
+        assert!(pl.done, "playback should finish through the failure");
+        assert_eq!(pl.stats.frames_dropped, 0, "mirrored stream dropped");
+        assert_eq!(s.metrics.overruns, 0, "deadline missed during failover");
+        assert!(
+            s.metrics.degraded_intervals > 0,
+            "the mirror should have served intervals"
+        );
+    }
+
+    #[test]
+    fn rebuild_restores_the_volume_at_the_configured_rate() {
+        let mut s = sys(mirrored_cfg(4));
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 20.0);
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(2));
+        let (_, m) = mirrored_placement(&s, "m");
+        s.fail_volume(m);
+        // Let the dead volume's error queue drain before attaching.
+        s.run_for(Duration::from_secs(1));
+        s.attach_replacement(m);
+        assert!(s.rebuild_active());
+        s.run_for(Duration::from_secs(25));
+        assert!(!s.rebuild_active(), "rebuild should have completed");
+        let t = s.metrics.rebuild_time().expect("rebuild finished");
+        assert!(s.metrics.rebuild_bytes > 0);
+        // Rate control: the copy may not beat the configured rate.
+        let floor = s.metrics.rebuild_bytes as f64 / s.cfg.rebuild_rate;
+        assert!(
+            t.as_secs_f64() >= floor * 0.99,
+            "rebuild {}s beat the rate floor {floor}s",
+            t.as_secs_f64()
+        );
+        assert!(!s.cras.volume_failed(VolumeId(m)), "capacity not restored");
+        assert!(!s.volume_health()[m as usize].down);
+        let pl = &s.players[&c.0];
+        assert_eq!(pl.stats.frames_dropped, 0, "rebuild traffic dropped frames");
+        assert_eq!(s.metrics.overruns, 0, "rebuild caused deadline misses");
+    }
+
+    #[test]
+    fn injector_scheduled_failure_is_detected_by_io_done() {
+        // The volume dies via the fault injector's schedule, not via an
+        // explicit call: the I/O-done manager must notice the failed read
+        // and take the spindle out of steering on its own.
+        let mut s = sys(mirrored_cfg(4));
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 10.0);
+        let (p, _) = mirrored_placement(&s, "m");
+        s.disks
+            .volume_mut(VolumeId(p))
+            .set_fault_injector(Some(cras_disk::FaultInjector::none(7)));
+        let t_fail = Instant::ZERO + Duration::from_secs(4);
+        if let Some(f) = s.disks.volume_mut(VolumeId(p)).fault_injector_mut() {
+            f.fail_volume_at(t_fail);
+        }
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(15));
+        assert!(s.cras.volume_failed(VolumeId(p)), "failure not detected");
+        assert!(s.metrics.degraded_reads > 0, "no degraded reads recorded");
+        let pl = &s.players[&c.0];
+        assert!(pl.done);
+        assert_eq!(pl.stats.frames_dropped, 0);
+        let health = s.volume_health();
+        assert!(health[p as usize].down);
+        assert!(health[p as usize].ops_seen > 0);
     }
 
     #[test]

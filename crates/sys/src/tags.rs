@@ -29,6 +29,8 @@ pub enum Event {
     BgWrite(ClientId),
     /// The syncer flushes dirty blocks to disk.
     Sync,
+    /// The rebuild manager's next paced copy chunk is due.
+    RebuildStep,
     /// End of the measurement window (used by experiment drivers).
     Checkpoint(u32),
 }
@@ -47,6 +49,12 @@ pub enum DiskTag {
     UfsReadAhead(u32, FetchRun),
     /// A syncer write-back of dirty blocks (volume, run).
     UfsWriteback(u32, FetchRun),
+    /// The read half of rebuild copy chunk `n` (normal-priority; from
+    /// the surviving replica).
+    RebuildRead(u64),
+    /// The write half of rebuild copy chunk `n` (normal-priority; to
+    /// the replacement volume).
+    RebuildWrite(u64),
     /// Raw traffic from calibration or ad-hoc experiments.
     Raw(u64),
 }

@@ -15,6 +15,7 @@
 //! | [`ablate`] | admission-model ablation (per-stream vs per-read) |
 //! | [`qos`] | §2.4 dynamic QOS rate change scenario |
 //! | [`faults`] | transient-fault injection vs the deadline manager |
+//! | [`failover`] | mirrored placement: volume loss, degraded reads, rebuild |
 //! | [`measured_capacity`] | admitted load validated by simulation |
 //! | [`deploy`] | Figure 5 deployment-configuration cost ablation |
 //! | [`disk_sched`] | head-scheduling ablation (FCFS/SSTF/SCAN/C-SCAN) |
@@ -39,6 +40,7 @@ pub mod capacity_scaling;
 pub mod deploy;
 pub mod disk_sched;
 pub mod editing;
+pub mod failover;
 pub mod faults;
 pub mod fig10;
 pub mod fig12;

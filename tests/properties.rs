@@ -4,7 +4,8 @@
 //! property-testing framework.
 
 use cras_repro::core::{
-    on_volume, Admission, AdmissionModel, CrasServer, ServerConfig, StreamParams, TimeDrivenBuffer,
+    on_volume, Admission, AdmissionModel, CrasServer, PlacementPolicy, ServerConfig, StreamParams,
+    TimeDrivenBuffer,
 };
 use cras_repro::disk::calibrate::DiskParams;
 use cras_repro::disk::cscan::CScanQueue;
@@ -459,6 +460,175 @@ fn closing_stream_frees_capacity_on_its_volume() {
         srv.open_placed("x", table.clone(), extents(0))
             .expect("closing a volume-0 stream frees volume-0 capacity");
         assert!(srv.open_placed("y", table.clone(), extents(0)).is_err());
+    }
+}
+
+/// Mirrored placement never co-locates a replica with its primary, and
+/// once a volume has failed neither replica of a new movie lands there.
+#[test]
+fn mirrored_placement_never_colocates() {
+    let mut outer = Rng::new(0x31AA);
+    for case in 0..5 {
+        let volumes = outer.range_inclusive(3, 5) as usize;
+        let mut cfg = SysConfig {
+            seed: outer.next_u64(),
+            ..SysConfig::default()
+        };
+        cfg.server.volumes = volumes;
+        cfg.server.placement = PlacementPolicy::Mirrored;
+        let mut sys = System::new(cfg);
+        let movies = outer.range_inclusive(2, 6) as usize;
+        let check = |sys: &System, name: &str, dead: Option<u32>| match sys.placement(name) {
+            Some(MoviePlacement::Mirrored {
+                primary, mirror, ..
+            }) => {
+                assert_ne!(primary, mirror, "case {case}: {name} colocated");
+                if let Some(d) = dead {
+                    assert_ne!(*primary, d, "case {case}: {name} placed on dead volume");
+                    assert_ne!(*mirror, d, "case {case}: {name} mirrored to dead volume");
+                }
+            }
+            p => panic!("case {case}: expected mirrored placement, got {p:?}"),
+        };
+        for i in 0..movies {
+            let name = format!("m{i}.mov");
+            sys.record_movie(&name, StreamProfile::mpeg1(), 2.0);
+            check(&sys, &name, None);
+        }
+        let dead = outer.below(volumes as u64) as u32;
+        sys.fail_volume(dead);
+        for i in 0..movies {
+            let name = format!("r{i}.mov");
+            sys.record_movie(&name, StreamProfile::mpeg1(), 2.0);
+            check(&sys, &name, Some(dead));
+        }
+    }
+}
+
+/// Degraded-mode admission capacity is monotone: each additional volume
+/// failure can only shrink the number of mirrored streams admitted, and
+/// marking every volume healthy again restores the original count
+/// exactly.
+#[test]
+fn degraded_capacity_monotone_and_restored() {
+    let mut outer = Rng::new(0xDE64);
+    for case in 0..5 {
+        let volumes = outer.range_inclusive(3, 5) as usize;
+        let secs = outer.f64_range(2.0, 6.0);
+        let mut rng = Rng::new(outer.next_u64());
+        let table = generate_chunks(&StreamProfile::mpeg1(), secs, &mut rng);
+        let nb = table.total_bytes().div_ceil(512) as u32;
+        let rep = |vol: u32, blk: u64| {
+            on_volume(
+                VolumeId(vol),
+                vec![Extent {
+                    file_offset: 0,
+                    disk_block: blk,
+                    nblocks: nb,
+                }],
+            )
+        };
+        let cfg = ServerConfig {
+            volumes,
+            buffer_budget: u64::MAX / 4,
+            ..ServerConfig::default()
+        };
+        let count = |failed: &[u32]| -> usize {
+            let mut srv = CrasServer::new(DiskParams::paper_table4(), cfg);
+            for &v in failed {
+                srv.set_volume_failed(VolumeId(v), true);
+            }
+            let live: Vec<u32> = (0..volumes as u32)
+                .filter(|v| !failed.contains(v))
+                .collect();
+            let mut n = 0usize;
+            loop {
+                let p = live[n % live.len()];
+                let m = live[(n + 1) % live.len()];
+                let open = srv.open_replicated(
+                    &format!("s{n}"),
+                    table.clone(),
+                    rep(p, 0),
+                    Some(rep(m, 1_000_000)),
+                );
+                match open {
+                    Ok(_) => n += 1,
+                    Err(_) => break,
+                }
+            }
+            n
+        };
+        let full = count(&[]);
+        assert!(full >= 2, "case {case}: only {full} mirrored streams fit");
+        let mut failed: Vec<u32> = Vec::new();
+        let mut prev = full;
+        while volumes - failed.len() > 2 {
+            let victim = loop {
+                let v = outer.below(volumes as u64) as u32;
+                if !failed.contains(&v) {
+                    break v;
+                }
+            };
+            failed.push(victim);
+            let c = count(&failed);
+            assert!(
+                c <= prev,
+                "case {case}: capacity grew {prev} -> {c} after failing {failed:?}"
+            );
+            prev = c;
+        }
+        assert_eq!(count(&[]), full, "case {case}: capacity not restored");
+    }
+}
+
+/// A completed rebuild releases admission capacity back to exactly the
+/// pre-failure admit count: a system that lost and rebuilt a volume
+/// admits the same number of mirrored streams as an identical system
+/// that never failed.
+#[test]
+fn rebuild_restores_exact_admit_count() {
+    let mut outer = Rng::new(0x4EB1);
+    for case in 0..2 {
+        let volumes = outer.range_inclusive(3, 4) as usize;
+        let seed = outer.next_u64();
+        let victim = outer.below(volumes as u64) as u32;
+        let build = || {
+            let mut cfg = SysConfig {
+                seed,
+                ..SysConfig::default()
+            };
+            cfg.server.volumes = volumes;
+            cfg.server.placement = PlacementPolicy::Mirrored;
+            cfg.server.buffer_budget = 1 << 40;
+            let mut sys = System::new(cfg);
+            let movies: Vec<_> = (0..16 * volumes)
+                .map(|i| sys.record_movie(&format!("m{i}.mov"), StreamProfile::mpeg1(), 4.0))
+                .collect();
+            (sys, movies)
+        };
+        let admit_count = |sys: &mut System, movies: &[cras_repro::media::Movie]| {
+            movies
+                .iter()
+                .take_while(|m| sys.add_cras_player(m, 1).is_ok())
+                .count()
+        };
+        let (mut control, cm) = build();
+        let (mut sys, sm) = build();
+        sys.fail_volume(victim);
+        sys.attach_replacement(victim);
+        let mut guard = 0;
+        while sys.rebuild_active() && guard < 600 {
+            sys.run_for(Duration::from_secs(1));
+            guard += 1;
+        }
+        assert!(!sys.rebuild_active(), "case {case}: rebuild never finished");
+        let healthy = admit_count(&mut control, &cm);
+        let rebuilt = admit_count(&mut sys, &sm);
+        assert!(healthy >= volumes, "case {case}: only {healthy} admitted");
+        assert_eq!(
+            rebuilt, healthy,
+            "case {case}: rebuild did not restore capacity"
+        );
     }
 }
 
