@@ -100,6 +100,24 @@ fn main() {
     write_result("failover", &fo_t.to_json());
     write_result("failover_rebuild", &fo_f.to_json());
 
+    let cache_budgets: &[u64] = if quick {
+        &[0, 64 << 20]
+    } else {
+        &[0, 16 << 20, 32 << 20, 64 << 20, 128 << 20]
+    };
+    let (cache_t, cache_f, _) = wl::cache_sharing::sweep(
+        cache_budgets,
+        if quick { 24 } else { 30 },
+        10,
+        Duration::from_millis(1500),
+        secs(10, 20),
+        0xCA5E,
+    );
+    println!("{}", cache_t.render());
+    println!("{}", cache_f.render());
+    write_result("cache_sharing", &cache_t.to_json());
+    write_result("cache_sharing_admitted", &cache_f.to_json());
+
     let intervals: &[f64] = if quick {
         &[0.5]
     } else {

@@ -1,0 +1,545 @@
+//! The interval cache: serve trailing streams of popular movies from
+//! memory instead of disk.
+//!
+//! When two clients watch the same movie a few seconds apart, the data
+//! the leader just read from disk is exactly the data the follower is
+//! about to need. Interval caching (Jayarekha & Nair; see PAPERS.md)
+//! retains only that sliding window — the interval between a leading
+//! and a trailing stream — so the trailing stream's disk load drops to
+//! zero and admission can accept it against a *memory* budget instead
+//! of the disk-time bound.
+//!
+//! The cache is timestamp-indexed, like the per-stream time-driven
+//! buffer (DESIGN §3): each [`Frame`] holds one media chunk keyed by
+//! its timestamp. Frames are *pinned* while any registered follower
+//! still has to consume them (per-frame waiter lists keyed by the
+//! trailing streams' logical clocks) and become evictable once every
+//! follower has read past them. Unpinned frames are retained as a
+//! trailing window behind the movie's read frontier, so a stream that
+//! starts *after* the leader's reads still finds the recent past in
+//! memory; they are evicted when they fall more than the configured
+//! maximum gap behind the movie's trailing-most consumer, or when the
+//! cache exceeds its byte budget (lowest insertion sequence first —
+//! deterministic FIFO pressure).
+//!
+//! The server (`crates/core/src/server.rs`) owns one [`IntervalCache`]
+//! and consults it in three places: admission (a trailing stream may be
+//! admitted against the cache budget when the disk bound is exhausted),
+//! interval planning (cache-served streams issue zero disk commands),
+//! and teardown (`crs_stop`/`crs_seek`/close release the departing
+//! stream's pins in the same call — no leaked pins).
+
+use std::collections::BTreeMap;
+
+use cras_media::{Chunk, ChunkTable};
+use cras_sim::Duration;
+
+/// Counters exported by the cache (mirrored into the system metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Bytes served to followers from cache frames.
+    pub hit_bytes: u64,
+    /// Bytes a cache-dependent stream needed but did not find (each
+    /// miss breaks the stream's interval and sends it back to disk
+    /// admission).
+    pub miss_bytes: u64,
+    /// Bytes inserted into cache frames from completed disk reads.
+    pub inserted_bytes: u64,
+    /// Bytes released by eviction (window expiry or budget pressure).
+    pub evicted_bytes: u64,
+    /// High-water mark of resident cache bytes.
+    pub peak_bytes: u64,
+    /// Streams admitted through the cache path (disk bound exhausted,
+    /// memory budget covered the gap).
+    pub cache_admitted_streams: u64,
+    /// Cache-admitted streams whose interval broke and whose disk
+    /// re-admission test failed (the stream stops).
+    pub cache_rejected_streams: u64,
+    /// Intervals broken by a leader stop/seek or an eviction racing a
+    /// follower (the follower fell back to the disk path).
+    pub interval_breaks: u64,
+}
+
+/// One cached media chunk.
+#[derive(Clone, Debug)]
+struct Frame {
+    /// Chunk index within the movie's table.
+    index: u32,
+    /// Chunk size in bytes.
+    size: u64,
+    /// Global insertion sequence number (eviction order).
+    seq: u64,
+    /// Streams that still have to consume this frame. A frame with a
+    /// non-empty waiter list is *pinned* and never evicted.
+    waiters: Vec<u32>,
+}
+
+/// Per-movie cache state: resident frames plus follower bookkeeping.
+#[derive(Clone, Debug, Default)]
+struct MovieCache {
+    /// Resident frames keyed by media timestamp.
+    frames: BTreeMap<Duration, Frame>,
+    /// Media time up to which disk reads have been inserted (end
+    /// timestamp of the furthest inserted chunk).
+    frontier: Duration,
+    /// Registered cache-dependent streams and their consumption
+    /// cursors (media time consumed so far).
+    followers: BTreeMap<u32, Duration>,
+}
+
+/// A global, timestamp-indexed block cache shared by all streams.
+///
+/// Budget `0` disables the cache entirely: every operation is a no-op
+/// and the server behaves bit-for-bit as it did without the subsystem.
+#[derive(Clone, Debug)]
+pub struct IntervalCache {
+    budget: u64,
+    max_gap: Duration,
+    movies: BTreeMap<String, MovieCache>,
+    bytes: u64,
+    reserved: u64,
+    seq: u64,
+    stats: CacheStats,
+}
+
+impl IntervalCache {
+    /// Creates a cache with a byte budget and a maximum leader/follower
+    /// gap. Budget `0` disables caching.
+    pub fn new(budget: u64, max_gap: Duration) -> IntervalCache {
+        IntervalCache {
+            budget,
+            max_gap,
+            movies: BTreeMap::new(),
+            bytes: 0,
+            reserved: 0,
+            seq: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether the cache is enabled (non-zero budget).
+    pub fn enabled(&self) -> bool {
+        self.budget > 0
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The configured maximum leader/follower gap.
+    pub fn max_gap(&self) -> Duration {
+        self.max_gap
+    }
+
+    /// Resident cache bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Bytes reserved by cache-aware admission for gaps in flight.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Number of resident frames.
+    pub fn frame_count(&self) -> usize {
+        self.movies.values().map(|m| m.frames.len()).sum()
+    }
+
+    /// Number of pinned frames (non-empty waiter list).
+    pub fn pinned_frames(&self) -> usize {
+        self.movies
+            .values()
+            .flat_map(|m| m.frames.values())
+            .filter(|f| !f.waiters.is_empty())
+            .count()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Mutable access to the counters (the server records admission
+    /// outcomes and interval breaks here).
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// The read frontier of a movie, if any of its data is tracked.
+    pub fn frontier(&self, movie: &str) -> Option<Duration> {
+        self.movies.get(movie).map(|m| m.frontier)
+    }
+
+    /// Reserves admission budget for a trailing stream's gap.
+    pub fn reserve(&mut self, bytes: u64) {
+        self.reserved += bytes;
+    }
+
+    /// Releases a previous reservation.
+    pub fn unreserve(&mut self, bytes: u64) {
+        self.reserved = self.reserved.saturating_sub(bytes);
+    }
+
+    /// Inserts chunks a leader's disk read just posted. Frames are
+    /// pinned for every registered follower that has not consumed past
+    /// them yet; the movie frontier advances; expired and over-budget
+    /// unpinned frames are evicted.
+    pub fn insert_posted(&mut self, movie: &str, chunks: &[Chunk]) {
+        if !self.enabled() || chunks.is_empty() {
+            return;
+        }
+        let entry = self.movies.entry(movie.to_string()).or_default();
+        for c in chunks {
+            let waiters: Vec<u32> = entry
+                .followers
+                .iter()
+                .filter(|&(_, &cursor)| cursor <= c.timestamp)
+                .map(|(&id, _)| id)
+                .collect();
+            match entry.frames.get_mut(&c.timestamp) {
+                Some(f) => {
+                    // Duplicate insert (e.g. after a seek re-read): keep
+                    // the frame, merge waiter lists.
+                    for w in waiters {
+                        if !f.waiters.contains(&w) {
+                            f.waiters.push(w);
+                        }
+                    }
+                }
+                None => {
+                    entry.frames.insert(
+                        c.timestamp,
+                        Frame {
+                            index: c.index,
+                            size: c.size as u64,
+                            seq: self.seq,
+                            waiters,
+                        },
+                    );
+                    self.seq += 1;
+                    self.bytes += c.size as u64;
+                    self.stats.inserted_bytes += c.size as u64;
+                }
+            }
+            if c.end_timestamp() > entry.frontier {
+                entry.frontier = c.end_timestamp();
+            }
+        }
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.bytes);
+        self.evict();
+    }
+
+    /// Whether the cache holds every chunk of `movie` between `from`
+    /// and the movie's read frontier — i.e. a stream starting at `from`
+    /// can be fed entirely from memory until it catches the leader.
+    pub fn covers(&self, movie: &str, table: &ChunkTable, from: Duration) -> bool {
+        let Some(m) = self.movies.get(movie) else {
+            return false;
+        };
+        if m.frontier <= from {
+            return false;
+        }
+        table
+            .chunks_in(from, m.frontier)
+            .iter()
+            .all(|c| m.frames.contains_key(&c.timestamp))
+    }
+
+    /// Registers a cache-dependent stream consuming from `from`: its
+    /// cursor is tracked and every already-resident frame at or past
+    /// `from` gains it as a waiter.
+    pub fn add_follower(&mut self, movie: &str, id: u32, from: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        let entry = self.movies.entry(movie.to_string()).or_default();
+        entry.followers.insert(id, from);
+        for (_, f) in entry.frames.range_mut(from..) {
+            if !f.waiters.contains(&id) {
+                f.waiters.push(id);
+            }
+        }
+    }
+
+    /// Deregisters a stream and strips its pins from every frame *in
+    /// the same call* — a stop or seek must not leak pins until some
+    /// later eviction sweep. Newly unpinned frames stay resident as
+    /// window frames and are reclaimed by the usual eviction rules.
+    pub fn remove_follower(&mut self, movie: &str, id: u32) {
+        let Some(m) = self.movies.get_mut(movie) else {
+            return;
+        };
+        m.followers.remove(&id);
+        for f in m.frames.values_mut() {
+            f.waiters.retain(|&w| w != id);
+        }
+        self.evict();
+    }
+
+    /// Serves one interval's chunks to follower `id` from the cache.
+    ///
+    /// All-or-nothing: if any chunk is absent the call returns `false`,
+    /// counts the miss, and changes nothing — the caller breaks the
+    /// interval and falls back to the disk path. On success the
+    /// follower's pins on the served frames are released, its cursor
+    /// advances past the last chunk, and hit bytes are counted.
+    pub fn serve(&mut self, movie: &str, id: u32, chunks: &[Chunk]) -> bool {
+        if chunks.is_empty() {
+            return true;
+        }
+        let Some(m) = self.movies.get_mut(movie) else {
+            self.stats.miss_bytes += chunks.iter().map(|c| c.size as u64).sum::<u64>();
+            return false;
+        };
+        if !chunks.iter().all(|c| m.frames.contains_key(&c.timestamp)) {
+            self.stats.miss_bytes += chunks.iter().map(|c| c.size as u64).sum::<u64>();
+            return false;
+        }
+        let mut served = 0u64;
+        for c in chunks {
+            let f = m.frames.get_mut(&c.timestamp).expect("checked above");
+            debug_assert_eq!(f.index, c.index, "frame/chunk index mismatch");
+            f.waiters.retain(|&w| w != id);
+            served += c.size as u64;
+        }
+        let end = chunks.last().expect("non-empty").end_timestamp();
+        m.followers.insert(id, end);
+        self.stats.hit_bytes += served;
+        self.evict();
+        true
+    }
+
+    /// Drops every frame and follower of a movie (last stream closed).
+    pub fn drop_movie(&mut self, movie: &str) {
+        if let Some(m) = self.movies.remove(movie) {
+            for f in m.frames.values() {
+                self.bytes -= f.size;
+                self.stats.evicted_bytes += f.size;
+            }
+        }
+    }
+
+    /// Eviction: drop unpinned frames that fell more than `max_gap`
+    /// behind the movie's trailing-most consumer (the slowest
+    /// registered follower, or the read frontier when no follower is
+    /// registered — chained trailing streams each keep a window behind
+    /// them), then — while still over budget — drop the globally
+    /// oldest (lowest-seq) unpinned frame. Pinned frames are never
+    /// evicted, so a burst of pins may keep the cache transiently over
+    /// budget (recorded in `peak_bytes`).
+    fn evict(&mut self) {
+        // Window expiry per movie.
+        for m in self.movies.values_mut() {
+            let tail = m
+                .followers
+                .values()
+                .copied()
+                .min()
+                .unwrap_or(m.frontier)
+                .min(m.frontier);
+            let cutoff = tail.saturating_sub(self.max_gap);
+            let expired: Vec<Duration> = m
+                .frames
+                .range(..cutoff)
+                .filter(|(_, f)| f.waiters.is_empty())
+                .map(|(&ts, _)| ts)
+                .collect();
+            for ts in expired {
+                let f = m.frames.remove(&ts).expect("listed above");
+                self.bytes -= f.size;
+                self.stats.evicted_bytes += f.size;
+            }
+        }
+        // Budget pressure: oldest unpinned frame first, globally.
+        while self.bytes > self.budget {
+            let victim = self
+                .movies
+                .iter()
+                .flat_map(|(name, m)| {
+                    m.frames
+                        .iter()
+                        .filter(|(_, f)| f.waiters.is_empty())
+                        .map(move |(&ts, f)| (f.seq, name.clone(), ts))
+                })
+                .min();
+            let Some((_, name, ts)) = victim else {
+                break; // Everything left is pinned.
+            };
+            let m = self.movies.get_mut(&name).expect("victim movie");
+            let f = m.frames.remove(&ts).expect("victim frame");
+            self.bytes -= f.size;
+            self.stats.evicted_bytes += f.size;
+        }
+        self.movies
+            .retain(|_, m| !m.frames.is_empty() || !m.followers.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    /// 1 chunk per second, 1000 bytes each.
+    fn table(n: u64) -> ChunkTable {
+        ChunkTable::from_durations_sizes(&vec![(secs(1), 1000); n as usize])
+    }
+
+    fn cache(budget: u64) -> IntervalCache {
+        IntervalCache::new(budget, secs(10))
+    }
+
+    #[test]
+    fn zero_budget_is_inert() {
+        let mut c = cache(0);
+        let t = table(5);
+        c.insert_posted("m", t.chunks());
+        c.add_follower("m", 1, Duration::ZERO);
+        assert!(!c.enabled());
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.frame_count(), 0);
+        assert!(!c.covers("m", &t, Duration::ZERO));
+    }
+
+    #[test]
+    fn insert_then_cover_then_serve() {
+        let mut c = cache(1 << 20);
+        let t = table(10);
+        c.add_follower("m", 7, Duration::ZERO);
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(4)));
+        assert_eq!(c.frame_count(), 4);
+        assert_eq!(c.pinned_frames(), 4);
+        assert_eq!(c.frontier("m"), Some(secs(4)));
+        assert!(c.covers("m", &t, Duration::ZERO));
+        assert!(c.covers("m", &t, secs(2)));
+        assert!(!c.covers("m", &t, secs(4)), "empty span is not coverage");
+        assert!(c.serve("m", 7, t.chunks_in(Duration::ZERO, secs(2))));
+        assert_eq!(c.stats().hit_bytes, 2000);
+        // Served frames are unpinned but stay as window frames.
+        assert_eq!(c.pinned_frames(), 2);
+        assert_eq!(c.frame_count(), 4);
+    }
+
+    #[test]
+    fn serve_is_all_or_nothing() {
+        let mut c = cache(1 << 20);
+        let t = table(10);
+        c.add_follower("m", 1, Duration::ZERO);
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(2)));
+        // Asking past the frontier misses and changes nothing.
+        assert!(!c.serve("m", 1, t.chunks_in(Duration::ZERO, secs(3))));
+        assert_eq!(c.stats().miss_bytes, 3000);
+        assert_eq!(c.stats().hit_bytes, 0);
+        assert_eq!(c.pinned_frames(), 2);
+        // The present prefix still serves.
+        assert!(c.serve("m", 1, t.chunks_in(Duration::ZERO, secs(2))));
+    }
+
+    #[test]
+    fn window_expiry_behind_frontier() {
+        let mut c = IntervalCache::new(1 << 20, secs(3));
+        let t = table(20);
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(10)));
+        // No followers: only [frontier-3s, frontier) = [7s, 10s) survives.
+        assert_eq!(c.frame_count(), 3);
+        assert!(c.covers("m", &t, secs(7)));
+        assert!(!c.covers("m", &t, secs(5)));
+    }
+
+    #[test]
+    fn pinned_frames_survive_window_and_budget() {
+        let mut c = IntervalCache::new(2500, secs(2));
+        let t = table(20);
+        c.add_follower("m", 1, Duration::ZERO);
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(10)));
+        // All 10 frames pinned by the lagging follower: none evictable,
+        // cache transiently over budget.
+        assert_eq!(c.frame_count(), 10);
+        assert!(c.bytes() > c.budget());
+        assert_eq!(c.stats().peak_bytes, 10_000);
+        // Follower consumes 8 seconds: frames unpin and budget + window
+        // pressure reclaims them.
+        assert!(c.serve("m", 1, t.chunks_in(Duration::ZERO, secs(8))));
+        assert!(c.bytes() <= 2500, "bytes={}", c.bytes());
+    }
+
+    #[test]
+    fn remove_follower_releases_pins_immediately() {
+        let mut c = IntervalCache::new(1 << 20, secs(2));
+        let t = table(10);
+        c.add_follower("m", 1, Duration::ZERO);
+        c.add_follower("m", 2, Duration::ZERO);
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(6)));
+        assert_eq!(c.pinned_frames(), 6);
+        c.remove_follower("m", 1);
+        // Still pinned by follower 2.
+        assert_eq!(c.pinned_frames(), 6);
+        c.remove_follower("m", 2);
+        // No leaked pins, and the same call ran eviction: only the
+        // 2-second window behind the 6 s frontier remains.
+        assert_eq!(c.pinned_frames(), 0);
+        assert_eq!(c.frame_count(), 2);
+    }
+
+    #[test]
+    fn budget_eviction_is_oldest_first() {
+        let mut c = IntervalCache::new(3000, secs(100));
+        let t = table(10);
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(4)));
+        // 4000 bytes > 3000 budget: the oldest frame (t=0) went.
+        assert_eq!(c.frame_count(), 3);
+        assert!(c.covers("m", &t, secs(1)));
+        assert!(!c.covers("m", &t, Duration::ZERO));
+        assert_eq!(c.stats().evicted_bytes, 1000);
+    }
+
+    #[test]
+    fn drop_movie_frees_everything() {
+        let mut c = cache(1 << 20);
+        let t = table(5);
+        c.add_follower("m", 1, Duration::ZERO);
+        c.insert_posted("m", t.chunks());
+        c.drop_movie("m");
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.frame_count(), 0);
+        assert_eq!(c.frontier("m"), None);
+    }
+
+    #[test]
+    fn duplicate_insert_merges_waiters() {
+        let mut c = cache(1 << 20);
+        let t = table(5);
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(2)));
+        c.add_follower("m", 9, Duration::ZERO);
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(2)));
+        assert_eq!(c.frame_count(), 2);
+        assert_eq!(c.stats().inserted_bytes, 2000, "no double count");
+        assert_eq!(c.pinned_frames(), 2);
+    }
+
+    #[test]
+    fn reservations_are_a_separate_ledger() {
+        let mut c = cache(10_000);
+        c.reserve(4000);
+        c.reserve(2000);
+        assert_eq!(c.reserved(), 6000);
+        c.unreserve(4000);
+        assert_eq!(c.reserved(), 2000);
+        c.unreserve(9999);
+        assert_eq!(c.reserved(), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn late_follower_only_pins_from_its_cursor() {
+        let mut c = cache(1 << 20);
+        let t = table(10);
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(6)));
+        c.add_follower("m", 3, secs(4));
+        assert_eq!(c.pinned_frames(), 2, "only t=4,5 pinned");
+    }
+}

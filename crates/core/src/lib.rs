@@ -6,6 +6,9 @@
 //!
 //! * [`admission`] — the closed-form admission test (paper §2.3,
 //!   Appendices B/C) plus a multi-command ablation model.
+//! * [`cache`] — the interval cache: trailing streams of a popular
+//!   movie are served from the window the leader just read, and can be
+//!   admitted against a memory budget when the disk bound is full.
 //! * [`clock`] — per-stream logical clocks (`crs_start/stop/seek`, rate
 //!   changes).
 //! * [`tdbuffer`] — the time-driven shared memory buffer (§2.4,
@@ -34,6 +37,7 @@
 
 pub mod admission;
 pub mod api;
+pub mod cache;
 pub mod clock;
 pub mod deploy;
 pub mod fifo;
@@ -45,11 +49,12 @@ pub mod writer;
 
 pub use admission::{Admission, AdmissionError, AdmissionModel, StreamParams, MAX_READ_BYTES};
 pub use api::{crs_close, crs_get, crs_open, crs_seek, crs_start, crs_stop, CrsSession};
+pub use cache::{CacheStats, IntervalCache};
 pub use clock::LogicalClock;
 pub use deploy::DeployMode;
 pub use fifo::FifoBuffer;
 pub use placement::{on_volume, volume_shares, PlacementPolicy, VolumeExtent};
 pub use server::{CrasServer, IntervalReport, ReadId, ReadReq, ServerConfig, ServerStats};
-pub use stream::{DiskRun, Stream, StreamId, VolumeRun};
+pub use stream::{CacheState, DiskRun, Stream, StreamId, VolumeRun};
 pub use tdbuffer::{BufferStats, BufferedChunk, TimeDrivenBuffer};
 pub use writer::{Recorder, WriteId, WriteReq};

@@ -22,7 +22,17 @@
 //! fit the weighted share of every stream stored on it (the bottleneck
 //! disk bounds the system), while buffer memory — a host resource — is
 //! checked globally. With one volume this reduces exactly to the
-//! paper's single-disk test.
+//! paper's single-disk test. Volumes may be heterogeneous: each holds
+//! its own calibrated [`DiskParams`], so a faster spindle admits more
+//! of the streams placed on it.
+//!
+//! When a cache budget is configured, the server also owns an
+//! [`IntervalCache`]: every disk-fed stream's posted intervals are
+//! retained as a sliding window behind its read frontier, a stream
+//! opened within the configured gap of an active stream on the same
+//! movie is fed from that window (zero disk commands), and — when the
+//! disk-time bound is exhausted — such a trailing stream can be
+//! *admitted* against the cache memory budget instead.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -34,9 +44,10 @@ use cras_sim::{Duration, Instant};
 use cras_ufs::Extent;
 
 use crate::admission::{Admission, AdmissionError, AdmissionModel, StreamParams, MAX_READ_BYTES};
+use crate::cache::IntervalCache;
 use crate::clock::LogicalClock;
 use crate::placement::{on_volume, volume_shares, PlacementPolicy, VolumeExtent};
-use crate::stream::{Stream, StreamId};
+use crate::stream::{CacheState, Stream, StreamId};
 use crate::tdbuffer::{BufferedChunk, TimeDrivenBuffer};
 
 /// Fixed (non-buffer) server footprint: "CRAS consumes about (250KB +
@@ -70,6 +81,12 @@ pub struct ServerConfig {
     pub volumes: usize,
     /// How new movies are assigned to volumes.
     pub placement: PlacementPolicy,
+    /// Interval-cache memory budget in bytes. `0` disables the cache
+    /// entirely and reproduces the pre-cache server bit for bit.
+    pub cache_budget: u64,
+    /// Maximum media-time gap at which a trailing stream may attach to
+    /// a leading stream's cached window.
+    pub max_cache_gap: Duration,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +101,8 @@ impl Default for ServerConfig {
             max_outstanding_batches: 2,
             volumes: 1,
             placement: PlacementPolicy::RoundRobin,
+            cache_budget: 0,
+            max_cache_gap: Duration::from_secs(10),
         }
     }
 }
@@ -129,6 +148,9 @@ pub struct IntervalReport {
     /// Mirrored streams forced onto their mirror replica this interval
     /// because the primary's volume is failed (degraded mode).
     pub degraded_streams: usize,
+    /// Streams whose interval was served entirely from the interval
+    /// cache (they issued zero disk commands this tick).
+    pub cache_served_streams: usize,
 }
 
 /// A point-in-time report on one stream (diagnostics / experiments).
@@ -181,6 +203,9 @@ struct FetchedBatch {
     chunk_lo: u32,
     chunk_hi: u32,
     completed_at: Instant,
+    /// Whether this batch was served from the interval cache rather
+    /// than a disk read (cache batches are not re-inserted).
+    from_cache: bool,
 }
 
 /// Per-read bookkeeping: the owning batch, plus the logical byte range
@@ -195,7 +220,11 @@ struct ReadInfo {
 /// The CRAS server.
 pub struct CrasServer {
     cfg: ServerConfig,
-    admission: Admission,
+    /// One admission evaluator per volume, each over that spindle's own
+    /// calibrated parameters (identical entries for a homogeneous set).
+    admissions: Vec<Admission>,
+    /// The interval cache (inert when `cfg.cache_budget == 0`).
+    cache: IntervalCache,
     streams: BTreeMap<u32, Stream>,
     next_stream: u32,
     next_place: u32,
@@ -212,15 +241,34 @@ pub struct CrasServer {
 }
 
 impl CrasServer {
-    /// Creates a server over measured disk parameters.
+    /// Creates a server over measured disk parameters, identical for
+    /// every volume.
     ///
     /// # Panics
     ///
     /// Panics if the configuration names zero volumes.
     pub fn new(disk: DiskParams, cfg: ServerConfig) -> CrasServer {
+        CrasServer::new_per_volume(vec![disk; cfg.volumes.max(1)], cfg)
+    }
+
+    /// Creates a server over per-volume measured disk parameters
+    /// (heterogeneous spindles): volume `v`'s admission test runs
+    /// against `disks[v]`, so a faster spindle admits more of the
+    /// streams placed on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration names zero volumes or `disks` does
+    /// not hold exactly one entry per volume.
+    pub fn new_per_volume(disks: Vec<DiskParams>, cfg: ServerConfig) -> CrasServer {
         assert!(cfg.volumes >= 1, "server needs at least one volume");
+        assert_eq!(disks.len(), cfg.volumes, "need one DiskParams per volume");
         CrasServer {
-            admission: Admission::new(disk, cfg.model),
+            admissions: disks
+                .into_iter()
+                .map(|d| Admission::new(d, cfg.model))
+                .collect(),
+            cache: IntervalCache::new(cfg.cache_budget, cfg.max_cache_gap),
             cfg,
             streams: BTreeMap::new(),
             next_stream: 0,
@@ -245,9 +293,24 @@ impl CrasServer {
         self.cfg.volumes
     }
 
-    /// The admission evaluator.
+    /// The admission evaluator of volume 0 (the only one for a
+    /// homogeneous or single-disk server).
     pub fn admission(&self) -> &Admission {
-        &self.admission
+        &self.admissions[0]
+    }
+
+    /// The admission evaluator of one volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn admission_for(&self, vol: VolumeId) -> &Admission {
+        &self.admissions[vol.index()]
+    }
+
+    /// The interval cache.
+    pub fn cache(&self) -> &IntervalCache {
+        &self.cache
     }
 
     /// Statistics so far.
@@ -356,10 +419,10 @@ impl CrasServer {
             if scaled.is_empty() {
                 continue;
             }
-            self.admission.admit(t, &scaled, u64::MAX)?;
+            self.admissions[v].admit(t, &scaled, u64::MAX)?;
         }
         let all: Vec<StreamParams> = entries.iter().map(|(p, _)| *p).collect();
-        let needed = self.admission.buffer_total(t, &all);
+        let needed = self.admissions[0].buffer_total(t, &all);
         if needed > self.cfg.buffer_budget {
             return Err(AdmissionError::OutOfMemory {
                 needed,
@@ -421,11 +484,164 @@ impl CrasServer {
         let mut entries: Vec<(StreamParams, Vec<f64>)> = self
             .streams
             .values()
-            .map(|s| (s.params, s.shares.clone()))
+            .map(|s| (s.params, s.admission_shares()))
             .collect();
         entries.push((params, shares));
-        self.admit_set(&entries)?;
-        Ok(self.install_stream(name, table, extents, mirror, params))
+        // Does the new stream trail an active stream on the same movie
+        // closely enough to be fed from the interval cache? (None when
+        // the cache is disabled or the window does not cover the gap.)
+        let cached_need = self.cache_candidate(name, &table, params, Duration::ZERO, None);
+        match self.admit_set(&entries) {
+            Ok(()) => {
+                let id = self.install_stream(name, table, extents, mirror, params);
+                // Disk-admitted, but opportunistically cache-served:
+                // the spindle keeps the reservation, the cache saves
+                // the bandwidth while the interval holds.
+                if let Some(need) = cached_need {
+                    self.attach_cached(id, need, false);
+                }
+                Ok(id)
+            }
+            Err(e) => {
+                // Cache-aware admission: a trailing stream holds zero
+                // disk shares, so re-test the set with the newcomer's
+                // disk load removed (its buffer demand still counts).
+                let Some(need) = cached_need else {
+                    return Err(e);
+                };
+                let last = entries.last_mut().expect("pushed above");
+                last.1 = vec![0.0; self.cfg.volumes];
+                if self.admit_set(&entries).is_err() {
+                    return Err(e);
+                }
+                let id = self.install_stream(name, table, extents, mirror, params);
+                self.attach_cached(id, need, true);
+                self.cache.stats_mut().cache_admitted_streams += 1;
+                Ok(id)
+            }
+        }
+    }
+
+    /// Whether a stream of `name` starting at media time `from` can be
+    /// fed from the interval cache, and — if so — the cache bytes to
+    /// reserve for it: the gap to its nearest cache-dependent
+    /// predecessor (whose pins already cover the rest of the window),
+    /// plus a double-buffer-safe margin of three intervals and two
+    /// chunks, all at the stream's worst-case rate.
+    fn cache_candidate(
+        &self,
+        name: &str,
+        table: &ChunkTable,
+        params: StreamParams,
+        from: Duration,
+        exclude: Option<StreamId>,
+    ) -> Option<u64> {
+        if !self.cache.enabled() {
+            return None;
+        }
+        let frontier = self.cache.frontier(name)?;
+        let gap = frontier.saturating_sub(from);
+        // Two intervals behind the frontier is the minimum for the
+        // double-buffered fetch horizon to stay inside the window.
+        if gap < self.cfg.interval * 2 {
+            return None;
+        }
+        // The window only keeps filling while a disk-fed stream of the
+        // movie is running ahead of us.
+        let leader = self
+            .streams
+            .values()
+            .any(|s| s.name == name && s.clock.is_running() && !s.cache_state.is_cached());
+        if !leader {
+            return None;
+        }
+        if !self.cache.covers(name, table, from) {
+            return None;
+        }
+        let pred = self
+            .streams
+            .values()
+            .filter(|s| {
+                Some(s.id) != exclude
+                    && s.name == name
+                    && s.cache_state.is_cached()
+                    && s.prefetch_cursor >= from
+            })
+            .map(|s| s.prefetch_cursor)
+            .min();
+        let span = pred.unwrap_or(frontier).saturating_sub(from);
+        // The configured gap bounds the distance to the nearest stream
+        // ahead — chained trailing streams each ride the window of the
+        // one before them.
+        if span > self.cfg.max_cache_gap {
+            return None;
+        }
+        let t = self.cfg.interval.as_secs_f64();
+        let need =
+            ((span.as_secs_f64() + 3.0 * t) * params.rate + 2.0 * params.chunk).ceil() as u64;
+        if self.cache.reserved() + need > self.cache.budget() {
+            return None;
+        }
+        Some(need)
+    }
+
+    /// Marks an installed stream cache-fed and registers it as a
+    /// follower of its movie's window.
+    fn attach_cached(&mut self, id: StreamId, need: u64, admitted: bool) {
+        let s = self.streams.get_mut(&id.0).expect("stream installed");
+        s.cache_state = if admitted {
+            CacheState::Admitted { reserved: need }
+        } else {
+            CacheState::Served { reserved: need }
+        };
+        let name = s.name.clone();
+        let from = s.prefetch_cursor;
+        self.cache.reserve(need);
+        self.cache.add_follower(&name, id.0, from);
+    }
+
+    /// Detaches a stream from the cache: strips its pins and releases
+    /// its reservation in the same call (no leaked pins).
+    fn detach_cached(&mut self, id: StreamId) {
+        let s = self.streams.get_mut(&id.0).expect("no such stream");
+        let reserved = s.cache_state.reserved();
+        if !s.cache_state.is_cached() {
+            return;
+        }
+        let name = s.name.clone();
+        self.cache.remove_follower(&name, id.0);
+        self.cache.unreserve(reserved);
+    }
+
+    /// Handles a broken interval (serve miss) for a cache-fed stream:
+    /// detach, then either revert silently to the still-charged disk
+    /// path (cache-*served*) or re-run disk admission (cache-*admitted*)
+    /// — stopping the stream if the disk cannot take it.
+    fn break_cached(&mut self, sid: u32, now: Instant) {
+        self.cache.stats_mut().interval_breaks += 1;
+        let id = StreamId(sid);
+        self.detach_cached(id);
+        let state = self.stream(id).cache_state;
+        self.streams
+            .get_mut(&sid)
+            .expect("no such stream")
+            .cache_state = CacheState::Disk;
+        if let CacheState::Admitted { .. } = state {
+            let entries: Vec<(StreamParams, Vec<f64>)> = self
+                .streams
+                .values()
+                .map(|s| (s.params, s.admission_shares()))
+                .collect();
+            if self.admit_set(&entries).is_err() {
+                // No disk headroom for the orphaned follower: it stops
+                // where it is (the client may retry later, when other
+                // streams have closed).
+                let s = self.streams.get_mut(&sid).expect("no such stream");
+                s.clock.stop(now);
+                s.cache_state = CacheState::Admitted { reserved: 0 };
+                self.cache.stats_mut().cache_rejected_streams += 1;
+            }
+        }
     }
 
     fn shares_of(&self, extents: &[VolumeExtent], mirror: Option<&[VolumeExtent]>) -> Vec<f64> {
@@ -484,7 +700,9 @@ impl CrasServer {
         let t = self.cfg.interval.as_secs_f64();
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
-        let buffer_bytes = self.admission.buffer_for(t, &params);
+        // Buffer sizing is 2·(T·R + C) — disk-parameter-independent, so
+        // any volume's evaluator gives the same answer.
+        let buffer_bytes = self.admissions[0].buffer_for(t, &params);
         let shares = self.shares_of(&extents, mirror.as_deref());
         self.streams.insert(
             id.0,
@@ -499,6 +717,7 @@ impl CrasServer {
                 clock: LogicalClock::new(),
                 buffer: TimeDrivenBuffer::new(buffer_bytes, self.cfg.jitter),
                 prefetch_cursor: Duration::ZERO,
+                cache_state: CacheState::Disk,
             },
         );
         id
@@ -510,10 +729,19 @@ impl CrasServer {
     ///
     /// Panics if the stream does not exist.
     pub fn close(&mut self, id: StreamId) {
-        self.streams.remove(&id.0).expect("no such stream");
+        let s = self.streams.remove(&id.0).expect("no such stream");
         // Orphan any in-flight batches; their completions become no-ops.
         self.pending.retain(|_, b| b.stream != id);
         self.done.retain(|b| b.stream != id);
+        if self.cache.enabled() {
+            // Release this stream's pins and reservation now, and drop
+            // the movie's window when its last stream leaves.
+            self.cache.remove_follower(&s.name, id.0);
+            self.cache.unreserve(s.cache_state.reserved());
+            if !self.streams.values().any(|o| o.name == s.name) {
+                self.cache.drop_movie(&s.name);
+            }
+        }
     }
 
     /// `crs_start`: starts pre-fetching; the logical clock begins after
@@ -523,28 +751,103 @@ impl CrasServer {
         let begin = now + delay;
         let s = self.streams.get_mut(&id.0).expect("no such stream");
         s.clock.start(begin);
+        // A cache-admitted stream holds no disk reservation: it must
+        // re-attach to its movie's window at the frozen cursor. If the
+        // window has moved on, the first tick's serve miss breaks the
+        // interval and re-runs disk admission.
+        if matches!(s.cache_state, CacheState::Admitted { .. }) {
+            let (name, from, params) = (s.name.clone(), s.prefetch_cursor, s.params);
+            let table = s.table.clone();
+            // Drop any reservation held from open (or a prior attach)
+            // before re-sizing it for the current window position.
+            self.detach_cached(id);
+            let state = match self.cache_candidate(&name, &table, params, from, Some(id)) {
+                Some(need) => {
+                    self.cache.reserve(need);
+                    self.cache.add_follower(&name, id.0, from);
+                    CacheState::Admitted { reserved: need }
+                }
+                None => CacheState::Admitted { reserved: 0 },
+            };
+            self.streams
+                .get_mut(&id.0)
+                .expect("checked above")
+                .cache_state = state;
+        }
         begin
     }
 
     /// `crs_stop`: stops the logical clock; pre-fetching ceases at the
-    /// frozen position.
+    /// frozen position. A cache-fed stream's pins and reservation are
+    /// released in this same call — a stopped client must not hold
+    /// frames in memory indefinitely.
     pub fn stop(&mut self, id: StreamId, now: Instant) {
+        self.detach_cached(id);
         let s = self.streams.get_mut(&id.0).expect("no such stream");
         s.clock.stop(now);
+        match s.cache_state {
+            // The disk reservation is still held: plain disk stream.
+            CacheState::Served { .. } => s.cache_state = CacheState::Disk,
+            // No disk reservation: remember that a restart must either
+            // re-attach to the window or pass disk admission.
+            CacheState::Admitted { .. } => s.cache_state = CacheState::Admitted { reserved: 0 },
+            CacheState::Disk => {}
+        }
     }
 
     /// `crs_seek`: repositions the logical clock; buffered data is stale
     /// and dropped, in-flight pre-fetches are orphaned, and pre-fetching
-    /// resumes from the new position.
+    /// resumes from the new position. A cache-fed stream's pins are
+    /// released here (not at the next eviction sweep); it re-attaches
+    /// at the new position when the window covers it, otherwise it
+    /// falls back to the disk path (with a re-admission test if it was
+    /// cache-admitted).
     pub fn seek(&mut self, id: StreamId, now: Instant, to: Duration) {
+        self.detach_cached(id);
         let s = self.streams.get_mut(&id.0).expect("no such stream");
         s.clock.seek(now, to);
         s.buffer.clear();
         s.prefetch_cursor = to;
+        let state = s.cache_state;
         // Pre-seek fetches would post chunks the clock has abandoned
         // (possibly colliding with the refetched range): drop them.
         self.pending.retain(|_, b| b.stream != id);
         self.done.retain(|b| b.stream != id);
+        if !state.is_cached() {
+            return;
+        }
+        let (name, params, table) = {
+            let s = self.stream(id);
+            (s.name.clone(), s.params, s.table.clone())
+        };
+        if let Some(need) = self.cache_candidate(&name, &table, params, to, Some(id)) {
+            // The window covers the new position: stay cache-fed.
+            self.attach_cached(id, need, matches!(state, CacheState::Admitted { .. }));
+            return;
+        }
+        match state {
+            CacheState::Served { .. } => {
+                // Disk capacity was never released; just read from disk.
+                self.streams.get_mut(&id.0).expect("checked").cache_state = CacheState::Disk;
+            }
+            CacheState::Admitted { .. } => {
+                // Needs a disk reservation now: re-run the admission
+                // test with this stream's real shares.
+                self.streams.get_mut(&id.0).expect("checked").cache_state = CacheState::Disk;
+                let entries: Vec<(StreamParams, Vec<f64>)> = self
+                    .streams
+                    .values()
+                    .map(|s| (s.params, s.admission_shares()))
+                    .collect();
+                if self.admit_set(&entries).is_err() {
+                    let s = self.streams.get_mut(&id.0).expect("checked");
+                    s.clock.stop(now);
+                    s.cache_state = CacheState::Admitted { reserved: 0 };
+                    self.cache.stats_mut().cache_rejected_streams += 1;
+                }
+            }
+            CacheState::Disk => {}
+        }
     }
 
     /// Changes a stream's retrieval rate (fast forward: "CRAS needs to
@@ -565,11 +868,22 @@ impl CrasServer {
         let entries: Vec<(StreamParams, Vec<f64>)> = self
             .streams
             .values()
-            .map(|s| (if s.id == id { base } else { s.params }, s.shares.clone()))
+            .map(|s| {
+                if s.id == id {
+                    // A rate change ends any cache dependence (the gap
+                    // to the leader would drift), so the stream needs a
+                    // full disk reservation at the new rate.
+                    (base, s.shares.clone())
+                } else {
+                    (s.params, s.admission_shares())
+                }
+            })
             .collect();
         self.admit_set(&entries)?;
-        let need = self.admission.buffer_for(t, &base);
+        self.detach_cached(id);
+        let need = self.admissions[0].buffer_for(t, &base);
         let s = self.streams.get_mut(&id.0).expect("no such stream");
+        s.cache_state = CacheState::Disk;
         s.params = base;
         s.clock.set_rate(now, rate);
         // Resize in both directions: growing keeps the guarantee at the
@@ -646,12 +960,68 @@ impl CrasServer {
                 );
                 posted += 1;
             }
+            // Every disk batch a stream posts also lands in the
+            // interval cache (no-op when the cache is disabled), so a
+            // trailing stream of the same movie finds it in memory.
+            if self.cache.enabled() && !batch.from_cache {
+                let chunks = &s.table.chunks()[batch.chunk_lo as usize..=batch.chunk_hi as usize];
+                self.cache.insert_posted(&s.name, chunks);
+            }
         }
         self.stats.chunks_posted += posted as u64;
 
         // Phase 2: plan reads for data needed by the end of the *next*
         // interval (fetched this interval, posted at the next tick).
         let horizon = now + self.cfg.interval * 2;
+
+        // Phase 1.5: cache-fed streams first. Their interval is pushed
+        // straight into the done queue (posting at the next tick, the
+        // same timing a disk fetch would have) and they issue zero disk
+        // commands. A serve miss breaks the interval: the stream falls
+        // back to the disk path below, re-running admission if it was
+        // cache-admitted.
+        let mut cache_served = 0usize;
+        let mut broken: Vec<u32> = Vec::new();
+        if self.cache.enabled() {
+            let stream_ids: Vec<u32> = self.streams.keys().copied().collect();
+            for sid in stream_ids {
+                let s = self.streams.get_mut(&sid).expect("iterating keys");
+                if !s.cache_state.is_cached() || !s.clock.is_running() {
+                    continue;
+                }
+                let target = s.clock.media_time(horizon).min(s.table.total_duration());
+                if target <= s.prefetch_cursor {
+                    continue;
+                }
+                let chunks = s.table.chunks_in(s.prefetch_cursor, target);
+                if chunks.is_empty() {
+                    s.prefetch_cursor = target;
+                    continue;
+                }
+                let lo = chunks.first().expect("non-empty").index;
+                let hi = chunks.last().expect("non-empty").index;
+                if self.cache.serve(&s.name, sid, chunks) {
+                    s.prefetch_cursor = target;
+                    self.done.push(FetchedBatch {
+                        stream: StreamId(sid),
+                        chunk_lo: lo,
+                        chunk_hi: hi,
+                        completed_at: now,
+                        from_cache: true,
+                    });
+                    cache_served += 1;
+                } else {
+                    // Leader stopped, sought away, or the frame was
+                    // evicted: the interval is broken. The cursor did
+                    // not advance, so the disk path below can pick the
+                    // stream up in this same tick.
+                    broken.push(sid);
+                }
+            }
+            for sid in &broken {
+                self.break_cached(*sid, now);
+            }
+        }
         let mut reqs: Vec<ReadReq> = Vec::new();
         let mut active: Vec<Vec<StreamParams>> = vec![Vec::new(); self.cfg.volumes];
         // Bytes planned per volume so far this interval — the read
@@ -672,6 +1042,11 @@ impl CrasServer {
             let (runs, lo, hi, params, active_shares, degraded) = {
                 let s = self.streams.get_mut(&sid).expect("iterating keys");
                 if !s.clock.is_running() {
+                    continue;
+                }
+                if s.cache_state.is_cached() {
+                    // Fed from the interval cache in phase 1.5: zero
+                    // disk commands for this stream.
                     continue;
                 }
                 let target = s.clock.media_time(horizon).min(s.table.total_duration());
@@ -780,11 +1155,12 @@ impl CrasServer {
         let t = self.cfg.interval.as_secs_f64();
         let per_volume_calculated: Vec<f64> = active
             .iter()
-            .map(|a| {
+            .enumerate()
+            .map(|(v, a)| {
                 if a.is_empty() {
                     0.0
                 } else {
-                    self.admission.calculated_io_time(t, a)
+                    self.admissions[v].calculated_io_time(t, a)
                 }
             })
             .collect();
@@ -798,6 +1174,7 @@ impl CrasServer {
             calculated_io_time: calculated,
             per_volume_calculated,
             degraded_streams,
+            cache_served_streams: cache_served,
         }
     }
 
@@ -820,6 +1197,7 @@ impl CrasServer {
             chunk_lo: batch.chunk_lo,
             chunk_hi: batch.chunk_hi,
             completed_at: now,
+            from_cache: false,
         });
         let _ = self.done.last().map(|b| b.completed_at); // Recorded for future use.
         Some(result)
@@ -903,6 +1281,7 @@ impl CrasServer {
 #[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
+    use crate::cache::CacheStats;
     use cras_media::StreamProfile;
     use cras_sim::Rng;
 
@@ -1575,5 +1954,242 @@ mod tests {
             .copied()
             .fold(0.0, f64::max);
         assert_eq!(rep.calculated_io_time, max);
+    }
+
+    fn cache_server(cache_budget: u64, buffer_budget: u64) -> CrasServer {
+        let mut cfg = ServerConfig::default();
+        cfg.cache_budget = cache_budget;
+        cfg.buffer_budget = buffer_budget;
+        CrasServer::new(DiskParams::paper_table4(), cfg)
+    }
+
+    /// Opens and starts a leader of `name` at t=0, then drives `ticks`
+    /// intervals completing every read — the cache ends up holding the
+    /// leader's posted window.
+    fn warm_leader(srv: &mut CrasServer, name: &str, ticks: u64) -> StreamId {
+        let (t, e) = movie_table(30.0);
+        let id = srv.open(name, t, e).unwrap();
+        srv.start(id, at(0));
+        for k in 0..ticks {
+            let rep = srv.interval_tick(at(k * 500));
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+        }
+        id
+    }
+
+    #[test]
+    fn trailing_stream_is_served_from_cache_with_zero_disk_reads() {
+        let mut srv = cache_server(8 << 20, 8 << 20);
+        let _leader = warm_leader(&mut srv, "pop", 6);
+        // The leader's posted window spans media [0, ~2 s): a second
+        // client of the same title attaches to the cache at open.
+        let (t, e) = movie_table(30.0);
+        let follower = srv.open("pop", t, e).unwrap();
+        assert!(srv.stream(follower).cache_state.is_cached());
+        srv.start(follower, at(2600));
+        let mut follower_reqs = 0usize;
+        let mut cache_served = 0usize;
+        for k in 6..16u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            follower_reqs += rep.reqs.iter().filter(|r| r.stream == follower).count();
+            cache_served += rep.cache_served_streams;
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+            assert!(!rep.overran);
+        }
+        assert_eq!(follower_reqs, 0, "cached follower never touches the disk");
+        assert!(cache_served > 0);
+        assert!(srv.cache().stats().hit_bytes > 0);
+        // The cache path really feeds the follower's ring.
+        assert!(srv.stream_report(follower).buffer.puts > 0);
+    }
+
+    #[test]
+    fn cache_admits_trailing_stream_past_disk_bound() {
+        let mut srv = cache_server(64 << 20, 1 << 40);
+        let _leader = warm_leader(&mut srv, "pop", 6);
+        // Exhaust the disk-time bound with cold titles.
+        let mut fillers = 0u32;
+        loop {
+            let (t, e) = movie_table(30.0);
+            if srv.open(&format!("f{fillers}"), t, e).is_err() {
+                break;
+            }
+            fillers += 1;
+        }
+        assert!(fillers > 0);
+        // A trailing stream of the hot title still gets in — admitted
+        // against the cache budget, charging the spindle nothing.
+        let (t, e) = movie_table(30.0);
+        let follower = srv.open("pop", t, e).expect("cache-admitted");
+        assert!(matches!(
+            srv.stream(follower).cache_state,
+            CacheState::Admitted { .. }
+        ));
+        assert!(srv.cache().reserved() > 0);
+        assert_eq!(srv.cache().stats().cache_admitted_streams, 1);
+        // The disk bound is genuinely still exhausted for cold titles.
+        let (t, e) = movie_table(30.0);
+        assert!(srv.open("cold", t, e).is_err());
+    }
+
+    #[test]
+    fn leader_stop_breaks_interval_and_falls_back_to_disk() {
+        let mut srv = cache_server(8 << 20, 8 << 20);
+        let leader = warm_leader(&mut srv, "pop", 6);
+        let (t, e) = movie_table(30.0);
+        let follower = srv.open("pop", t, e).unwrap();
+        assert!(srv.stream(follower).cache_state.is_cached());
+        srv.start(follower, at(2600));
+        for k in 6..8u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+        }
+        // The leader stops: the frontier freezes, the follower drains
+        // what is pinned, then the interval breaks.
+        srv.stop(leader, at(4000));
+        let mut follower_reqs = 0usize;
+        for k in 8..20u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            follower_reqs += rep.reqs.iter().filter(|r| r.stream == follower).count();
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+            assert!(!rep.overran, "fallback to disk must not miss deadlines");
+        }
+        assert!(srv.cache().stats().interval_breaks >= 1);
+        assert!(matches!(srv.stream(follower).cache_state, CacheState::Disk));
+        assert!(follower_reqs > 0, "broken follower reads from disk again");
+        assert_eq!(srv.cache().pinned_frames(), 0);
+    }
+
+    #[test]
+    fn broken_cache_admission_is_rejected_when_disk_is_full() {
+        let mut srv = cache_server(64 << 20, 1 << 40);
+        let leader = warm_leader(&mut srv, "pop", 6);
+        let mut fillers = 0u32;
+        loop {
+            let (t, e) = movie_table(30.0);
+            if srv.open(&format!("f{fillers}"), t, e).is_err() {
+                break;
+            }
+            fillers += 1;
+        }
+        let (t, e) = movie_table(30.0);
+        let follower = srv.open("pop", t, e).expect("cache-admitted");
+        srv.start(follower, at(2600));
+        for k in 6..8u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+        }
+        srv.stop(leader, at(4000));
+        for k in 8..24u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+        }
+        // The interval broke with no spindle time left: the follower is
+        // parked (clock stopped) rather than silently starved.
+        assert!(srv.cache().stats().interval_breaks >= 1);
+        assert_eq!(srv.cache().stats().cache_rejected_streams, 1);
+        let s = srv.stream(follower);
+        assert!(matches!(
+            s.cache_state,
+            CacheState::Admitted { reserved: 0 }
+        ));
+        assert!(!s.clock.is_running());
+        assert_eq!(srv.cache().pinned_frames(), 0);
+        assert_eq!(srv.cache().reserved(), 0);
+    }
+
+    #[test]
+    fn follower_stop_and_seek_release_pins_immediately() {
+        let mut srv = cache_server(8 << 20, 8 << 20);
+        let _leader = warm_leader(&mut srv, "pop", 6);
+        let (t, e) = movie_table(30.0);
+        let follower = srv.open("pop", t, e).unwrap();
+        assert!(srv.stream(follower).cache_state.is_cached());
+        assert!(srv.cache().pinned_frames() > 0);
+        assert!(srv.cache().reserved() > 0);
+        // Stop drops every pin the follower held in the same call...
+        srv.stop(follower, at(2600));
+        assert_eq!(srv.cache().pinned_frames(), 0);
+        assert_eq!(srv.cache().reserved(), 0);
+        srv.close(follower);
+        // ...and a far seek past the cached window detaches likewise.
+        let (t, e) = movie_table(30.0);
+        let f2 = srv.open("pop", t, e).unwrap();
+        assert!(srv.cache().pinned_frames() > 0);
+        srv.seek(f2, at(2700), Duration::from_secs(20));
+        assert_eq!(srv.cache().pinned_frames(), 0);
+        assert_eq!(srv.cache().reserved(), 0);
+        assert!(matches!(srv.stream(f2).cache_state, CacheState::Disk));
+    }
+
+    #[test]
+    fn zero_budget_cache_changes_nothing() {
+        // cache_budget = 0 must reproduce the uncached server exactly.
+        let drive = |srv: &mut CrasServer| {
+            let a = warm_leader(srv, "pop", 6);
+            let (t, e) = movie_table(30.0);
+            let b = srv.open("pop", t, e).unwrap();
+            srv.start(b, at(2600));
+            let mut log = Vec::new();
+            for k in 6..14u64 {
+                let rep = srv.interval_tick(at(k * 500));
+                for r in &rep.reqs {
+                    log.push((r.stream, r.volume, r.block, r.nblocks));
+                    srv.io_done(r.id, at(k * 500 + 100));
+                }
+                log.push((a, VolumeId(u32::MAX), rep.posted_chunks as u64, 0));
+            }
+            log
+        };
+        let mut plain = server();
+        let mut zeroed = cache_server(0, 8 << 20);
+        assert_eq!(drive(&mut plain), drive(&mut zeroed));
+        assert_eq!(*zeroed.cache().stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn faster_volume_admits_more_streams() {
+        // Heterogeneous spindles: each volume is tested against its own
+        // calibrated parameters, so the fast disk admits more streams.
+        let slow_disk = DiskParams::paper_table4();
+        let fast_disk = DiskParams {
+            transfer_rate: 2.0 * slow_disk.transfer_rate,
+            ..slow_disk
+        };
+        let mut cfg = ServerConfig::default();
+        cfg.volumes = 2;
+        cfg.buffer_budget = 1 << 40;
+        let mut srv = CrasServer::new_per_volume(vec![slow_disk, fast_disk], cfg);
+        let fill = |srv: &mut CrasServer, v: u32| {
+            let mut ids = Vec::new();
+            loop {
+                let (t, e) = movie_on(v, 10.0);
+                match srv.open_placed("h", t, e) {
+                    Ok(id) => ids.push(id),
+                    Err(_) => break,
+                }
+            }
+            let n = ids.len();
+            for id in ids {
+                srv.close(id);
+            }
+            n
+        };
+        let slow = fill(&mut srv, 0);
+        let fast = fill(&mut srv, 1);
+        assert!(slow > 0);
+        assert!(fast > slow, "slow disk {slow}, fast disk {fast}");
     }
 }

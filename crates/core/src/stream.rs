@@ -16,6 +16,43 @@ use crate::tdbuffer::TimeDrivenBuffer;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct StreamId(pub u32);
 
+/// How a stream relates to the interval cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CacheState {
+    /// Normal disk-admitted, disk-fed stream.
+    #[default]
+    Disk,
+    /// Disk-admitted, but currently fed from the interval cache — an
+    /// opportunistic bandwidth saving. Disk capacity stays charged, so
+    /// an interval break silently reverts the stream to disk reads.
+    Served {
+        /// Cache bytes reserved for this stream's gap.
+        reserved: u64,
+    },
+    /// Admitted through the cache path: the disk bound was exhausted
+    /// and the stream holds zero disk shares. An interval break forces
+    /// a disk re-admission test (or stops the stream).
+    Admitted {
+        /// Cache bytes reserved for this stream's gap.
+        reserved: u64,
+    },
+}
+
+impl CacheState {
+    /// Whether the stream is currently fed from the cache.
+    pub fn is_cached(self) -> bool {
+        !matches!(self, CacheState::Disk)
+    }
+
+    /// The cache reservation held by this stream, if any.
+    pub fn reserved(self) -> u64 {
+        match self {
+            CacheState::Disk => 0,
+            CacheState::Served { reserved } | CacheState::Admitted { reserved } => reserved,
+        }
+    }
+}
+
 /// A physically contiguous disk run on an unspecified volume.
 ///
 /// Retained for the single-volume recording path ([`crate::Recorder`]),
@@ -67,6 +104,8 @@ pub struct Stream {
     /// Media time up to which pre-fetches have been issued
     /// (`T_read_ahead` in Figure 4).
     pub prefetch_cursor: Duration,
+    /// Relationship to the interval cache.
+    pub cache_state: CacheState,
 }
 
 impl Stream {
@@ -82,6 +121,18 @@ impl Stream {
                 volume_shares(&all, volumes)
             }
         };
+    }
+
+    /// The per-volume rate shares the admission test should charge for
+    /// this stream: its real shares normally, all-zero while the stream
+    /// is cache-*admitted* (it holds no disk reservation). Cache-*served*
+    /// streams keep their disk charge — serving them from memory is an
+    /// opportunistic saving, not an admission promise.
+    pub fn admission_shares(&self) -> Vec<f64> {
+        match self.cache_state {
+            CacheState::Admitted { .. } => vec![0.0; self.shares.len()],
+            _ => self.shares.clone(),
+        }
     }
 
     /// The stream's replica extent maps: the primary map first, then the
@@ -224,6 +275,7 @@ mod tests {
             clock: LogicalClock::new(),
             buffer: TimeDrivenBuffer::new(200_000, Duration::from_millis(100)),
             prefetch_cursor: Duration::ZERO,
+            cache_state: CacheState::Disk,
         };
         s.compute_shares(
             1.max(

@@ -90,6 +90,15 @@ pub struct SysConfig {
     pub rebuild_rate: f64,
     /// Size of one rebuild copy chunk in bytes.
     pub rebuild_chunk: u64,
+    /// Number of leading volumes built as faster (denser-platter)
+    /// spindles; 0 keeps the homogeneous ST32550N array. Each fast
+    /// volume is calibrated separately so per-volume admission weighs
+    /// its real bandwidth.
+    pub fast_volumes: u32,
+    /// Linear-density scale applied to the fast volumes (see
+    /// [`cras_disk::DiskGeometry::scaled`]); ignored when
+    /// `fast_volumes` is 0.
+    pub fast_factor: f64,
 }
 
 impl Default for SysConfig {
@@ -107,6 +116,8 @@ impl Default for SysConfig {
             disk_fault_penalty: Duration::from_millis(25),
             rebuild_rate: 4.0 * 1024.0 * 1024.0,
             rebuild_chunk: 256 * 1024,
+            fast_volumes: 0,
+            fast_factor: 1.0,
         }
     }
 }

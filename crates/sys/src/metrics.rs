@@ -101,6 +101,9 @@ pub struct Metrics {
     pub rebuild_finished_at: Option<Instant>,
     /// Bytes copied by the rebuild manager.
     pub rebuild_bytes: u64,
+    /// Stream-intervals fed from the interval cache instead of disk
+    /// (one count per cached stream per interval tick).
+    pub cache_served_stream_intervals: u64,
 }
 
 /// Per-volume fault/health report assembled from the disk substrate.
@@ -134,6 +137,7 @@ impl Metrics {
         if rep.degraded_streams > 0 {
             self.degraded_intervals += 1;
         }
+        self.cache_served_stream_intervals += rep.cache_served_streams as u64;
         if rep.reqs.is_empty() {
             return;
         }
@@ -278,6 +282,7 @@ mod tests {
             calculated_io_time: calc,
             per_volume_calculated: vec![calc],
             degraded_streams: 0,
+            cache_served_streams: 0,
         }
     }
 
@@ -365,6 +370,7 @@ mod tests {
             calculated_io_time: 0.2,
             per_volume_calculated: vec![0.1, 0.2],
             degraded_streams: 0,
+            cache_served_streams: 0,
         };
         m.on_interval(&rep, Instant::ZERO);
         assert_eq!(m.intervals().len(), 2, "one record per volume");

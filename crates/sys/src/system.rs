@@ -143,16 +143,22 @@ impl System {
     /// per volume, calibrated CRAS.
     ///
     /// Disk parameters for the admission test come from running the
-    /// Appendix A calibration against a scratch copy of the same disk
-    /// model — CRAS only ever sees what a real system could measure. The
-    /// volumes are homogeneous, so one calibration serves all of them.
+    /// Appendix A calibration against a scratch copy of each distinct
+    /// disk model — CRAS only ever sees what a real system could
+    /// measure. A homogeneous array (`cfg.fast_volumes == 0`) needs one
+    /// calibration; a mixed array calibrates the fast model separately
+    /// so per-volume admission weighs each spindle's real bandwidth.
     pub fn new(cfg: SysConfig) -> System {
         assert!(cfg.server.volumes >= 1, "system needs at least one volume");
+        assert!(
+            (cfg.fast_volumes as usize) <= cfg.server.volumes,
+            "fast_volumes exceeds the volume count"
+        );
         let mut rng = Rng::new(cfg.seed);
         let nvol = cfg.server.volumes;
         let mut devices: Vec<DiskDevice<DiskTag>> = Vec::with_capacity(nvol);
         for v in 0..nvol as u64 {
-            let mut disk: DiskDevice<DiskTag> = DiskDevice::st32550n();
+            let mut disk: DiskDevice<DiskTag> = Self::base_device(&cfg, v as u32);
             if cfg.disk_fault_prob > 0.0 {
                 disk.set_fault_injector(Some(cras_disk::FaultInjector::new(
                     cfg.disk_fault_prob,
@@ -165,11 +171,28 @@ impl System {
         let disks = VolumeSet::new(devices);
         let mut scratch: DiskDevice<u8> = DiskDevice::st32550n();
         let cal = cras_disk::calibrate::calibrate(&mut scratch, 64 * 1024);
-        let geom = disks.volume(VolumeId(0)).geometry().clone();
         let fs: Vec<Ufs> = (0..nvol as u32)
-            .map(|v| Ufs::format_volume(&geom, MkfsParams::tuned(&geom), rng.fork().next_u64(), v))
+            .map(|v| {
+                let geom = disks.volume(VolumeId(v)).geometry().clone();
+                Ufs::format_volume(&geom, MkfsParams::tuned(&geom), rng.fork().next_u64(), v)
+            })
             .collect();
-        let cras = CrasServer::new(cal.params, cfg.server);
+        let cras = if cfg.fast_volumes == 0 {
+            CrasServer::new(cal.params, cfg.server)
+        } else {
+            let mut fast_scratch: DiskDevice<u8> = Self::base_device(&cfg, 0);
+            let fast = cras_disk::calibrate::calibrate(&mut fast_scratch, 64 * 1024).params;
+            let per_volume = (0..nvol as u32)
+                .map(|v| {
+                    if v < cfg.fast_volumes {
+                        fast
+                    } else {
+                        cal.params
+                    }
+                })
+                .collect();
+            CrasServer::new_per_volume(per_volume, cfg.server)
+        };
         let mut cpu = Cpu::new();
         let cras_tid = cpu.create("cras-sched", Self::policy_for(&cfg, prio::CRAS));
         let hog_tids = (0..cfg.hogs)
@@ -199,6 +222,21 @@ impl System {
             rng,
             ticks_active: false,
             rebuild: None,
+        }
+    }
+
+    /// The uncalibrated disk model behind volume `v`: the leading
+    /// `cfg.fast_volumes` spindles are ST32550N mechanics with platter
+    /// density scaled by `cfg.fast_factor`, the rest are stock.
+    fn base_device<T>(cfg: &SysConfig, v: u32) -> DiskDevice<T> {
+        if v < cfg.fast_volumes {
+            DiskDevice::new(
+                cras_disk::DiskGeometry::st32550n().scaled(cfg.fast_factor),
+                cras_disk::SeekModel::st32550n_measured(),
+                cras_disk::DiskTimings::st32550n(),
+            )
+        } else {
+            DiskDevice::st32550n()
         }
     }
 
@@ -682,8 +720,10 @@ impl System {
             "volume {vol} is not failed"
         );
         assert!(self.rebuild.is_none(), "a rebuild is already in progress");
+        // The replacement must match the failed slot's disk model, or a
+        // fast volume would silently degrade to stock mechanics.
         self.disks
-            .replace_volume(VolumeId(vol), DiskDevice::st32550n());
+            .replace_volume(VolumeId(vol), Self::base_device(&self.cfg, vol));
         if self.cfg.disk_fault_prob > 0.0 {
             // The replacement spindle gets its own fault stream.
             self.disks

@@ -16,6 +16,7 @@
 //! | [`qos`] | §2.4 dynamic QOS rate change scenario |
 //! | [`faults`] | transient-fault injection vs the deadline manager |
 //! | [`failover`] | mirrored placement: volume loss, degraded reads, rebuild |
+//! | [`cache_sharing`] | interval cache: Zipf arrivals, cache-aware admission |
 //! | [`measured_capacity`] | admitted load validated by simulation |
 //! | [`deploy`] | Figure 5 deployment-configuration cost ablation |
 //! | [`disk_sched`] | head-scheduling ablation (FCFS/SSTF/SCAN/C-SCAN) |
@@ -35,6 +36,7 @@
 pub mod ablate;
 pub mod admission_acc;
 pub mod buffer_ablation;
+pub mod cache_sharing;
 pub mod capacity;
 pub mod capacity_scaling;
 pub mod deploy;

@@ -632,6 +632,225 @@ fn rebuild_restores_exact_admit_count() {
     }
 }
 
+/// A cache-served follower receives byte-identical data to a
+/// disk-served run: with the interval cache on, the follower's buffer
+/// holds exactly the same chunk (index, size) at every media position
+/// as the identical run with the cache off — only the data path
+/// changed, never the data or its timing.
+#[test]
+fn cache_served_follower_gets_byte_identical_data() {
+    let mut outer = Rng::new(0xCAFE);
+    for case in 0..5 {
+        let secs = outer.f64_range(15.0, 25.0);
+        let follow_tick = outer.range_inclusive(4, 8);
+        let seed = outer.next_u64();
+        let run = |budget: u64| {
+            let mut rng = Rng::new(seed);
+            let table = generate_chunks(&StreamProfile::mpeg1(), secs, &mut rng);
+            let extents = vec![Extent {
+                file_offset: 0,
+                disk_block: 10_000,
+                nblocks: table.total_bytes().div_ceil(512) as u32,
+            }];
+            let cfg = ServerConfig {
+                cache_budget: budget,
+                buffer_budget: 16 << 20,
+                ..ServerConfig::default()
+            };
+            let mut srv = CrasServer::new(DiskParams::paper_table4(), cfg);
+            let leader = srv.open("m", table.clone(), extents.clone()).unwrap();
+            srv.start(leader, Instant::ZERO);
+            let mut follower = None;
+            let mut begin = Instant::ZERO;
+            let mut log = Vec::new();
+            for k in 0..40u64 {
+                let now = Instant::ZERO + Duration::from_millis(k * 500);
+                if follower.is_none() && k == follow_tick {
+                    let id = srv.open("m", table.clone(), extents.clone()).unwrap();
+                    begin = srv.start(id, now);
+                    follower = Some(id);
+                }
+                let rep = srv.interval_tick(now);
+                assert!(!rep.overran, "case {case} tick {k}");
+                for r in &rep.reqs {
+                    srv.io_done(r.id, now + Duration::from_millis(100));
+                }
+                // What the follower's client would consume right now.
+                if let Some(f) = follower {
+                    if now >= begin {
+                        let media = now.since(begin);
+                        log.push(srv.get(f, media).map(|c| (c.index, c.size)));
+                    }
+                }
+            }
+            let hits = srv.cache().stats().hit_bytes;
+            (log, hits)
+        };
+        let (disk_log, no_hits) = run(0);
+        let (cache_log, hits) = run(64 << 20);
+        assert_eq!(no_hits, 0, "case {case}");
+        assert!(hits > 0, "case {case}: follower was never cache-fed");
+        assert!(
+            disk_log.iter().any(|e| e.is_some()),
+            "case {case}: follower never consumed anything"
+        );
+        assert_eq!(disk_log, cache_log, "case {case}");
+    }
+}
+
+/// Cache-admitted stream count is monotone in the cache budget: the
+/// same Zipf arrival sequence never admits fewer viewers (total or
+/// cache-admitted) at a larger budget.
+#[test]
+fn cache_admissions_monotone_in_budget() {
+    let mut outer = Rng::new(0xCAB0);
+    for case in 0..3 {
+        let b1 = outer.below(32) << 20;
+        let b2 = b1 + ((1 + outer.below(32)) << 20);
+        let (_t, _f, outs) = cras_repro::workload::cache_sharing::sweep(
+            &[b1, b2],
+            18,
+            8,
+            Duration::from_millis(1500),
+            Duration::from_secs(6),
+            outer.next_u64(),
+        );
+        assert!(
+            outs[1].admitted >= outs[0].admitted
+                && outs[1].cache_admitted >= outs[0].cache_admitted,
+            "case {case}: not monotone {outs:?}"
+        );
+        for o in &outs {
+            assert_eq!(o.dropped, 0, "case {case}: {o:?}");
+            assert_eq!(o.overruns, 0, "case {case}: {o:?}");
+        }
+    }
+}
+
+/// When the leader stops, followers degrade to disk admission without
+/// drops when capacity allows: the interval breaks, the follower reads
+/// from the spindle again, and no deadline is ever missed.
+#[test]
+fn leader_stop_degrades_follower_to_disk_without_drops() {
+    let mut outer = Rng::new(0xDE6A);
+    for case in 0..5 {
+        let stop_tick = outer.range_inclusive(8, 14);
+        let seed = outer.next_u64();
+        let mut rng = Rng::new(seed);
+        let table = generate_chunks(&StreamProfile::mpeg1(), 25.0, &mut rng);
+        let extents = vec![Extent {
+            file_offset: 0,
+            disk_block: 10_000,
+            nblocks: table.total_bytes().div_ceil(512) as u32,
+        }];
+        let cfg = ServerConfig {
+            cache_budget: 8 << 20,
+            buffer_budget: 16 << 20,
+            ..ServerConfig::default()
+        };
+        let mut srv = CrasServer::new(DiskParams::paper_table4(), cfg);
+        let leader = srv.open("m", table.clone(), extents.clone()).unwrap();
+        srv.start(leader, Instant::ZERO);
+        let mut follower = None;
+        let mut follower_reqs = 0usize;
+        for k in 0..36u64 {
+            let now = Instant::ZERO + Duration::from_millis(k * 500);
+            if k == 6 {
+                let id = srv
+                    .open("m", table.clone(), extents.clone())
+                    .expect("disk has room for the follower");
+                assert!(
+                    srv.stream(id).cache_state.is_cached(),
+                    "case {case}: follower not cache-fed"
+                );
+                srv.start(id, now);
+                follower = Some(id);
+            }
+            if k == stop_tick {
+                srv.stop(leader, now);
+            }
+            let rep = srv.interval_tick(now);
+            assert!(!rep.overran, "case {case} tick {k}: deadline missed");
+            for r in &rep.reqs {
+                if Some(r.stream) == follower {
+                    follower_reqs += 1;
+                }
+                srv.io_done(r.id, now + Duration::from_millis(100));
+            }
+        }
+        let f = follower.unwrap();
+        assert!(
+            !srv.stream(f).cache_state.is_cached(),
+            "case {case}: interval never broke"
+        );
+        assert!(srv.cache().stats().interval_breaks >= 1, "case {case}");
+        assert!(
+            follower_reqs > 0,
+            "case {case}: follower never fell back to disk reads"
+        );
+        assert_eq!(srv.cache().pinned_frames(), 0, "case {case}: leaked pins");
+    }
+}
+
+/// No departing stream leaks pins: after every follower has stopped,
+/// sought far away, or closed, the pinned-frame count and the cache
+/// reservation ledger both return to zero in the same call — not at
+/// some later eviction sweep.
+#[test]
+fn follower_departure_never_leaks_pins() {
+    let mut outer = Rng::new(0xF1A5);
+    for case in 0..10 {
+        let n_followers = outer.range_inclusive(1, 3) as usize;
+        let ops: Vec<u64> = (0..n_followers).map(|_| outer.below(3)).collect();
+        let seed = outer.next_u64();
+        let mut rng = Rng::new(seed);
+        let table = generate_chunks(&StreamProfile::mpeg1(), 25.0, &mut rng);
+        let extents = vec![Extent {
+            file_offset: 0,
+            disk_block: 10_000,
+            nblocks: table.total_bytes().div_ceil(512) as u32,
+        }];
+        let cfg = ServerConfig {
+            cache_budget: 16 << 20,
+            buffer_budget: 16 << 20,
+            ..ServerConfig::default()
+        };
+        let mut srv = CrasServer::new(DiskParams::paper_table4(), cfg);
+        let leader = srv.open("m", table.clone(), extents.clone()).unwrap();
+        srv.start(leader, Instant::ZERO);
+        let mut followers = Vec::new();
+        let mut now = Instant::ZERO;
+        for k in 0..14u64 {
+            now = Instant::ZERO + Duration::from_millis(k * 500);
+            if k >= 6 && followers.len() < n_followers && k % 2 == 0 {
+                let id = srv.open("m", table.clone(), extents.clone()).unwrap();
+                srv.start(id, now);
+                followers.push(id);
+            }
+            let rep = srv.interval_tick(now);
+            for r in &rep.reqs {
+                srv.io_done(r.id, now + Duration::from_millis(100));
+            }
+        }
+        assert!(
+            srv.cache().pinned_frames() > 0,
+            "case {case}: no pins to test"
+        );
+        // Every follower departs by a random route; none may leave a
+        // pin or a reservation behind.
+        let far = Duration::from_secs_f64(table.total_duration().as_secs_f64() * 0.9);
+        for (i, &id) in followers.iter().enumerate() {
+            match ops[i] {
+                0 => srv.stop(id, now),
+                1 => srv.seek(id, now, far),
+                _ => srv.close(id),
+            }
+        }
+        assert_eq!(srv.cache().pinned_frames(), 0, "case {case}: leaked pins");
+        assert_eq!(srv.cache().reserved(), 0, "case {case}: leaked reservation");
+    }
+}
+
 /// Deterministic RNG forks never correlate with their parent stream.
 #[test]
 fn rng_forks_are_decorrelated() {
