@@ -118,6 +118,13 @@ fn main() {
     write_result("cache_sharing", &cache_t.to_json());
     write_result("cache_sharing_admitted", &cache_f.to_json());
 
+    let ov_counts: &[usize] = if quick { &[8] } else { &[4, 8, 12] };
+    let (ov_t, ov_f, _) = wl::interval_overlap::sweep(ov_counts, 4, secs(12, 20), 0x0E);
+    println!("{}", ov_t.render());
+    println!("{}", ov_f.render());
+    write_result("interval_overlap", &ov_t.to_json());
+    write_result("interval_overlap_span", &ov_f.to_json());
+
     let intervals: &[f64] = if quick {
         &[0.5]
     } else {

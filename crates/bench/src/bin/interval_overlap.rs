@@ -1,0 +1,46 @@
+//! Regenerates the cross-volume interval-overlap experiment: pipelined
+//! per-spindle issue vs the serial one-volume-at-a-time baseline.
+
+use cras_bench::{quick_mode, write_result};
+use cras_sim::Duration;
+use cras_sys::IssueMode;
+use cras_workload::interval_overlap::sweep;
+
+fn main() {
+    let (counts, measure): (&[usize], Duration) = if quick_mode() {
+        (&[8], Duration::from_secs(12))
+    } else {
+        (&[4, 8, 12], Duration::from_secs(20))
+    };
+    let (t, f, outs) = sweep(counts, 4, measure, 0x0E);
+    println!("{}", t.render());
+    println!("{}", f.render());
+    write_result("interval_overlap", &t.to_json());
+    write_result("interval_overlap_span", &f.to_json());
+
+    // Smoke assertions: the pipelined path must track the slowest
+    // spindle (not the sum), keep every deadline, and the issue mode
+    // must not perturb admission. The serial baseline is *allowed* to
+    // miss deadlines at heavy load — serializing the volumes stretches
+    // the effective interval toward the per-volume sum, which is the
+    // bug the pipelined path fixes.
+    for o in outs.iter().filter(|o| o.mode == IssueMode::Pipelined) {
+        assert_eq!(o.dropped, 0, "dropped frames: {o:?}");
+        assert_eq!(o.overruns, 0, "deadline warnings: {o:?}");
+        assert!(
+            o.span_over_max <= 1.15,
+            "pipelined interval span strayed from the slowest spindle: {o:?}"
+        );
+        assert!(
+            o.span_over_calc <= 1.0,
+            "pipelined span exceeded the admission bound: {o:?}"
+        );
+    }
+    for pair in outs.chunks(2) {
+        let [p, s] = pair else { unreachable!() };
+        assert_eq!(
+            p.admitted, s.admitted,
+            "issue mode changed the admission decision: {p:?} vs {s:?}"
+        );
+    }
+}

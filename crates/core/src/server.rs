@@ -38,7 +38,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use cras_disk::calibrate::DiskParams;
 use cras_disk::geometry::BlockNo;
-use cras_disk::VolumeId;
+use cras_disk::{SweepCursor, VolumeId};
 use cras_media::ChunkTable;
 use cras_sim::{Duration, Instant};
 use cras_ufs::Extent;
@@ -131,8 +131,11 @@ pub struct ReadReq {
 pub struct IntervalReport {
     /// Interval number (0-based).
     pub index: u64,
-    /// Reads to submit, sorted by volume then ascending block (each
-    /// volume's slice is C-SCAN-friendly cylinder order).
+    /// Reads to submit, grouped by volume; each volume's slice is in
+    /// that spindle's sweep order (C-SCAN continuing from the head
+    /// position the previous interval left behind, wrapped blocks
+    /// last). Use [`IntervalReport::volume_batches`] to walk the
+    /// per-volume batches.
     pub reqs: Vec<ReadReq>,
     /// Chunks posted into client buffers at the start of this interval.
     pub posted_chunks: usize,
@@ -151,6 +154,51 @@ pub struct IntervalReport {
     /// Streams whose interval was served entirely from the interval
     /// cache (they issued zero disk commands this tick).
     pub cache_served_streams: usize,
+}
+
+impl IntervalReport {
+    /// The interval's reads partitioned into per-volume batches: each
+    /// item is one volume and its consecutive slice of [`reqs`]
+    /// (already in that spindle's sweep order). This is the unit of the
+    /// pipelined issue path — the orchestrator hands every volume its
+    /// batch at tick time and the spindles drain their chains
+    /// concurrently, so the interval's I/O ends with the slowest
+    /// spindle rather than the sum of all of them.
+    ///
+    /// [`reqs`]: IntervalReport::reqs
+    pub fn volume_batches(&self) -> impl Iterator<Item = (VolumeId, &[ReadReq])> {
+        let mut start = 0usize;
+        std::iter::from_fn(move || {
+            if start >= self.reqs.len() {
+                return None;
+            }
+            let vol = self.reqs[start].volume;
+            let mut end = start;
+            while end < self.reqs.len() && self.reqs[end].volume == vol {
+                end += 1;
+            }
+            let batch = &self.reqs[start..end];
+            start = end;
+            Some((vol, batch))
+        })
+    }
+}
+
+/// Total-order maximum of the per-volume calculated I/O times — the
+/// bottleneck spindle's bound. `iter().fold(0.0, f64::max)` would
+/// silently swallow a NaN (because `f64::max` prefers the non-NaN
+/// operand), turning a poisoned admission computation into a plausible
+/// looking bound; this asserts instead. An empty slice (a server with
+/// no active volumes this interval) is legitimately 0.0.
+fn bottleneck_time(per_volume: &[f64]) -> f64 {
+    per_volume.iter().fold(0.0f64, |acc, &c| {
+        assert!(!c.is_nan(), "per-volume calculated I/O time is NaN");
+        if c.total_cmp(&acc).is_gt() {
+            c
+        } else {
+            acc
+        }
+    })
 }
 
 /// A point-in-time report on one stream (diagnostics / experiments).
@@ -238,6 +286,11 @@ pub struct CrasServer {
     /// skipped by read steering, placement, and the per-volume rate
     /// test, until a rebuild restores it.
     failed: Vec<bool>,
+    /// Per-volume C-SCAN sweep cursors (index = volume id): where each
+    /// spindle's previous interval left its head, so the next
+    /// interval's issue order continues the sweep instead of
+    /// restarting at block 0 and paying a full-stroke seek back.
+    sweep: Vec<SweepCursor>,
 }
 
 impl CrasServer {
@@ -280,6 +333,7 @@ impl CrasServer {
             next_batch: 0,
             stats: ServerStats::default(),
             failed: vec![false; cfg.volumes],
+            sweep: vec![SweepCursor::new(); cfg.volumes],
         }
     }
 
@@ -1150,8 +1204,20 @@ impl CrasServer {
                 });
             }
         }
-        // Per volume, cylinder order: C-SCAN-friendly ascending blocks.
-        reqs.sort_by_key(|r| (r.volume, r.block));
+        // Per volume, sweep order: C-SCAN continuing from where the
+        // spindle's previous interval left its head (ascending from the
+        // carried position, wrapped blocks last). A plain ascending sort
+        // would restart every interval's sweep at block 0 and pay a
+        // full-stroke seek back per spindle per interval.
+        reqs.sort_by_key(|r| (r.volume, self.sweep[r.volume.index()].key(r.block)));
+        // Carry each spindle's head position: reqs are in issue order,
+        // so the last advance per volume wins. Anchor at each request's
+        // *start* block — consecutive reads of a stream overlap by one
+        // block, so anchoring at the end would mark every follow-on
+        // read as wrapped (see [`SweepCursor::advance`]).
+        for r in &reqs {
+            self.sweep[r.volume.index()].advance(r.block);
+        }
         let t = self.cfg.interval.as_secs_f64();
         let per_volume_calculated: Vec<f64> = active
             .iter()
@@ -1165,7 +1231,7 @@ impl CrasServer {
             })
             .collect();
         // The slowest spindle bounds the interval.
-        let calculated = per_volume_calculated.iter().copied().fold(0.0, f64::max);
+        let calculated = bottleneck_time(&per_volume_calculated);
         IntervalReport {
             index,
             reqs,
@@ -1954,6 +2020,78 @@ mod tests {
             .copied()
             .fold(0.0, f64::max);
         assert_eq!(rep.calculated_io_time, max);
+        // volume_batches partitions the same reads per volume, in order.
+        let batches: Vec<(VolumeId, Vec<ReadReq>)> =
+            rep.volume_batches().map(|(v, b)| (v, b.to_vec())).collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].0, VolumeId(0));
+        assert_eq!(batches[1].0, VolumeId(1));
+        let concat: Vec<ReadReq> = batches.into_iter().flat_map(|(_, b)| b).collect();
+        assert_eq!(concat, rep.reqs, "batches cover the reads exactly once");
+    }
+
+    #[test]
+    fn bottleneck_time_is_a_total_order_max() {
+        assert_eq!(bottleneck_time(&[]), 0.0, "no active volumes");
+        assert_eq!(bottleneck_time(&[0.0, 0.0]), 0.0);
+        assert_eq!(bottleneck_time(&[0.1, 0.35, 0.2]), 0.35);
+        // Negative zero must not beat positive values (total order).
+        assert_eq!(bottleneck_time(&[-0.0, 0.25]), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "calculated I/O time is NaN")]
+    fn bottleneck_time_rejects_nan() {
+        // The old `fold(0.0, f64::max)` silently returned 0.1 here,
+        // hiding a poisoned admission computation.
+        bottleneck_time(&[0.1, f64::NAN]);
+    }
+
+    #[test]
+    fn sweep_order_carries_head_position_across_intervals() {
+        // Two streams far apart on one spindle. Restarting the C-SCAN
+        // sweep at block 0 every interval pays two full strokes per
+        // interval (out to the far stream and back); carrying the head
+        // position turns that into about one stroke per interval,
+        // alternating direction of entry.
+        let mut srv = server();
+        let (ta, ea) = movie_table(10.0); // Extent at block 10_000.
+        let tb = ta.clone();
+        let eb = vec![Extent {
+            file_offset: 0,
+            disk_block: 400_000,
+            nblocks: ea[0].nblocks,
+        }];
+        let a = srv.open("near", ta, ea).unwrap();
+        let b = srv.open("far", tb, eb).unwrap();
+        srv.start(a, at(0));
+        srv.start(b, at(0));
+        srv.interval_tick(at(0));
+        let (mut head, mut naive_head) = (0u64, 0u64);
+        let (mut swept, mut naive) = (0u64, 0u64);
+        for k in 1..8u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+            if rep.reqs.is_empty() {
+                continue;
+            }
+            let blocks: Vec<u64> = rep.reqs.iter().map(|r| r.block).collect();
+            swept += cras_disk::modeled_travel(head, &blocks);
+            let last = rep.reqs.last().unwrap();
+            head = last.block + last.nblocks as u64;
+            // Baseline: the old `(volume, block)` ascending sort.
+            let mut sorted = blocks.clone();
+            sorted.sort_unstable();
+            naive += cras_disk::modeled_travel(naive_head, &sorted);
+            naive_head = *sorted.last().unwrap();
+        }
+        assert!(swept > 0 && naive > 0, "streams issued reads");
+        assert!(
+            (swept as f64) < 0.75 * naive as f64,
+            "sweep travel {swept} should clearly beat ascending-from-0 {naive}"
+        );
     }
 
     fn cache_server(cache_budget: u64, buffer_budget: u64) -> CrasServer {

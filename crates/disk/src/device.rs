@@ -103,8 +103,10 @@ struct Inflight<T> {
 }
 
 /// How long a downed volume takes to return an error for an operation:
-/// the controller answers the command, the drive never does.
-const ERROR_LATENCY: Duration = Duration::from_millis(1);
+/// the controller answers the command, the drive never does. Public so
+/// failure-path timing models (error-queue drain time, the property
+/// test's overhead margin) can reference the same constant.
+pub const ERROR_LATENCY: Duration = Duration::from_millis(1);
 
 /// The simulated disk: queues + head position + spindle + service model.
 pub struct DiskDevice<T> {

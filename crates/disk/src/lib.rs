@@ -33,10 +33,10 @@ pub mod seek;
 pub mod volume;
 
 pub use calibrate::{Calibration, DiskParams};
-pub use device::{DiskDevice, DiskStats, DiskTimings};
+pub use device::{DiskDevice, DiskStats, DiskTimings, ERROR_LATENCY};
 pub use faults::{Fault, FaultInjector};
 pub use geometry::{BlockNo, DiskGeometry, Zone, BLOCK_SIZE};
-pub use policy::{DiskQueue, QueuePolicy};
+pub use policy::{modeled_travel, DiskQueue, QueuePolicy, SweepCursor};
 pub use request::{Completed, DiskRequest, IoClass, IoKind, ServiceBreakdown};
 pub use seek::SeekModel;
-pub use volume::{VolumeId, VolumeSet};
+pub use volume::{ReplaceError, VolumeId, VolumeSet};

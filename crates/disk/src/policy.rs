@@ -36,6 +36,61 @@ impl QueuePolicy {
     }
 }
 
+/// Per-spindle C-SCAN sweep state carried *across* scheduling rounds.
+///
+/// The device-level [`DiskQueue`] orders whatever is queued right now;
+/// a server planning one batch per interval additionally needs to
+/// remember where the previous batch left the head, or every interval
+/// restarts its sweep from block 0 and pays a full-stroke seek back.
+/// `key` yields a sort key that continues the sweep from the carried
+/// position: blocks at or past it first (ascending), wrapped blocks
+/// after (C-SCAN's jump back).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepCursor {
+    pos: u64,
+}
+
+impl SweepCursor {
+    /// A cursor starting at block 0 (a fresh spindle).
+    pub fn new() -> SweepCursor {
+        SweepCursor::default()
+    }
+
+    /// The block the next sweep starts from.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Sort key for `block` relative to the carried sweep position:
+    /// ascending from the cursor, wrapped blocks last.
+    pub fn key(&self, block: u64) -> (bool, u64) {
+        (block < self.pos, block)
+    }
+
+    /// Advances the sweep position to `block` — typically the start of
+    /// the request just issued. Using the start (not the end) matters:
+    /// a stream's next read often begins a block *before* the previous
+    /// read's end (chunk boundaries are not block-aligned, so adjacent
+    /// reads overlap by one block), and anchoring at the end would make
+    /// every follow-on read look like it wrapped.
+    pub fn advance(&mut self, block: u64) {
+        self.pos = block;
+    }
+}
+
+/// Total head travel (in blocks) of servicing `blocks` in the given
+/// order starting from `start` — the seek-distance model used by tests
+/// comparing issue orders.
+pub fn modeled_travel(start: u64, blocks: &[u64]) -> u64 {
+    let mut pos = start;
+    let mut travel = 0u64;
+    for &b in blocks {
+        travel += pos.abs_diff(b);
+        pos = b;
+    }
+    travel
+}
+
 /// A request queue ordered by the configured policy.
 #[derive(Clone, Debug)]
 pub struct DiskQueue<T> {
@@ -265,5 +320,48 @@ mod tests {
     fn label_roundtrip() {
         assert_eq!(QueuePolicy::CScan.label(), "C-SCAN");
         assert_eq!(QueuePolicy::default(), QueuePolicy::CScan);
+    }
+
+    #[test]
+    fn sweep_cursor_continues_from_carried_position() {
+        let mut c = SweepCursor::new();
+        assert_eq!(c.position(), 0);
+        let mut blocks = vec![500u64, 100, 900, 300];
+        blocks.sort_by_key(|&b| c.key(b));
+        assert_eq!(blocks, vec![100, 300, 500, 900], "fresh cursor: ascending");
+        c.advance(901);
+        // Next round: blocks behind the head wrap to the end of the sweep.
+        let mut blocks = vec![500u64, 950, 100, 1200];
+        blocks.sort_by_key(|&b| c.key(b));
+        assert_eq!(blocks, vec![950, 1200, 100, 500], "sweep from 901, wrap");
+        c.advance(501);
+        assert_eq!(c.position(), 501);
+    }
+
+    #[test]
+    fn sweep_order_travels_less_than_restarting_at_zero() {
+        // Two rounds of far-apart blocks: carrying the sweep position
+        // halves the travel versus re-sorting ascending from 0.
+        let round1 = [100u64, 400_000];
+        let round2 = [200u64, 400_100];
+        let naive = modeled_travel(0, &round1) + modeled_travel(400_000, &round2);
+        let mut c = SweepCursor::new();
+        let mut r1 = round1.to_vec();
+        r1.sort_by_key(|&b| c.key(b));
+        c.advance(*r1.last().unwrap() + 1);
+        let mut r2 = round2.to_vec();
+        r2.sort_by_key(|&b| c.key(b));
+        let swept = modeled_travel(0, &r1) + modeled_travel(*r1.last().unwrap(), &r2);
+        assert_eq!(r2, vec![400_100, 200], "round 2 continues the sweep");
+        assert!(
+            swept < naive,
+            "sweep travel {swept} should beat naive {naive}"
+        );
+    }
+
+    #[test]
+    fn modeled_travel_sums_absolute_moves() {
+        assert_eq!(modeled_travel(0, &[]), 0);
+        assert_eq!(modeled_travel(10, &[30, 20, 50]), 20 + 10 + 30);
     }
 }

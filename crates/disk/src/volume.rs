@@ -35,6 +35,26 @@ impl std::fmt::Display for VolumeId {
     }
 }
 
+/// Why [`VolumeSet::try_replace_volume`] refused to swap a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplaceError {
+    /// The old device still has an operation in flight — typically a
+    /// fast error return still draining from a downed volume. Its
+    /// completion event would fire against the new device (and panic
+    /// the single-op state machine), so the swap must wait.
+    InFlight,
+}
+
+impl std::fmt::Display for ReplaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplaceError::InFlight => write!(f, "an operation is still in flight"),
+        }
+    }
+}
+
+impl std::error::Error for ReplaceError {}
+
 /// A fixed-size array of independent [`DiskDevice`]s.
 ///
 /// The set is purely an addressing layer: submissions and completions
@@ -136,6 +156,28 @@ impl<T> VolumeSet<T> {
         self.volume_mut(vol).submit(now, req)
     }
 
+    /// Submits one volume's whole batch in issue order, returning the
+    /// completion time of the operation that started (the first request,
+    /// and only if the volume was idle — at most one op is ever in
+    /// flight per spindle, the rest queue behind it in C-SCAN order).
+    /// This is the per-spindle half of the pipelined interval issue
+    /// path: the caller hands each volume its batch and every spindle
+    /// drains its own chain concurrently.
+    pub fn submit_batch(
+        &mut self,
+        vol: VolumeId,
+        now: Instant,
+        reqs: impl IntoIterator<Item = DiskRequest<T>>,
+    ) -> Option<Instant> {
+        let dev = self.volume_mut(vol);
+        let mut started = None;
+        for req in reqs {
+            let at = dev.submit(now, req);
+            started = started.or(at);
+        }
+        started
+    }
+
     /// Completes the in-flight operation on one volume; see
     /// [`DiskDevice::complete`].
     pub fn complete(&mut self, vol: VolumeId, now: Instant) -> (Completed<T>, Option<Instant>) {
@@ -168,20 +210,34 @@ impl<T> VolumeSet<T> {
     }
 
     /// Swaps in a replacement device for `vol` (a fresh spindle after a
-    /// failure). The old device's statistics are discarded with it.
+    /// failure), refusing while the old device still has an operation in
+    /// flight — its completion event would otherwise fire against the
+    /// new device. Error returns on a downed volume drain in
+    /// [`ERROR_LATENCY`](crate::device::ERROR_LATENCY) each, so callers
+    /// retry until the error queue has emptied. The old device's
+    /// statistics are discarded with it.
+    pub fn try_replace_volume(
+        &mut self,
+        vol: VolumeId,
+        device: DiskDevice<T>,
+    ) -> Result<(), ReplaceError> {
+        if self.volume(vol).is_busy() {
+            return Err(ReplaceError::InFlight);
+        }
+        self.disks[vol.index()] = device;
+        Ok(())
+    }
+
+    /// Panicking wrapper of [`VolumeSet::try_replace_volume`] for callers
+    /// that have already drained the volume.
     ///
     /// # Panics
     ///
-    /// Panics if the old device still has an operation in flight — its
-    /// completion event would otherwise fire against the new device.
-    /// Error returns on a downed volume drain in ~1 ms each, so callers
-    /// attach the replacement once the error queue has emptied.
+    /// Panics if the old device still has an operation in flight.
     pub fn replace_volume(&mut self, vol: VolumeId, device: DiskDevice<T>) {
-        assert!(
-            !self.volume(vol).is_busy(),
-            "cannot replace {vol} while an operation is in flight"
-        );
-        self.disks[vol.index()] = device;
+        if let Err(e) = self.try_replace_volume(vol, device) {
+            panic!("cannot replace {vol}: {e}");
+        }
     }
 
     /// Statistics summed across all volumes.
@@ -296,6 +352,60 @@ mod tests {
     #[should_panic(expected = "at least one disk")]
     fn empty_set_panics() {
         let _: VolumeSet<u32> = VolumeSet::new(vec![]);
+    }
+
+    #[test]
+    fn submit_batch_starts_first_and_queues_the_rest() {
+        let mut set = VolumeSet::new(vec![small(), small()]);
+        let t0 = Instant::ZERO;
+        let f0 = set.submit_batch(
+            VolumeId(0),
+            t0,
+            [
+                DiskRequest::rt_read(0, 1, 1),
+                DiskRequest::rt_read(500, 1, 2),
+                DiskRequest::rt_read(900, 1, 3),
+            ],
+        );
+        assert!(f0.is_some(), "idle volume starts its first request");
+        assert_eq!(set.volume(VolumeId(0)).queue_depths(), (2, 0));
+        // A batch handed to a busy volume queues entirely.
+        let f1 = set.submit_batch(VolumeId(0), t0, [DiskRequest::rt_read(100, 1, 4)]);
+        assert!(f1.is_none());
+        assert_eq!(set.volume(VolumeId(1)).queue_depths(), (0, 0));
+        // The chain drains in order, one op in flight at a time.
+        let mut next = Some(f0.unwrap());
+        let mut tags = Vec::new();
+        while let Some(at) = next {
+            let (done, n) = set.complete(VolumeId(0), at);
+            tags.push(done.req.tag);
+            next = n;
+        }
+        assert_eq!(tags.len(), 4, "batch conserved");
+    }
+
+    #[test]
+    fn try_replace_refuses_while_an_op_is_in_flight() {
+        let mut set = VolumeSet::new(vec![small(), small()]);
+        let t0 = Instant::ZERO;
+        let fin = set
+            .submit(VolumeId(0), t0, DiskRequest::read(0, 1, 1))
+            .unwrap();
+        assert_eq!(
+            set.try_replace_volume(VolumeId(0), small()),
+            Err(ReplaceError::InFlight)
+        );
+        set.complete(VolumeId(0), fin);
+        assert_eq!(set.try_replace_volume(VolumeId(0), small()), Ok(()));
+        assert_eq!(set.volume(VolumeId(0)).stats().total_ops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot replace vol0")]
+    fn replace_volume_panics_while_busy() {
+        let mut set = VolumeSet::new(vec![small()]);
+        set.submit(VolumeId(0), Instant::ZERO, DiskRequest::read(0, 1, 1));
+        set.replace_volume(VolumeId(0), small());
     }
 
     #[test]

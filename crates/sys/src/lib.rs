@@ -25,10 +25,10 @@ pub mod system;
 pub mod tags;
 
 pub use bgload::BgReader;
-pub use config::{prio, CpuCosts, SchedMode, SysConfig};
-pub use metrics::{IntervalIo, Metrics, VolumeHealth};
+pub use config::{prio, CpuCosts, IssueMode, SchedMode, SysConfig};
+pub use metrics::{IntervalIo, IntervalWall, Metrics, VolumeHealth};
 pub use net::Link;
 pub use player::{Player, PlayerMode, PlayerStats};
 pub use rebuild::{CopyChunk, RebuildManager};
-pub use system::{MoviePlacement, System, UOwner, UReq};
+pub use system::{AttachError, MoviePlacement, System, UOwner, UReq};
 pub use tags::{ClientId, CpuTag, DiskTag, Event};

@@ -72,11 +72,66 @@ impl IntervalIo {
     }
 }
 
+/// Cross-volume wall-clock accounting for one interval: from the issue
+/// of the interval's per-volume batches to the completion of the *last*
+/// read on *any* volume. Where [`IntervalIo`] judges each spindle
+/// against its own calculated time, this record judges the pipelined
+/// issue path: with every spindle draining its batch concurrently the
+/// span should track `calc_max` (the admission bound); a serialized
+/// path degrades it toward `calc_sum`.
+#[derive(Clone, Debug)]
+pub struct IntervalWall {
+    /// Interval index.
+    pub index: u64,
+    /// When the batches were issued.
+    pub issued_at: Instant,
+    /// Requests issued across all volumes.
+    pub total_reqs: usize,
+    /// Requests not yet completed.
+    pub remaining: usize,
+    /// Completion time of the last finished request on any volume.
+    pub last_done: Instant,
+    /// Sum of pure service time across all volumes (seconds).
+    pub service_sum: f64,
+    /// Max over volumes of the calculated per-volume I/O time (seconds)
+    /// — the admission test's bound on the interval.
+    pub calc_max: f64,
+    /// Sum over volumes of the calculated per-volume I/O time (seconds)
+    /// — what a fully serialized issue path would be held to.
+    pub calc_sum: f64,
+    /// Volumes that received requests this interval.
+    pub volumes: usize,
+}
+
+impl IntervalWall {
+    /// Wall-clock span from issue to the last completion across all
+    /// volumes. `None` while requests remain outstanding.
+    pub fn span(&self) -> Option<f64> {
+        if self.total_reqs == 0 || self.remaining > 0 {
+            None
+        } else {
+            Some(self.last_done.since(self.issued_at).as_secs_f64())
+        }
+    }
+
+    /// Cross-volume overlap factor: total disk service time over the
+    /// wall span. 1.0 means no overlap (one spindle at a time);
+    /// `volumes` means every spindle busy the whole span.
+    pub fn overlap(&self) -> Option<f64> {
+        match self.span() {
+            Some(s) if s > 0.0 => Some(self.service_sum / s),
+            _ => None,
+        }
+    }
+}
+
 /// System-wide measurement state.
 #[derive(Default, Debug)]
 pub struct Metrics {
     intervals: Vec<IntervalIo>,
     read_interval: HashMap<u64, usize>,
+    walls: Vec<IntervalWall>,
+    read_wall: HashMap<u64, usize>,
     /// Bytes completed for CRAS real-time reads.
     pub cras_read_bytes: u64,
     /// Total disk service time consumed by CRAS reads.
@@ -141,6 +196,24 @@ impl Metrics {
         if rep.reqs.is_empty() {
             return;
         }
+        let wall_idx = self.walls.len();
+        self.walls.push(IntervalWall {
+            index: rep.index,
+            issued_at: now,
+            total_reqs: rep.reqs.len(),
+            remaining: rep.reqs.len(),
+            last_done: now,
+            service_sum: 0.0,
+            calc_max: rep
+                .per_volume_calculated
+                .iter()
+                .fold(0.0f64, |a, &c| if c > a { c } else { a }),
+            calc_sum: rep.per_volume_calculated.iter().sum(),
+            volumes: 0,
+        });
+        for r in &rep.reqs {
+            self.read_wall.insert(r.id.0, wall_idx);
+        }
         let mut start = 0;
         while start < rep.reqs.len() {
             let vol = rep.reqs[start].volume;
@@ -167,6 +240,7 @@ impl Metrics {
             for r in &rep.reqs[start..end] {
                 self.read_interval.insert(r.id.0, idx);
             }
+            self.walls[wall_idx].volumes += 1;
             start = end;
         }
     }
@@ -184,6 +258,17 @@ impl Metrics {
             rec.service_sum += done.breakdown.total().as_secs_f64();
             if rec.remaining == 0 {
                 self.read_interval.retain(|_, v| *v != idx);
+            }
+        }
+        if let Some(&idx) = self.read_wall.get(&rid.0) {
+            let w = &mut self.walls[idx];
+            w.remaining -= 1;
+            if done.finished_at > w.last_done {
+                w.last_done = done.finished_at;
+            }
+            w.service_sum += done.breakdown.total().as_secs_f64();
+            if w.remaining == 0 {
+                self.read_wall.retain(|_, v| *v != idx);
             }
         }
     }
@@ -221,6 +306,22 @@ impl Metrics {
                 self.read_interval.retain(|_, v| *v != idx);
             }
         }
+        if let Some(idx) = self.read_wall.remove(&rid.0) {
+            let w = &mut self.walls[idx];
+            w.service_sum += done.breakdown.total().as_secs_f64();
+            if done.finished_at > w.last_done {
+                w.last_done = done.finished_at;
+            }
+            w.remaining -= 1;
+            w.remaining += retries.len();
+            w.total_reqs += retries.len();
+            for r in retries {
+                self.read_wall.insert(r.0, idx);
+            }
+            if w.remaining == 0 {
+                self.read_wall.retain(|_, v| *v != idx);
+            }
+        }
     }
 
     /// Rebuild copy time, once the rebuild has finished.
@@ -234,6 +335,11 @@ impl Metrics {
     /// All completed per-interval records.
     pub fn intervals(&self) -> &[IntervalIo] {
         &self.intervals
+    }
+
+    /// Cross-volume wall records, one per non-empty interval.
+    pub fn interval_walls(&self) -> &[IntervalWall] {
+        &self.walls
     }
 
     /// Accuracy ratios for completed intervals, skipping the first
@@ -388,6 +494,65 @@ mod tests {
         let rs = m.admission_ratios(0);
         assert_eq!(rs.len(), 1, "only volume 1 is complete");
         assert!((rs[0] - 0.04).abs() < 1e-9, "ratio {}", rs[0]);
+    }
+
+    #[test]
+    fn wall_tracks_the_last_completion_across_volumes() {
+        let mut m = Metrics::new();
+        let rep = IntervalReport {
+            index: 3,
+            reqs: vec![
+                ReadReq {
+                    id: ReadId(1),
+                    stream: StreamId(0),
+                    volume: VolumeId(0),
+                    block: 100,
+                    nblocks: 8,
+                },
+                ReadReq {
+                    id: ReadId(2),
+                    stream: StreamId(1),
+                    volume: VolumeId(1),
+                    block: 50,
+                    nblocks: 8,
+                },
+            ],
+            posted_chunks: 0,
+            overran: false,
+            calculated_io_time: 0.2,
+            per_volume_calculated: vec![0.1, 0.2],
+            degraded_streams: 0,
+            cache_served_streams: 0,
+        };
+        m.on_interval(&rep, Instant::ZERO);
+        assert_eq!(m.interval_walls().len(), 1, "one wall per interval");
+        let w = &m.interval_walls()[0];
+        assert_eq!(w.volumes, 2);
+        assert!((w.calc_max - 0.2).abs() < 1e-12);
+        assert!((w.calc_sum - 0.3).abs() < 1e-12);
+        assert!(w.span().is_none(), "reads outstanding");
+        m.on_cras_read_done(ReadId(2), &completed(10, 4));
+        assert!(m.interval_walls()[0].span().is_none());
+        m.on_cras_read_done(ReadId(1), &completed(40, 4));
+        let w = &m.interval_walls()[0];
+        // Span runs to the last completion on any volume: 40 ms.
+        assert!((w.span().unwrap() - 0.04).abs() < 1e-9);
+        // 8 ms of service over a 40 ms span.
+        assert!((w.overlap().unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_inherits_retry_slots_from_failed_reads() {
+        let mut m = Metrics::new();
+        m.on_interval(&report(&[1], 0.1), Instant::ZERO);
+        let mut err = completed(5, 1);
+        err.failed = true;
+        m.on_cras_read_failed(ReadId(1), &err, &[ReadId(9)]);
+        assert!(m.interval_walls()[0].span().is_none(), "retry outstanding");
+        m.on_cras_read_done(ReadId(9), &completed(20, 10));
+        let w = &m.interval_walls()[0];
+        assert_eq!(w.total_reqs, 2);
+        assert!((w.span().unwrap() - 0.02).abs() < 1e-9);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub fn plan_chunks(
 #[derive(Clone, Debug)]
 pub struct RebuildManager {
     vol: u32,
+    generation: u64,
     chunks: Vec<CopyChunk>,
     next: usize,
     rate: f64,
@@ -83,10 +84,20 @@ pub struct RebuildManager {
 
 impl RebuildManager {
     /// Creates a manager rebuilding `vol` at `rate` bytes per second.
-    pub fn new(vol: u32, chunks: Vec<CopyChunk>, rate: f64, now: Instant) -> RebuildManager {
+    /// `generation` tags every disk request and pacing event this
+    /// rebuild issues, so completions from an earlier, aborted rebuild
+    /// (whose chunk list may differ) can be recognized and dropped.
+    pub fn new(
+        vol: u32,
+        generation: u64,
+        chunks: Vec<CopyChunk>,
+        rate: f64,
+        now: Instant,
+    ) -> RebuildManager {
         assert!(rate > 0.0, "rebuild rate must be positive");
         RebuildManager {
             vol,
+            generation,
             chunks,
             next: 0,
             rate,
@@ -100,6 +111,11 @@ impl RebuildManager {
         self.vol
     }
 
+    /// The generation tag carried by this rebuild's requests.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Takes the next chunk to issue, tagged with its index.
     pub fn take_next(&mut self) -> Option<(u64, CopyChunk)> {
         let idx = self.next;
@@ -109,8 +125,19 @@ impl RebuildManager {
     }
 
     /// The chunk behind a routing-tag index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an index this rebuild never issued. The system only
+    /// calls this for completions whose generation tag matches
+    /// [`RebuildManager::generation`], and every index issued by
+    /// [`RebuildManager::take_next`] within a generation is in range —
+    /// an out-of-range index here means a tag-routing bug, not a race.
     pub fn chunk(&self, idx: u64) -> CopyChunk {
-        self.chunks[idx as usize]
+        *self
+            .chunks
+            .get(idx as usize)
+            .unwrap_or_else(|| panic!("rebuild gen {} has no chunk {idx}", self.generation))
     }
 
     /// Records a completed copy and returns when the next chunk may be
@@ -203,7 +230,7 @@ mod tests {
         ];
         let t0 = Instant::ZERO;
         // 64 KB/s: each 64 KB chunk earns exactly one second of budget.
-        let mut rb = RebuildManager::new(1, chunks, 64.0 * 1024.0, t0);
+        let mut rb = RebuildManager::new(1, 1, chunks, 64.0 * 1024.0, t0);
         let (i0, _) = rb.take_next().unwrap();
         let due = rb.chunk_copied(i0, t0 + Duration::from_millis(5)).unwrap();
         assert_eq!(due, t0 + Duration::from_secs(1));
@@ -226,7 +253,7 @@ mod tests {
             2
         ];
         let t0 = Instant::ZERO;
-        let mut rb = RebuildManager::new(1, chunks, 64.0 * 1024.0, t0);
+        let mut rb = RebuildManager::new(1, 1, chunks, 64.0 * 1024.0, t0);
         let (i0, _) = rb.take_next().unwrap();
         // The copy itself took longer than the pacing budget: the next
         // chunk is due immediately, not at a past instant.
@@ -243,7 +270,7 @@ mod tests {
             dst_block: 0,
             nblocks: 8,
         }];
-        let mut rb = RebuildManager::new(1, chunks, 1e6, Instant::ZERO);
+        let mut rb = RebuildManager::new(1, 1, chunks, 1e6, Instant::ZERO);
         let (i, c) = rb.take_next().unwrap();
         assert_eq!(c.bytes(), 8 * 512);
         assert_eq!(rb.chunk_copied(i, Instant::ZERO), None);

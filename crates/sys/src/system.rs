@@ -7,9 +7,11 @@
 //! [`VolumeSet`]: §4's "several disk devices" variation. With one volume
 //! the system is byte-identical to the single-disk original.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
-use cras_core::{on_volume, AdmissionError, CrasServer, PlacementPolicy, ReadId, VolumeExtent};
+use cras_core::{
+    on_volume, AdmissionError, CrasServer, PlacementPolicy, ReadId, ReadReq, VolumeExtent,
+};
 use cras_disk::{DiskDevice, DiskRequest, VolumeId, VolumeSet};
 use cras_media::{Movie, StreamProfile};
 use cras_rtmach::port::{FullPolicy, Port};
@@ -20,7 +22,7 @@ use cras_ufs::layout::fsblock_to_disk;
 use cras_ufs::{Extent, FsReq, Ino, MkfsParams, Step, Ufs, UnixServer, BSIZE, SECT_PER_FSBLOCK};
 
 use crate::bgload::{BgReader, BgWriter};
-use crate::config::{prio, SchedMode, SysConfig};
+use crate::config::{prio, IssueMode, SchedMode, SysConfig};
 use crate::metrics::{Metrics, VolumeHealth};
 use crate::player::{Player, PlayerMode};
 use crate::rebuild::{plan_chunks, RebuildManager};
@@ -90,6 +92,33 @@ pub enum MoviePlacement {
     },
 }
 
+/// Why [`System::try_attach_replacement`] refused to attach a
+/// replacement disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttachError {
+    /// The volume is not marked failed — there is nothing to replace.
+    NotFailed,
+    /// A rebuild is already running (the system runs at most one).
+    RebuildRunning,
+    /// The failed device still has an operation in flight. A down
+    /// volume fails its in-flight operation fast, but that completion
+    /// still travels through the event queue; retry after letting the
+    /// system run briefly.
+    DeviceBusy,
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::NotFailed => write!(f, "volume is not failed"),
+            AttachError::RebuildRunning => write!(f, "a rebuild is already in progress"),
+            AttachError::DeviceBusy => write!(f, "failed device has an operation in flight"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
 /// The assembled system.
 pub struct System {
     /// Configuration it was built with.
@@ -136,6 +165,17 @@ pub struct System {
     ticks_active: bool,
     /// Rebuild in progress (at most one at a time).
     rebuild: Option<RebuildManager>,
+    /// Rebuild generation counter: bumped on every attach so disk
+    /// completions and pacing events from an aborted rebuild can be
+    /// recognized and dropped (their chunk indices may not exist in —
+    /// or worse, alias into — a newer rebuild's plan).
+    rebuild_gen: u64,
+    /// [`IssueMode::SerialVolumes`] only: per-volume batches waiting for
+    /// the previous batch's spindle to drain (front = next to issue).
+    serial_batches: VecDeque<Vec<ReadReq>>,
+    /// [`IssueMode::SerialVolumes`] only: read ids of the one batch
+    /// currently in flight.
+    serial_outstanding: HashSet<u64>,
 }
 
 impl System {
@@ -222,6 +262,9 @@ impl System {
             rng,
             ticks_active: false,
             rebuild: None,
+            rebuild_gen: 0,
+            serial_batches: VecDeque::new(),
+            serial_outstanding: HashSet::new(),
         }
     }
 
@@ -712,18 +755,35 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if the volume is not marked failed, if its error queue has
-    /// not drained yet, or if a rebuild is already running.
+    /// Panics where [`System::try_attach_replacement`] would return an
+    /// error — use that when the failed device may still be draining its
+    /// fast-error completions through the event loop.
     pub fn attach_replacement(&mut self, vol: u32) {
-        assert!(
-            self.cras.volume_failed(VolumeId(vol)),
-            "volume {vol} is not failed"
-        );
-        assert!(self.rebuild.is_none(), "a rebuild is already in progress");
+        if let Err(e) = self.try_attach_replacement(vol) {
+            panic!("cannot attach replacement for volume {vol}: {e}");
+        }
+    }
+
+    /// Fallible variant of [`System::attach_replacement`]: refuses (and
+    /// leaves the system untouched) instead of panicking when the volume
+    /// is not failed, a rebuild is already running, or the failed device
+    /// still has an operation in flight. The last case is a real race,
+    /// not misuse: a down volume fails its in-flight operation *fast*,
+    /// but the completion still travels through the event queue, so an
+    /// attach issued from outside the event loop can land first — retry
+    /// after letting the system run.
+    pub fn try_attach_replacement(&mut self, vol: u32) -> Result<(), AttachError> {
+        if !self.cras.volume_failed(VolumeId(vol)) {
+            return Err(AttachError::NotFailed);
+        }
+        if self.rebuild.is_some() {
+            return Err(AttachError::RebuildRunning);
+        }
         // The replacement must match the failed slot's disk model, or a
         // fast volume would silently degrade to stock mechanics.
         self.disks
-            .replace_volume(VolumeId(vol), Self::base_device(&self.cfg, vol));
+            .try_replace_volume(VolumeId(vol), Self::base_device(&self.cfg, vol))
+            .map_err(|_| AttachError::DeviceBusy)?;
         if self.cfg.disk_fault_prob > 0.0 {
             // The replacement spindle gets its own fault stream.
             self.disks
@@ -766,10 +826,19 @@ impl System {
         }
         let now = self.now();
         self.metrics.rebuild_started_at = Some(now);
-        self.rebuild = Some(RebuildManager::new(vol, chunks, self.cfg.rebuild_rate, now));
+        self.rebuild_gen += 1;
+        let gen = self.rebuild_gen;
+        self.rebuild = Some(RebuildManager::new(
+            vol,
+            gen,
+            chunks,
+            self.cfg.rebuild_rate,
+            now,
+        ));
         self.trace
             .log_with(now, "rebuild", || format!("rebuilding volume {vol}"));
-        self.engine.schedule_now(Event::RebuildStep);
+        self.engine.schedule_now(Event::RebuildStep(gen));
+        Ok(())
     }
 
     /// Per-volume fault/health snapshot from the disk substrate.
@@ -792,17 +861,23 @@ impl System {
             .collect()
     }
 
-    fn on_rebuild_step(&mut self, _now: Instant) {
+    fn on_rebuild_step(&mut self, gen: u64, _now: Instant) {
         let Some(rb) = &mut self.rebuild else {
             return;
         };
+        if rb.generation() != gen {
+            // A pacing event scheduled by an aborted rebuild: letting it
+            // through would advance the new rebuild's chunk cursor and
+            // double-issue a chunk.
+            return;
+        }
         match rb.take_next() {
             Some((idx, c)) => {
                 // Normal-priority read: the RT queue's strict priority
                 // protects admitted streams from the rebuild traffic.
                 self.submit_disk(
                     c.src_vol,
-                    DiskRequest::read(c.src_block, c.nblocks, DiskTag::RebuildRead(idx)),
+                    DiskRequest::read(c.src_block, c.nblocks, DiskTag::RebuildRead(gen, idx)),
                 );
             }
             None => self.finish_rebuild(),
@@ -837,7 +912,7 @@ impl System {
             Event::BgKick(c) => self.on_bg_kick(c, now),
             Event::BgWrite(c) => self.on_bg_write(c, now),
             Event::Sync => self.on_sync(now),
-            Event::RebuildStep => self.on_rebuild_step(now),
+            Event::RebuildStep(gen) => self.on_rebuild_step(gen, now),
             Event::RecorderTick => {}
             Event::Checkpoint(_) => {}
         }
@@ -855,6 +930,40 @@ impl System {
         let now = self.now();
         if let Some(at) = self.disks.submit(VolumeId(vol), now, req) {
             self.engine.schedule(at, Event::DiskDone(vol));
+        }
+    }
+
+    /// [`IssueMode::SerialVolumes`] only: releases the next staged
+    /// per-volume batch once the previous one has fully completed.
+    fn issue_next_serial_batch(&mut self) {
+        debug_assert!(self.serial_outstanding.is_empty());
+        let Some(batch) = self.serial_batches.pop_front() else {
+            return;
+        };
+        for r in &batch {
+            self.serial_outstanding.insert(r.id.0);
+        }
+        for r in batch {
+            self.submit_disk(
+                r.volume.0,
+                DiskRequest::rt_read(r.block, r.nblocks, DiskTag::Cras(r.id)),
+            );
+        }
+    }
+
+    /// [`IssueMode::SerialVolumes`] only: retires `rid` from the
+    /// in-flight batch (adding `retries` re-issued in its place) and
+    /// releases the next batch when the current one drains.
+    fn on_serial_read_settled(&mut self, rid: ReadId, retries: &[ReadId]) {
+        if self.cfg.issue != IssueMode::SerialVolumes {
+            return;
+        }
+        self.serial_outstanding.remove(&rid.0);
+        for r in retries {
+            self.serial_outstanding.insert(r.0);
+        }
+        if self.serial_outstanding.is_empty() {
+            self.issue_next_serial_batch();
         }
     }
 
@@ -897,11 +1006,38 @@ impl System {
                     )
                 });
                 self.metrics.on_interval(&rep, now);
-                for r in &rep.reqs {
-                    self.submit_disk(
-                        r.volume.0,
-                        DiskRequest::rt_read(r.block, r.nblocks, DiskTag::Cras(r.id)),
-                    );
+                match self.cfg.issue {
+                    IssueMode::Pipelined => {
+                        // Hand every spindle its whole batch at tick
+                        // time: each volume chains through its own
+                        // real-time queue, one op in flight per
+                        // spindle, and the interval's I/O ends with the
+                        // slowest volume — max(per-volume), the same
+                        // quantity the admission test bounds.
+                        for (vol, batch) in rep.volume_batches() {
+                            let reqs: Vec<DiskRequest<DiskTag>> = batch
+                                .iter()
+                                .map(|r| {
+                                    DiskRequest::rt_read(r.block, r.nblocks, DiskTag::Cras(r.id))
+                                })
+                                .collect();
+                            if let Some(at) = self.disks.submit_batch(vol, now, reqs) {
+                                self.engine.schedule(at, Event::DiskDone(vol.0));
+                            }
+                        }
+                    }
+                    IssueMode::SerialVolumes => {
+                        // Baseline: stage the batches and release them
+                        // one volume at a time, the next only when the
+                        // previous fully completes — interval time
+                        // degrades toward sum(per-volume).
+                        for (_, batch) in rep.volume_batches() {
+                            self.serial_batches.push_back(batch.to_vec());
+                        }
+                        if self.serial_outstanding.is_empty() {
+                            self.issue_next_serial_batch();
+                        }
+                    }
                 }
             }
             CpuTag::PlayerDecode { client, frame } => {
@@ -946,34 +1082,52 @@ impl System {
                         DiskRequest::rt_read(r.block, r.nblocks, DiskTag::Cras(r.id)),
                     );
                 }
+                self.on_serial_read_settled(rid, &ids);
             }
             DiskTag::Cras(rid) => {
                 self.metrics.on_cras_read_done(rid, &done);
                 // I/O-done manager thread: cheap, handled inline.
                 self.cras.io_done(rid, now);
+                self.on_serial_read_settled(rid, &[]);
             }
             DiskTag::CrasWrite(_) => {
                 self.metrics.cras_write_bytes += done.req.bytes();
             }
-            DiskTag::RebuildRead(idx) => {
+            DiskTag::RebuildRead(gen, idx) => {
+                // A completion whose generation does not match the live
+                // rebuild belongs to an aborted one; its index would be
+                // read against the wrong chunk list. Drop it.
+                let live = self
+                    .rebuild
+                    .as_ref()
+                    .is_some_and(|rb| rb.generation() == gen);
                 if done.failed {
-                    // The surviving replica failed under us: abort.
-                    self.rebuild = None;
-                } else if let Some(rb) = &self.rebuild {
-                    let c = rb.chunk(idx);
+                    if live {
+                        // The surviving replica failed under us: abort.
+                        self.rebuild = None;
+                    }
+                } else if live {
+                    let c = self.rebuild.as_ref().expect("live rebuild").chunk(idx);
                     self.submit_disk(
                         c.dst_vol,
-                        DiskRequest::write(c.dst_block, c.nblocks, DiskTag::RebuildWrite(idx)),
+                        DiskRequest::write(c.dst_block, c.nblocks, DiskTag::RebuildWrite(gen, idx)),
                     );
                 }
             }
-            DiskTag::RebuildWrite(idx) => {
+            DiskTag::RebuildWrite(gen, idx) => {
+                let live = self
+                    .rebuild
+                    .as_ref()
+                    .is_some_and(|rb| rb.generation() == gen);
                 if done.failed {
-                    self.rebuild = None;
-                } else if let Some(rb) = &mut self.rebuild {
+                    if live {
+                        self.rebuild = None;
+                    }
+                } else if live {
+                    let rb = self.rebuild.as_mut().expect("live rebuild");
                     match rb.chunk_copied(idx, now) {
                         Some(due) => {
-                            self.engine.schedule(due, Event::RebuildStep);
+                            self.engine.schedule(due, Event::RebuildStep(gen));
                         }
                         None => self.finish_rebuild(),
                     }
@@ -1611,6 +1765,108 @@ mod tests {
         let health = s.volume_health();
         assert!(health[p as usize].down);
         assert!(health[p as usize].ops_seen > 0);
+    }
+
+    #[test]
+    fn attach_refuses_until_the_error_queue_drains() {
+        let mut s = sys(mirrored_cfg(4));
+        s.record_movie("m", StreamProfile::mpeg1(), 5.0);
+        let (p, _) = mirrored_placement(&s, "m");
+        let q = (p + 1) % 4;
+        assert_eq!(s.try_attach_replacement(q), Err(AttachError::NotFailed));
+        // Put an op in flight on the spindle, then declare it failed:
+        // the op's completion still has to travel the event queue, so an
+        // immediate attach races the drain and must be refused (the old
+        // panicking path fired exactly here).
+        let now = s.now();
+        if let Some(at) = s.disks.submit(
+            VolumeId(p),
+            now,
+            DiskRequest::read(1_000, 64, DiskTag::Raw(7)),
+        ) {
+            s.engine.schedule(at, Event::DiskDone(p));
+        }
+        s.fail_volume(p);
+        assert_eq!(s.try_attach_replacement(p), Err(AttachError::DeviceBusy));
+        assert!(
+            !s.rebuild_active(),
+            "refused attach must not start a rebuild"
+        );
+        s.run_for(Duration::from_secs(1));
+        assert_eq!(s.try_attach_replacement(p), Ok(()));
+        assert!(s.rebuild_active());
+        assert_eq!(
+            s.try_attach_replacement(p),
+            Err(AttachError::RebuildRunning)
+        );
+    }
+
+    #[test]
+    fn second_failure_mid_rebuild_restarts_cleanly() {
+        // A rebuild is aborted mid-copy by a second failure of the same
+        // volume, and a new rebuild starts while the aborted one's
+        // pacing events (and possibly a copy-op completion) are still in
+        // the event queue. The generation tags must keep those stale
+        // events from driving the new rebuild's chunk cursor — the
+        // refailed run has to copy exactly what a clean run copies.
+        let run = |refail: bool| -> u64 {
+            let mut cfg = mirrored_cfg(4);
+            // Slow the copy so the second failure lands mid-rebuild.
+            cfg.rebuild_rate = 256.0 * 1024.0;
+            let mut s = sys(cfg);
+            s.record_movie("m", StreamProfile::mpeg1(), 10.0);
+            let (_, m) = mirrored_placement(&s, "m");
+            s.fail_volume(m);
+            s.run_for(Duration::from_secs(1));
+            s.attach_replacement(m);
+            if refail {
+                s.run_for(Duration::from_millis(1500));
+                assert!(s.rebuild_active(), "rebuild finished too early");
+                s.fail_volume(m);
+                assert!(!s.rebuild_active(), "second failure must abort");
+                let mut tries = 0;
+                while let Err(e) = s.try_attach_replacement(m) {
+                    assert_eq!(e, AttachError::DeviceBusy);
+                    tries += 1;
+                    assert!(tries < 1000, "attach never succeeded");
+                    s.run_for(Duration::from_millis(1));
+                }
+            }
+            s.run_for(Duration::from_secs(60));
+            assert!(!s.rebuild_active(), "rebuild should have completed");
+            assert!(!s.cras.volume_failed(VolumeId(m)));
+            s.metrics.rebuild_bytes
+        };
+        let clean = run(false);
+        assert!(clean > 0);
+        assert_eq!(
+            run(true),
+            clean,
+            "stale events from the aborted rebuild drove the new one"
+        );
+    }
+
+    #[test]
+    fn serial_issue_baseline_still_meets_light_deadlines() {
+        let mut cfg = SysConfig::default();
+        cfg.server.volumes = 2;
+        cfg.server.placement = PlacementPolicy::Striped {
+            stripe_bytes: 256 * 1024,
+        };
+        cfg.issue = IssueMode::SerialVolumes;
+        let mut s = sys(cfg);
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 8.0);
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(12));
+        let p = &s.players[&c.0];
+        assert!(p.done, "light serial load should still finish");
+        assert_eq!(p.stats.frames_dropped, 0);
+        assert!(
+            s.serial_batches.is_empty() && s.serial_outstanding.is_empty(),
+            "staged batches drained"
+        );
+        assert!(!s.metrics.interval_walls().is_empty());
     }
 
     #[test]

@@ -29,8 +29,11 @@ pub enum Event {
     BgWrite(ClientId),
     /// The syncer flushes dirty blocks to disk.
     Sync,
-    /// The rebuild manager's next paced copy chunk is due.
-    RebuildStep,
+    /// The rebuild manager's next paced copy chunk is due. Carries the
+    /// rebuild generation that scheduled it, so a pacing event left over
+    /// from an aborted rebuild (the replacement volume failed again)
+    /// cannot drive a newer rebuild's chunk cursor.
+    RebuildStep(u64),
     /// End of the measurement window (used by experiment drivers).
     Checkpoint(u32),
 }
@@ -49,12 +52,15 @@ pub enum DiskTag {
     UfsReadAhead(u32, FetchRun),
     /// A syncer write-back of dirty blocks (volume, run).
     UfsWriteback(u32, FetchRun),
-    /// The read half of rebuild copy chunk `n` (normal-priority; from
-    /// the surviving replica).
-    RebuildRead(u64),
-    /// The write half of rebuild copy chunk `n` (normal-priority; to
-    /// the replacement volume).
-    RebuildWrite(u64),
+    /// The read half of a rebuild copy chunk: `(generation, chunk)`,
+    /// normal-priority, from the surviving replica. The generation
+    /// guards against a completion from an *aborted* rebuild indexing a
+    /// newer rebuild's chunk list (the lists differ whenever a second
+    /// failure re-plans the copy).
+    RebuildRead(u64, u64),
+    /// The write half of a rebuild copy chunk: `(generation, chunk)`,
+    /// normal-priority, to the replacement volume.
+    RebuildWrite(u64, u64),
     /// Raw traffic from calibration or ad-hoc experiments.
     Raw(u64),
 }

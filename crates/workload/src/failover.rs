@@ -87,10 +87,16 @@ pub fn sweep(
         };
         sys.run_until(start + Duration::from_secs_f64(measure.as_secs_f64() / 3.0));
         sys.fail_volume(victim);
-        // Let the dead spindle's fast-error queue drain, then attach the
-        // replacement and rebuild while playback continues.
-        sys.run_for(Duration::from_secs(1));
-        sys.attach_replacement(victim);
+        // Attach the replacement and rebuild while playback continues.
+        // Under load the dead spindle's fast-error queue may still be
+        // draining through the event loop, so retry until the device is
+        // free instead of panicking on the race.
+        let mut tries = 0;
+        while let Err(e) = sys.try_attach_replacement(victim) {
+            tries += 1;
+            assert!(tries < 100, "replacement never attached: {e}");
+            sys.run_for(Duration::from_millis(100));
+        }
         sys.run_until(start + measure);
         let mut guard = 0;
         while sys.rebuild_active() && guard < 3600 {

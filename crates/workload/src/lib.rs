@@ -17,6 +17,7 @@
 //! | [`faults`] | transient-fault injection vs the deadline manager |
 //! | [`failover`] | mirrored placement: volume loss, degraded reads, rebuild |
 //! | [`cache_sharing`] | interval cache: Zipf arrivals, cache-aware admission |
+//! | [`interval_overlap`] | pipelined vs serial cross-volume interval issue |
 //! | [`measured_capacity`] | admitted load validated by simulation |
 //! | [`deploy`] | Figure 5 deployment-configuration cost ablation |
 //! | [`disk_sched`] | head-scheduling ablation (FCFS/SSTF/SCAN/C-SCAN) |
@@ -49,6 +50,7 @@ pub mod fig12;
 pub mod fig6;
 pub mod fig7;
 pub mod frag;
+pub mod interval_overlap;
 pub mod measured_capacity;
 pub mod multi;
 pub mod qos;
