@@ -100,6 +100,12 @@ fn main() {
     write_result("failover", &fo_t.to_json());
     write_result("failover_rebuild", &fo_f.to_json());
 
+    let (pf_t, pf_f, _) = wl::parity_failover::sweep(fo_counts, 4, secs(10, 20), 0x9417);
+    println!("{}", pf_t.render());
+    println!("{}", pf_f.render());
+    write_result("parity_failover", &pf_t.to_json());
+    write_result("parity_failover_rebuild", &pf_f.to_json());
+
     let cache_budgets: &[u64] = if quick {
         &[0, 64 << 20]
     } else {

@@ -53,8 +53,10 @@ pub use cache::{CacheStats, IntervalCache};
 pub use clock::LogicalClock;
 pub use deploy::DeployMode;
 pub use fifo::FifoBuffer;
-pub use placement::{on_volume, volume_shares, PlacementPolicy, VolumeExtent};
+pub use placement::{
+    on_volume, volume_shares, ParityGeometry, PlacementPolicy, VolumeExtent, PARITY_STRIPE_BYTES,
+};
 pub use server::{CrasServer, IntervalReport, ReadId, ReadReq, ServerConfig, ServerStats};
-pub use stream::{CacheState, DiskRun, Stream, StreamId, VolumeRun};
+pub use stream::{CacheState, DiskRun, ParityState, Stream, StreamId, VolumeRun};
 pub use tdbuffer::{BufferStats, BufferedChunk, TimeDrivenBuffer};
-pub use writer::{Recorder, WriteId, WriteReq};
+pub use writer::{ParityEncoder, ParityUnit, Recorder, WriteId, WriteReq};

@@ -19,6 +19,15 @@
 //!   spindle failing; in exchange the interval scheduler may steer each
 //!   interval's reads to whichever replica is lighter, and a stream
 //!   keeps its deadline through the loss of one volume.
+//! * **Parity** — RAID-5-style rotating parity: a movie is dealt across
+//!   a *group* of `g` volumes in fixed stripe units; every row of `g-1`
+//!   data units gets one XOR parity unit, and the parity volume rotates
+//!   row by row so no single spindle becomes the parity hot spot. A
+//!   chunk on a failed volume is reconstructed by reading the same
+//!   stripe-relative range of the `g-1` surviving data+parity units and
+//!   XORing, so one spindle loss is survived at `g/(g-1)`× capacity
+//!   instead of Mirrored's 2×. The geometry lives in
+//!   [`ParityGeometry`].
 //!
 //! [`VolumeSet`]: cras_disk::VolumeSet
 
@@ -39,6 +48,155 @@ pub enum PlacementPolicy {
     /// Whole movies written twice: to a primary volume and to a mirror
     /// volume (never the same spindle). Needs at least two volumes.
     Mirrored,
+    /// Rotating-parity stripe groups of `group` volumes each. The
+    /// volume count must be a multiple of `group`; movies are dealt to
+    /// bands of `group` contiguous volumes cyclically, laid out per
+    /// [`ParityGeometry`]. Survives one spindle loss per band at
+    /// `group/(group-1)`× capacity.
+    Parity {
+        /// Volumes per parity group (≥ 2; 2 degenerates to mirroring).
+        group: usize,
+    },
+}
+
+/// Stripe unit of the parity layout: 64 KB, a multiple of the 8 KB FS
+/// block so a stripe unit never splits an FFS block, and small enough
+/// that a degraded read of one unit fans out well under the 256 KB
+/// transfer cap on each survivor.
+pub const PARITY_STRIPE_BYTES: u64 = 64 * 1024;
+
+/// Rotating-parity layout of one movie over a band of `group` volumes.
+///
+/// Logical data is cut into `stripe_bytes` units; each *row* holds
+/// `group - 1` consecutive data units plus one parity unit (the XOR of
+/// the row's data units). Row `r`'s parity lives on band volume
+/// `r % group`, and the row's data units fill the remaining volumes in
+/// ascending order — the classic left-asymmetric RAID-5 rotation, so
+/// sequential playback load and parity load both spread evenly.
+///
+/// Each band volume stores two files per movie: a *data file* holding
+/// that volume's data units in row order, and a *parity file* holding
+/// its parity units in row order. All the index math here is pure, so
+/// the deploy path, the degraded-read planner and the reconstruction
+/// rebuild agree on the layout by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParityGeometry {
+    /// First volume of the band.
+    pub base: u32,
+    /// Volumes in the band (≥ 2).
+    pub group: u32,
+    /// Stripe unit size in bytes.
+    pub stripe_bytes: u64,
+    /// Logical movie length in bytes.
+    pub total_bytes: u64,
+}
+
+impl ParityGeometry {
+    /// Layout for a `total_bytes` movie on the band starting at `base`.
+    pub fn new(base: u32, group: u32, stripe_bytes: u64, total_bytes: u64) -> Self {
+        assert!(group >= 2, "parity group needs at least 2 volumes");
+        assert!(
+            stripe_bytes > 0 && stripe_bytes.is_multiple_of(8192),
+            "stripe unit must be a positive multiple of the 8 KB FS block"
+        );
+        Self {
+            base,
+            group,
+            stripe_bytes,
+            total_bytes,
+        }
+    }
+
+    /// Number of data units (`ceil(total / stripe)`).
+    pub fn data_units(&self) -> u64 {
+        self.total_bytes.div_ceil(self.stripe_bytes)
+    }
+
+    /// Number of stripe rows (`ceil(units / (group-1))`).
+    pub fn rows(&self) -> u64 {
+        self.data_units().div_ceil(self.group as u64 - 1)
+    }
+
+    /// Length in bytes of data unit `k` (short for the movie tail).
+    pub fn unit_len(&self, k: u64) -> u64 {
+        debug_assert!(k < self.data_units());
+        self.stripe_bytes
+            .min(self.total_bytes - k * self.stripe_bytes)
+    }
+
+    /// Stripe row containing data unit `k`.
+    pub fn row_of_unit(&self, k: u64) -> u64 {
+        k / (self.group as u64 - 1)
+    }
+
+    /// Band volume holding row `r`'s parity unit.
+    pub fn parity_volume(&self, r: u64) -> VolumeId {
+        VolumeId(self.base + (r % self.group as u64) as u32)
+    }
+
+    /// Band volume holding data unit `k`: the `k % (g-1)`-th non-parity
+    /// volume of its row, in ascending volume order.
+    pub fn data_volume(&self, k: u64) -> VolumeId {
+        let g = self.group as u64;
+        let j = k % (g - 1);
+        let p = self.row_of_unit(k) % g;
+        VolumeId(self.base + (if j < p { j } else { j + 1 }) as u32)
+    }
+
+    /// Rows before `r` whose parity lands on band-relative volume `v`
+    /// (`(r + g - 1 - v) / g` — one every `g` rows, phase `v`).
+    fn parity_rows_before(&self, v: u32, r: u64) -> u64 {
+        let g = self.group as u64;
+        (r + g - 1 - v as u64) / g
+    }
+
+    /// Index of data unit `k` within its volume's data file (the unit
+    /// starts at `data_file_index(k) * stripe_bytes` in that file).
+    pub fn data_file_index(&self, k: u64) -> u64 {
+        let r = self.row_of_unit(k);
+        let v = self.data_volume(k).0 - self.base;
+        // One data unit per row on every non-parity volume: count the
+        // earlier rows in which `v` was not the parity volume.
+        r - self.parity_rows_before(v, r)
+    }
+
+    /// Index of row `r`'s parity unit within its volume's parity file.
+    pub fn parity_file_index(&self, r: u64) -> u64 {
+        r / self.group as u64
+    }
+
+    /// Data bytes stored on band-relative volume `v` (sum of its units'
+    /// true lengths — the size of the volume's data file).
+    pub fn data_bytes_on(&self, v: u32) -> u64 {
+        (0..self.data_units())
+            .filter(|&k| self.data_volume(k).0 - self.base == v)
+            .map(|k| self.unit_len(k))
+            .sum()
+    }
+
+    /// Parity bytes stored on band-relative volume `v` (full stripe
+    /// units — the size of the volume's parity file).
+    pub fn parity_bytes_on(&self, v: u32) -> u64 {
+        self.parity_rows_before(v, self.rows()) * self.stripe_bytes
+    }
+
+    /// Worst-case per-volume rate shares for admission over `volumes`
+    /// total disks. Healthy, a parity stream loads each band spindle
+    /// `1/g` of its rate; degraded, every read of a unit on the dead
+    /// spindle adds one same-sized read on *each* survivor, doubling
+    /// their load. Admission therefore charges `2/g` on every band
+    /// volume so streams admitted healthy still meet deadlines
+    /// degraded. At `g = 2` this is 1.0 per volume — exactly the
+    /// Mirrored worst case, as it must be (2-volume parity *is*
+    /// mirroring).
+    pub fn admission_shares(&self, volumes: usize) -> Vec<f64> {
+        let mut shares = vec![0.0; volumes];
+        let worst = 2.0 / self.group as f64;
+        for v in self.base..self.base + self.group {
+            shares[v as usize] = worst.min(1.0);
+        }
+        shares
+    }
 }
 
 /// A contiguous on-disk extent on a specific volume.
@@ -174,6 +332,106 @@ mod tests {
         ves.extend(on_volume(VolumeId(3), vec![ext(0, 77, 256)]));
         let shares = volume_shares(&ves, 4);
         assert_eq!(shares, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn parity_rotation_is_a_permutation_per_row() {
+        // Every row must use each band volume exactly once: g-1 data
+        // units on distinct volumes, none of them the parity volume.
+        for group in [2u32, 3, 4, 5] {
+            let g = group as u64;
+            let geom = ParityGeometry::new(4, group, PARITY_STRIPE_BYTES, 50 * PARITY_STRIPE_BYTES);
+            for r in 0..geom.rows() {
+                let p = geom.parity_volume(r);
+                assert!(p.0 >= 4 && p.0 < 4 + group);
+                let mut seen = vec![false; group as usize];
+                seen[(p.0 - 4) as usize] = true;
+                for j in 0..g - 1 {
+                    let k = r * (g - 1) + j;
+                    if k >= geom.data_units() {
+                        break;
+                    }
+                    let v = (geom.data_volume(k).0 - 4) as usize;
+                    assert!(!seen[v], "g={group} row {r}: volume reused");
+                    seen[v] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_file_indices_are_dense_per_volume() {
+        // Walking units in logical order, each volume's data-file index
+        // sequence must be 0, 1, 2, ... with no gaps, and likewise each
+        // volume's parity-file indices — the deploy path sizes the files
+        // from exactly these counts.
+        for group in [2u32, 3, 4] {
+            let geom =
+                ParityGeometry::new(0, group, PARITY_STRIPE_BYTES, 41 * PARITY_STRIPE_BYTES + 7);
+            let mut next_data = vec![0u64; group as usize];
+            for k in 0..geom.data_units() {
+                let v = geom.data_volume(k).0 as usize;
+                assert_eq!(geom.data_file_index(k), next_data[v], "g={group} unit {k}");
+                next_data[v] += 1;
+            }
+            let mut next_parity = vec![0u64; group as usize];
+            for r in 0..geom.rows() {
+                let v = geom.parity_volume(r).0 as usize;
+                assert_eq!(
+                    geom.parity_file_index(r),
+                    next_parity[v],
+                    "g={group} row {r}"
+                );
+                next_parity[v] += 1;
+            }
+            for v in 0..group {
+                assert_eq!(
+                    next_data[v as usize] * PARITY_STRIPE_BYTES
+                        - if geom.data_volume(geom.data_units() - 1).0 == v {
+                            PARITY_STRIPE_BYTES - geom.unit_len(geom.data_units() - 1)
+                        } else {
+                            0
+                        },
+                    geom.data_bytes_on(v)
+                );
+                assert_eq!(
+                    next_parity[v as usize] * PARITY_STRIPE_BYTES,
+                    geom.parity_bytes_on(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parity_capacity_overhead_is_g_over_g_minus_one() {
+        for group in [2u32, 3, 4, 8] {
+            // 420 units divides evenly by every g-1 here, so no partial
+            // last row inflates the parity count.
+            let geom =
+                ParityGeometry::new(0, group, PARITY_STRIPE_BYTES, 420 * PARITY_STRIPE_BYTES);
+            let data: u64 = (0..group).map(|v| geom.data_bytes_on(v)).sum();
+            let parity: u64 = (0..group).map(|v| geom.parity_bytes_on(v)).sum();
+            assert_eq!(data, geom.total_bytes);
+            let overhead = (data + parity) as f64 / data as f64;
+            let expect = group as f64 / (group - 1) as f64;
+            assert!(
+                (overhead - expect).abs() < 1e-9,
+                "g={group}: overhead {overhead} != {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_admission_shares_are_two_over_g_and_match_mirrored_at_two() {
+        let geom = ParityGeometry::new(2, 4, PARITY_STRIPE_BYTES, 1 << 20);
+        assert_eq!(
+            geom.admission_shares(8),
+            vec![0.0, 0.0, 0.5, 0.5, 0.5, 0.5, 0.0, 0.0]
+        );
+        // g = 2 parity is mirroring: worst case charges the full rate on
+        // both volumes, exactly like `volume_shares` on a mirrored map.
+        let two = ParityGeometry::new(0, 2, PARITY_STRIPE_BYTES, 1 << 20);
+        assert_eq!(two.admission_shares(2), vec![1.0, 1.0]);
     }
 
     #[test]

@@ -47,7 +47,7 @@ use crate::admission::{Admission, AdmissionError, AdmissionModel, StreamParams, 
 use crate::cache::IntervalCache;
 use crate::clock::LogicalClock;
 use crate::placement::{on_volume, volume_shares, PlacementPolicy, VolumeExtent};
-use crate::stream::{CacheState, Stream, StreamId};
+use crate::stream::{CacheState, ParityState, Stream, StreamId};
 use crate::tdbuffer::{BufferedChunk, TimeDrivenBuffer};
 
 /// Fixed (non-buffer) server footprint: "CRAS consumes about (250KB +
@@ -263,7 +263,18 @@ struct ReadInfo {
     byte_lo: u64,
     byte_hi: u64,
     volume: VolumeId,
+    /// A parity-reconstruction read of surviving data/parity units. Its
+    /// byte range addresses a *survivor's* stripe unit, not the lost
+    /// logical bytes, so it cannot be re-mapped again: a failure here is
+    /// a second failure in the band and the range is lost.
+    recon: bool,
 }
+
+/// One stream's admission charge: parameters, per-volume rate shares,
+/// and the worst-case read commands it issues on a spindle per interval
+/// (two for parity streams — the own-unit slice plus one reconstruction
+/// read; see [`Stream::spindle_reads`]).
+type AdmitEntry = (StreamParams, Vec<f64>, u32);
 
 /// The CRAS server.
 pub struct CrasServer {
@@ -429,6 +440,26 @@ impl CrasServer {
         (VolumeId(live[i]), VolumeId(live[(i + 1) % live.len()]))
     }
 
+    /// First volume of the band a new parity-placed movie should use:
+    /// the rotation cursor deals movies to bands of `group` contiguous
+    /// volumes cyclically.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ group ≤ volumes` and the volume count is a
+    /// multiple of `group` (bands must tile the set exactly).
+    pub fn place_next_band(&mut self, group: usize) -> VolumeId {
+        assert!(
+            group >= 2 && group <= self.cfg.volumes && self.cfg.volumes.is_multiple_of(group),
+            "parity group {group} must tile {} volumes",
+            self.cfg.volumes
+        );
+        let bands = self.cfg.volumes / group;
+        let b = self.next_place as usize % bands;
+        self.next_place += 1;
+        VolumeId((b * group) as u32)
+    }
+
     /// Marks a volume failed (or restored after rebuild). While failed,
     /// the volume is skipped by read steering and mirrored placement,
     /// its per-volume rate test is waived (a dead spindle serves no
@@ -447,6 +478,16 @@ impl CrasServer {
         self.failed[vol.index()]
     }
 
+    /// Builds the admission charge of every open stream: parameters,
+    /// per-volume rate shares, and worst-case per-spindle read commands
+    /// (see [`Stream::spindle_reads`]).
+    fn admit_entries(&self) -> Vec<AdmitEntry> {
+        self.streams
+            .values()
+            .map(|s| (s.params, s.admission_shares(), s.spindle_reads()))
+            .collect()
+    }
+
     /// The admission decision for a prospective stream set, with each
     /// stream's per-volume byte shares.
     ///
@@ -455,7 +496,7 @@ impl CrasServer {
     /// system); buffer memory is a shared host resource and is checked
     /// globally, exactly as the single-disk test does. With one volume
     /// every share is 1.0 and this reduces to [`Admission::admit`].
-    fn admit_set(&self, entries: &[(StreamParams, Vec<f64>)]) -> Result<(), AdmissionError> {
+    fn admit_set(&self, entries: &[AdmitEntry]) -> Result<(), AdmissionError> {
         let t = self.cfg.interval.as_secs_f64();
         for v in 0..self.cfg.volumes {
             if self.failed[v] {
@@ -465,17 +506,26 @@ impl CrasServer {
                 // the pre-failure test.
                 continue;
             }
-            let scaled: Vec<StreamParams> = entries
-                .iter()
-                .filter(|(_, shares)| shares[v] > 0.0)
-                .map(|(p, shares)| StreamParams::new(p.rate * shares[v], p.chunk))
-                .collect();
+            let mut scaled: Vec<StreamParams> = Vec::new();
+            for (p, shares, reads) in entries {
+                if shares[v] <= 0.0 {
+                    continue;
+                }
+                // One evaluator entry per worst-case read command: the
+                // per-stream command/rotation/seek overheads then count
+                // `reads` times, while the byte charge (the rate split
+                // across the commands) stays the stream's share.
+                let per = shares[v] / *reads as f64;
+                for _ in 0..*reads {
+                    scaled.push(StreamParams::new(p.rate * per, p.chunk));
+                }
+            }
             if scaled.is_empty() {
                 continue;
             }
             self.admissions[v].admit(t, &scaled, u64::MAX)?;
         }
-        let all: Vec<StreamParams> = entries.iter().map(|(p, _)| *p).collect();
+        let all: Vec<StreamParams> = entries.iter().map(|(p, _, _)| *p).collect();
         let needed = self.admissions[0].buffer_total(t, &all);
         if needed > self.cfg.buffer_budget {
             return Err(AdmissionError::OutOfMemory {
@@ -526,8 +576,40 @@ impl CrasServer {
         extents: Vec<VolumeExtent>,
         mirror: Option<Vec<VolumeExtent>>,
     ) -> Result<StreamId, AdmissionError> {
+        self.open_inner(name, table, extents, mirror, None)
+    }
+
+    /// `crs_open` for a parity-placed movie: the logical data extent map
+    /// plus the rotating-parity state. Admission charges every band
+    /// volume the worst-case degraded load — `2/group` of the rate (its
+    /// own `1/group` of the data plus one same-sized reconstruction read
+    /// per stripe the dead spindle owes) as *two* read commands per
+    /// spindle, so the per-command seek/rotation overheads of the
+    /// degraded fan-out are paid up front and streams admitted healthy
+    /// still meet deadlines degraded.
+    pub fn open_parity(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<VolumeExtent>,
+        parity: ParityState,
+    ) -> Result<StreamId, AdmissionError> {
+        self.open_inner(name, table, extents, None, Some(parity))
+    }
+
+    fn open_inner(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<VolumeExtent>,
+        mirror: Option<Vec<VolumeExtent>>,
+        parity: Option<ParityState>,
+    ) -> Result<StreamId, AdmissionError> {
         let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
-        let shares = self.shares_of(&extents, mirror.as_deref());
+        let shares = match &parity {
+            Some(p) => p.geom.admission_shares(self.cfg.volumes),
+            None => self.shares_of(&extents, mirror.as_deref()),
+        };
         if !shares
             .iter()
             .enumerate()
@@ -535,19 +617,25 @@ impl CrasServer {
         {
             return Err(AdmissionError::VolumeFailed);
         }
-        let mut entries: Vec<(StreamParams, Vec<f64>)> = self
-            .streams
-            .values()
-            .map(|s| (s.params, s.admission_shares()))
-            .collect();
-        entries.push((params, shares));
+        if let Some(p) = &parity {
+            // Degraded reads need all but one band volume alive.
+            let g = p.geom;
+            let down = (g.base..g.base + g.group)
+                .filter(|&v| self.failed[v as usize])
+                .count();
+            if down > 1 {
+                return Err(AdmissionError::VolumeFailed);
+            }
+        }
+        let mut entries = self.admit_entries();
+        entries.push((params, shares, if parity.is_some() { 2 } else { 1 }));
         // Does the new stream trail an active stream on the same movie
         // closely enough to be fed from the interval cache? (None when
         // the cache is disabled or the window does not cover the gap.)
         let cached_need = self.cache_candidate(name, &table, params, Duration::ZERO, None);
         match self.admit_set(&entries) {
             Ok(()) => {
-                let id = self.install_stream(name, table, extents, mirror, params);
+                let id = self.install_stream(name, table, extents, mirror, parity, params);
                 // Disk-admitted, but opportunistically cache-served:
                 // the spindle keeps the reservation, the cache saves
                 // the bandwidth while the interval holds.
@@ -568,7 +656,7 @@ impl CrasServer {
                 if self.admit_set(&entries).is_err() {
                     return Err(e);
                 }
-                let id = self.install_stream(name, table, extents, mirror, params);
+                let id = self.install_stream(name, table, extents, mirror, parity, params);
                 self.attach_cached(id, need, true);
                 self.cache.stats_mut().cache_admitted_streams += 1;
                 Ok(id)
@@ -681,11 +769,7 @@ impl CrasServer {
             .expect("no such stream")
             .cache_state = CacheState::Disk;
         if let CacheState::Admitted { .. } = state {
-            let entries: Vec<(StreamParams, Vec<f64>)> = self
-                .streams
-                .values()
-                .map(|s| (s.params, s.admission_shares()))
-                .collect();
+            let entries = self.admit_entries();
             if self.admit_set(&entries).is_err() {
                 // No disk headroom for the orphaned follower: it stops
                 // where it is (the client may retry later, when other
@@ -740,7 +824,19 @@ impl CrasServer {
         mirror: Option<Vec<VolumeExtent>>,
     ) -> StreamId {
         let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
-        self.install_stream(name, table, extents, mirror, params)
+        self.install_stream(name, table, extents, mirror, None, params)
+    }
+
+    /// [`CrasServer::open_parity`] without the admission test.
+    pub fn open_parity_unchecked(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<VolumeExtent>,
+        parity: ParityState,
+    ) -> StreamId {
+        let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
+        self.install_stream(name, table, extents, None, Some(parity), params)
     }
 
     fn install_stream(
@@ -749,6 +845,7 @@ impl CrasServer {
         table: ChunkTable,
         extents: Vec<VolumeExtent>,
         mirror: Option<Vec<VolumeExtent>>,
+        parity: Option<ParityState>,
         params: StreamParams,
     ) -> StreamId {
         let t = self.cfg.interval.as_secs_f64();
@@ -757,7 +854,10 @@ impl CrasServer {
         // Buffer sizing is 2·(T·R + C) — disk-parameter-independent, so
         // any volume's evaluator gives the same answer.
         let buffer_bytes = self.admissions[0].buffer_for(t, &params);
-        let shares = self.shares_of(&extents, mirror.as_deref());
+        let shares = match &parity {
+            Some(p) => p.geom.admission_shares(self.cfg.volumes),
+            None => self.shares_of(&extents, mirror.as_deref()),
+        };
         self.streams.insert(
             id.0,
             Stream {
@@ -766,6 +866,7 @@ impl CrasServer {
                 table,
                 extents,
                 mirror,
+                parity,
                 params,
                 shares,
                 clock: LogicalClock::new(),
@@ -888,11 +989,7 @@ impl CrasServer {
                 // Needs a disk reservation now: re-run the admission
                 // test with this stream's real shares.
                 self.streams.get_mut(&id.0).expect("checked").cache_state = CacheState::Disk;
-                let entries: Vec<(StreamParams, Vec<f64>)> = self
-                    .streams
-                    .values()
-                    .map(|s| (s.params, s.admission_shares()))
-                    .collect();
+                let entries = self.admit_entries();
                 if self.admit_set(&entries).is_err() {
                     let s = self.streams.get_mut(&id.0).expect("checked");
                     s.clock.stop(now);
@@ -919,7 +1016,7 @@ impl CrasServer {
             let s = self.streams.get(&id.0).expect("no such stream");
             StreamParams::new(s.table.worst_rate() * rate, s.params.chunk)
         };
-        let entries: Vec<(StreamParams, Vec<f64>)> = self
+        let entries: Vec<AdmitEntry> = self
             .streams
             .values()
             .map(|s| {
@@ -927,9 +1024,9 @@ impl CrasServer {
                     // A rate change ends any cache dependence (the gap
                     // to the leader would drift), so the stream needs a
                     // full disk reservation at the new rate.
-                    (base, s.shares.clone())
+                    (base, s.shares.clone(), s.spindle_reads())
                 } else {
-                    (s.params, s.admission_shares())
+                    (s.params, s.admission_shares(), s.spindle_reads())
                 }
             })
             .collect();
@@ -1093,7 +1190,7 @@ impl CrasServer {
                 // The disk is behind for this stream; do not pile on.
                 continue;
             }
-            let (runs, lo, hi, params, active_shares, degraded) = {
+            let (runs, recon, lo, hi, params, active_shares, degraded) = {
                 let s = self.streams.get_mut(&sid).expect("iterating keys");
                 if !s.clock.is_running() {
                     continue;
@@ -1142,10 +1239,47 @@ impl CrasServer {
                     0 => &s.extents,
                     _ => s.mirror.as_ref().expect("mirror chosen above"),
                 };
-                let runs = Stream::split_runs_tagged(
+                let mut runs = Stream::split_runs_tagged(
                     Stream::runs_in(map, byte_lo, byte_hi),
                     self.cfg.max_read_bytes,
                 );
+                // Parity degraded mode: a run landing on a failed band
+                // volume is replaced *at plan time* by the g-1 surviving
+                // data+parity reads of its stripes, which join this
+                // interval's per-spindle batches below (and are swept in
+                // cylinder order with everything else). A range whose
+                // band has lost a second volume is unreconstructible and
+                // is dropped here.
+                let mut recon: Vec<crate::stream::VolumeRun> = Vec::new();
+                if let Some(ps) = &s.parity {
+                    if runs.iter().any(|(_, r)| self.failed[r.volume.index()]) {
+                        degraded = true;
+                        let mut kept = Vec::with_capacity(runs.len());
+                        for (logical, r) in runs {
+                            if !self.failed[r.volume.index()] {
+                                kept.push((logical, r));
+                                continue;
+                            }
+                            let r_hi = logical + r.nblocks as u64 * 512;
+                            match Stream::parity_recon_runs(
+                                &s.extents,
+                                ps,
+                                logical,
+                                r_hi,
+                                r.volume,
+                                &self.failed,
+                            ) {
+                                Some(rs) => {
+                                    self.stats.degraded_reads += rs.len() as u64;
+                                    recon.extend(rs);
+                                }
+                                None => self.stats.lost_reads += 1,
+                            }
+                        }
+                        runs = kept;
+                        recon = Stream::split_runs(recon, self.cfg.max_read_bytes);
+                    }
+                }
                 // A mirrored stream's whole load lands on the chosen
                 // replica's volume this interval; non-mirrored streams
                 // keep their static per-volume shares.
@@ -1156,7 +1290,7 @@ impl CrasServer {
                 } else {
                     s.shares.clone()
                 };
-                (runs, lo, hi, s.params, active_shares, degraded)
+                (runs, recon, lo, hi, s.params, active_shares, degraded)
             };
             if degraded {
                 degraded_streams += 1;
@@ -1164,10 +1298,18 @@ impl CrasServer {
             for (_, r) in &runs {
                 planned[r.volume.index()] += r.nblocks as u64 * 512;
             }
+            for r in &recon {
+                planned[r.volume.index()] += r.nblocks as u64 * 512;
+            }
             for (v, share) in active_shares.iter().enumerate() {
                 if *share > 0.0 {
                     active[v].push(StreamParams::new(params.rate * share, params.chunk));
                 }
+            }
+            if runs.is_empty() && recon.is_empty() {
+                // Every run was dropped as unreconstructible: no batch to
+                // wait on (the frames are simply never posted).
+                continue;
             }
             let batch_id = self.next_batch;
             self.next_batch += 1;
@@ -1177,7 +1319,7 @@ impl CrasServer {
                     stream: StreamId(sid),
                     chunk_lo: lo,
                     chunk_hi: hi,
-                    remaining: runs.len(),
+                    remaining: runs.len() + recon.len(),
                     issued_at: now,
                 },
             );
@@ -1191,6 +1333,30 @@ impl CrasServer {
                         byte_lo: logical,
                         byte_hi: logical + r.nblocks as u64 * 512,
                         volume: r.volume,
+                        recon: false,
+                    },
+                );
+                self.stats.reads_issued += 1;
+                self.stats.bytes_requested += r.nblocks as u64 * 512;
+                reqs.push(ReadReq {
+                    id,
+                    stream: StreamId(sid),
+                    volume: r.volume,
+                    block: r.block,
+                    nblocks: r.nblocks,
+                });
+            }
+            for r in recon {
+                let id = ReadId(self.next_read);
+                self.next_read += 1;
+                self.read_info.insert(
+                    id.0,
+                    ReadInfo {
+                        batch: batch_id,
+                        byte_lo: 0,
+                        byte_hi: 0,
+                        volume: r.volume,
+                        recon: true,
                     },
                 );
                 self.stats.reads_issued += 1;
@@ -1270,13 +1436,17 @@ impl CrasServer {
     }
 
     /// Degraded-read fallback: a read came back failed (media error or
-    /// volume down). If the stream has a surviving replica on another
-    /// live volume, the same logical bytes are re-mapped through it and
-    /// the replacement reads are returned for the orchestrator to submit
+    /// volume down). A mirrored stream re-maps the same logical bytes
+    /// through a surviving replica; a parity stream replaces the read
+    /// with the `g-1` surviving data+parity reads of the stripes it
+    /// covered (the XOR of those buffers reconstructs the lost bytes).
+    /// The replacement reads are returned for the orchestrator to submit
     /// (real-time class, same batch — the interval deadline still
-    /// holds). With no surviving replica the read is dropped and, once
-    /// its batch drains, the batch is discarded unposted: the frames are
-    /// lost but the stream does not overrun forever.
+    /// holds). With no surviving replica — or when the failed read was
+    /// itself a reconstruction read, a second failure in the band — the
+    /// read is dropped and, once its batch drains, the batch is
+    /// discarded unposted: the frames are lost but the stream does not
+    /// overrun forever.
     pub fn io_failed(&mut self, read: ReadId) -> Vec<ReadReq> {
         let Some(info) = self.read_info.remove(&read.0) else {
             return Vec::new(); // Stream closed while in flight.
@@ -1284,19 +1454,46 @@ impl CrasServer {
         let Some(sid) = self.pending.get(&info.batch).map(|b| b.stream) else {
             return Vec::new();
         };
-        let runs = self.streams.get(&sid.0).and_then(|s| {
-            s.replica_maps()
-                .find(|m| {
-                    let home = Stream::home_volume(m);
-                    home != info.volume && !self.failed[home.index()]
-                })
-                .map(|m| {
-                    Stream::split_runs_tagged(
-                        Stream::runs_in(m, info.byte_lo, info.byte_hi),
-                        self.cfg.max_read_bytes,
+        // Each replacement is (logical tag, run, recon?): mirror remaps
+        // stay re-mappable (accurate logical tags), parity
+        // reconstructions do not (their bytes address survivors' units).
+        let runs: Option<Vec<(u64, crate::stream::VolumeRun, bool)>> =
+            self.streams.get(&sid.0).and_then(|s| {
+                if info.recon {
+                    // A reconstruction read has no further fallback.
+                    return None;
+                }
+                if let Some(ps) = &s.parity {
+                    return Stream::parity_recon_runs(
+                        &s.extents,
+                        ps,
+                        info.byte_lo,
+                        info.byte_hi,
+                        info.volume,
+                        &self.failed,
                     )
-                })
-        });
+                    .map(|rs| {
+                        Stream::split_runs(rs, self.cfg.max_read_bytes)
+                            .into_iter()
+                            .map(|r| (0, r, true))
+                            .collect()
+                    });
+                }
+                s.replica_maps()
+                    .find(|m| {
+                        let home = Stream::home_volume(m);
+                        home != info.volume && !self.failed[home.index()]
+                    })
+                    .map(|m| {
+                        Stream::split_runs_tagged(
+                            Stream::runs_in(m, info.byte_lo, info.byte_hi),
+                            self.cfg.max_read_bytes,
+                        )
+                        .into_iter()
+                        .map(|(logical, r)| (logical, r, false))
+                        .collect()
+                    })
+            });
         match runs {
             Some(runs) if !runs.is_empty() => {
                 let batch_id = info.batch;
@@ -1305,16 +1502,21 @@ impl CrasServer {
                     .expect("checked above")
                     .remaining += runs.len() - 1;
                 let mut reqs = Vec::with_capacity(runs.len());
-                for (logical, r) in runs {
+                for (logical, r, recon) in runs {
                     let id = ReadId(self.next_read);
                     self.next_read += 1;
                     self.read_info.insert(
                         id.0,
                         ReadInfo {
                             batch: batch_id,
-                            byte_lo: logical,
-                            byte_hi: logical + r.nblocks as u64 * 512,
+                            byte_lo: if recon { 0 } else { logical },
+                            byte_hi: if recon {
+                                0
+                            } else {
+                                logical + r.nblocks as u64 * 512
+                            },
                             volume: r.volume,
+                            recon,
                         },
                     );
                     self.stats.reads_issued += 1;
@@ -2329,5 +2531,182 @@ mod tests {
         let fast = fill(&mut srv, 1);
         assert!(slow > 0);
         assert!(fast > slow, "slow disk {slow}, fast disk {fast}");
+    }
+
+    /// A movie laid out in rotating-parity groups on the band starting
+    /// at `base`: synthetic but geometry-faithful extent maps (data file
+    /// then parity file per volume, contiguous on disk).
+    fn parity_movie(
+        group: u32,
+        base: u32,
+        secs: f64,
+        seed: u64,
+    ) -> (ChunkTable, Vec<VolumeExtent>, ParityState) {
+        use crate::placement::{ParityGeometry, PARITY_STRIPE_BYTES};
+        let mut rng = Rng::new(seed);
+        let table = cras_media::generate_chunks(&StreamProfile::mpeg1(), secs, &mut rng);
+        let geom = ParityGeometry::new(base, group, PARITY_STRIPE_BYTES, table.total_bytes());
+        let sb = geom.stripe_bytes;
+        let mut extents = Vec::new();
+        for k in 0..geom.data_units() {
+            extents.push(VolumeExtent {
+                volume: geom.data_volume(k),
+                extent: Extent {
+                    file_offset: k * sb,
+                    disk_block: 20_000 + geom.data_file_index(k) * (sb / 512),
+                    nblocks: geom.unit_len(k).div_ceil(512) as u32,
+                },
+            });
+        }
+        let parity_maps = (0..group)
+            .map(|v| {
+                let bytes = geom.parity_bytes_on(v);
+                if bytes == 0 {
+                    return Vec::new();
+                }
+                vec![VolumeExtent {
+                    volume: VolumeId(base + v),
+                    extent: Extent {
+                        file_offset: 0,
+                        disk_block: 800_000,
+                        nblocks: (bytes / 512) as u32,
+                    },
+                }]
+            })
+            .collect();
+        (table, extents, ParityState { geom, parity_maps })
+    }
+
+    #[test]
+    fn parity_admission_monotone_in_group_and_under_healthy_baseline() {
+        // One band of g volumes, g rising: admission charges 2/g per
+        // spindle, so the admitted count must never decrease with g —
+        // and must never exceed the healthy (striped, 1/g per spindle)
+        // baseline on the same spindles.
+        let mut last = 0usize;
+        for group in [2u32, 3, 4, 6] {
+            let fill_parity = {
+                let mut srv = multi_server(group as usize, 1 << 40);
+                let mut n = 0usize;
+                loop {
+                    let (t, e, ps) = parity_movie(group, 0, 20.0, 7);
+                    if srv.open_parity("p", t, e, ps).is_err() {
+                        break;
+                    }
+                    n += 1;
+                }
+                n
+            };
+            let fill_striped = {
+                let mut srv = multi_server(group as usize, 1 << 40);
+                let mut n = 0usize;
+                loop {
+                    // Same movie, same spindles, no parity charge: units
+                    // dealt round-robin (share 1/g per volume).
+                    let (t, e, _) = parity_movie(group, 0, 20.0, 7);
+                    let striped: Vec<VolumeExtent> = e
+                        .iter()
+                        .enumerate()
+                        .map(|(k, ve)| VolumeExtent {
+                            volume: VolumeId(k as u32 % group),
+                            extent: ve.extent,
+                        })
+                        .collect();
+                    if srv.open_placed("s", t, striped).is_err() {
+                        break;
+                    }
+                    n += 1;
+                }
+                n
+            };
+            assert!(fill_parity > 0, "g={group} admitted nothing");
+            assert!(
+                fill_parity >= last,
+                "g={group}: {fill_parity} < previous {last} — not monotone"
+            );
+            assert!(
+                fill_parity <= fill_striped,
+                "g={group}: parity {fill_parity} exceeds healthy baseline {fill_striped}"
+            );
+            last = fill_parity;
+        }
+    }
+
+    #[test]
+    fn degraded_parity_plan_fans_out_into_surviving_spindle_batches() {
+        let mut srv = multi_server(4, 1 << 30);
+        let (t, e, ps) = parity_movie(4, 0, 10.0, 9);
+        let id = srv.open_parity("p", t, e, ps).unwrap();
+        srv.start(id, at(0));
+        // Kill a volume that holds data of the first stripes: row 0's
+        // parity is on volume 0, so its data units live on 1, 2, 3.
+        srv.set_volume_failed(VolumeId(1), true);
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(!rep.reqs.is_empty());
+        assert_eq!(rep.degraded_streams, 1);
+        assert!(
+            rep.reqs.iter().all(|r| r.volume != VolumeId(1)),
+            "no read may target the failed volume"
+        );
+        // The reconstruction touched every surviving spindle, including
+        // the parity volume.
+        for v in [0u32, 2, 3] {
+            assert!(
+                rep.reqs.iter().any(|r| r.volume == VolumeId(v)),
+                "expected a read on surviving volume {v}"
+            );
+        }
+        // Batches are per spindle and sweep-ordered within each.
+        for (_, batch) in rep.volume_batches() {
+            assert!(batch.windows(2).all(|w| w[0].volume == w[1].volume));
+        }
+        assert!(srv.stats().degraded_reads > 0);
+        assert_eq!(srv.stats().lost_reads, 0);
+        // Completing every surviving read posts the batch (frames are
+        // reconstructed, not lost).
+        let mut posted = false;
+        for r in &rep.reqs {
+            posted |= srv.io_done(r.id, at(700)).is_some();
+        }
+        assert!(posted, "batch must complete from surviving reads");
+    }
+
+    #[test]
+    fn parity_io_failed_replaces_read_with_survivors_and_loses_on_second_failure() {
+        let mut srv = multi_server(4, 1 << 30);
+        let (t, e, ps) = parity_movie(4, 0, 10.0, 9);
+        let id = srv.open_parity("p", t, e, ps).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        let victim = rep.reqs[0];
+        let replacements = srv.io_failed(victim.id);
+        assert!(
+            !replacements.is_empty(),
+            "pre-detection failure must fan out"
+        );
+        assert!(replacements.iter().all(|r| r.volume != victim.volume));
+        let survivors: std::collections::BTreeSet<u32> =
+            replacements.iter().map(|r| r.volume.0).collect();
+        assert_eq!(survivors.len(), 3, "reads on all three survivors");
+        // A failed *reconstruction* read is a second failure: lost.
+        let lost_before = srv.stats().lost_reads;
+        assert!(srv.io_failed(replacements[0].id).is_empty());
+        assert_eq!(srv.stats().lost_reads, lost_before + 1);
+    }
+
+    #[test]
+    fn parity_open_rejects_with_two_band_volumes_down() {
+        let mut srv = multi_server(4, 1 << 30);
+        srv.set_volume_failed(VolumeId(1), true);
+        let (t, e, ps) = parity_movie(4, 0, 10.0, 9);
+        assert!(srv.open_parity("one-down", t, e, ps).is_ok());
+        srv.set_volume_failed(VolumeId(2), true);
+        let (t, e, ps) = parity_movie(4, 0, 10.0, 9);
+        assert!(matches!(
+            srv.open_parity("two-down", t, e, ps),
+            Err(AdmissionError::VolumeFailed)
+        ));
     }
 }

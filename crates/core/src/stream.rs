@@ -9,7 +9,7 @@ use cras_sim::Duration;
 
 use crate::admission::StreamParams;
 use crate::clock::LogicalClock;
-use crate::placement::{volume_shares, VolumeExtent};
+use crate::placement::{volume_shares, ParityGeometry, VolumeExtent};
 use crate::tdbuffer::TimeDrivenBuffer;
 
 /// Identifies an open stream within one CRAS server.
@@ -76,6 +76,22 @@ pub struct VolumeRun {
     pub nblocks: u32,
 }
 
+/// Parity layout state of a stream placed with
+/// [`PlacementPolicy::Parity`](crate::PlacementPolicy::Parity): the
+/// rotating-parity geometry plus the on-disk extent maps of each band
+/// volume's *parity file*. (The data units are mapped by the stream's
+/// ordinary [`Stream::extents`], in logical movie order.)
+#[derive(Clone, Debug)]
+pub struct ParityState {
+    /// The rotating-parity layout.
+    pub geom: ParityGeometry,
+    /// Per band volume (index `v - geom.base`), the extent map of that
+    /// volume's parity file. `file_offset` here is the offset within
+    /// the *parity file*: row `r`'s unit starts at
+    /// `geom.parity_file_index(r) * geom.stripe_bytes`.
+    pub parity_maps: Vec<Vec<VolumeExtent>>,
+}
+
 /// Server-side state of one open stream.
 #[derive(Clone, Debug)]
 pub struct Stream {
@@ -92,6 +108,10 @@ pub struct Stream {
     /// volume), when the movie was placed with
     /// [`PlacementPolicy::Mirrored`](crate::PlacementPolicy::Mirrored).
     pub mirror: Option<Vec<VolumeExtent>>,
+    /// Rotating-parity layout, when the movie was placed with
+    /// [`PlacementPolicy::Parity`](crate::PlacementPolicy::Parity).
+    /// Mutually exclusive with `mirror`.
+    pub parity: Option<ParityState>,
     /// Admission parameters this stream was admitted with.
     pub params: StreamParams,
     /// Fraction of the stream's bytes on each volume (the admission
@@ -111,8 +131,14 @@ pub struct Stream {
 impl Stream {
     /// Recomputes [`Stream::shares`] for a server managing `volumes`
     /// disks. Replica extents are included: a mirrored stream charges
-    /// the full rate to each replica volume.
+    /// the full rate to each replica volume, and a parity stream
+    /// charges the worst-case degraded load (`2/g` per band volume —
+    /// see [`ParityGeometry::admission_shares`]).
     pub fn compute_shares(&mut self, volumes: usize) {
+        if let Some(p) = &self.parity {
+            self.shares = p.geom.admission_shares(volumes);
+            return;
+        }
         self.shares = match &self.mirror {
             None => volume_shares(&self.extents, volumes),
             Some(m) => {
@@ -132,6 +158,21 @@ impl Stream {
         match self.cache_state {
             CacheState::Admitted { .. } => vec![0.0; self.shares.len()],
             _ => self.shares.clone(),
+        }
+    }
+
+    /// Worst-case read commands this stream issues on one spindle in
+    /// one interval: one normally; two for a parity stream, whose
+    /// degraded service adds one reconstruction read per surviving
+    /// spindle on top of its own unit slice. The admission test charges
+    /// command/rotation/seek overheads once per command, not once per
+    /// stream, so degraded fan-out cannot overrun an interval that
+    /// admitted healthy.
+    pub fn spindle_reads(&self) -> u32 {
+        if self.parity.is_some() {
+            2
+        } else {
+            1
         }
     }
 
@@ -251,6 +292,76 @@ impl Stream {
             .map(|(_, r)| r)
             .collect()
     }
+
+    /// Plans the surviving reads that reconstruct the logical byte range
+    /// `[lo, hi)` of a parity-placed movie when the volume holding it
+    /// (`exclude`) cannot serve: for every data unit the range touches,
+    /// the *same stripe-relative range* of each of the row's `g-2` other
+    /// data units plus its parity unit. XORing those buffers yields the
+    /// lost bytes ([`cras_disk::xor::reconstruct`]); the simulation
+    /// tracks the reads and lets tests verify the byte math separately.
+    ///
+    /// Sibling units wholly or partly absent (the movie tail) contribute
+    /// implicit zeros and are simply not read. Returns `None` if any
+    /// required read would itself land on `exclude` or a volume flagged
+    /// in `failed` — a second failure in the band, the range is lost.
+    pub fn parity_recon_runs(
+        extents: &[VolumeExtent],
+        parity: &ParityState,
+        lo: u64,
+        hi: u64,
+        exclude: VolumeId,
+        failed: &[bool],
+    ) -> Option<Vec<VolumeRun>> {
+        assert!(lo < hi, "empty byte range");
+        let geom = &parity.geom;
+        let g = geom.group as u64;
+        let sb = geom.stripe_bytes;
+        let down = |v: VolumeId| v == exclude || failed.get(v.index()).copied().unwrap_or(false);
+        let mut out = Vec::new();
+        let mut a = lo;
+        while a < hi {
+            let k = a / sb;
+            let unit_lo = k * sb;
+            let unit_len = geom.unit_len(k);
+            let b = hi.min(unit_lo + unit_len);
+            let (rel_lo, rel_hi) = (a - unit_lo, b - unit_lo);
+            let row = geom.row_of_unit(k);
+            // The row's surviving data units, same relative range.
+            for j in 0..g - 1 {
+                let k2 = row * (g - 1) + j;
+                if k2 == k || k2 * sb >= geom.total_bytes {
+                    continue;
+                }
+                let len2 = geom.unit_len(k2);
+                let (rl, rh) = (rel_lo.min(len2), rel_hi.min(len2));
+                if rl >= rh {
+                    continue;
+                }
+                for (_, r) in Stream::runs_in(extents, k2 * sb + rl, k2 * sb + rh) {
+                    if down(r.volume) {
+                        return None;
+                    }
+                    out.push(r);
+                }
+            }
+            // The row's parity unit, same relative range.
+            let pv = geom.parity_volume(row);
+            if down(pv) {
+                return None;
+            }
+            let p_lo = geom.parity_file_index(row) * sb + rel_lo;
+            let pmap = &parity.parity_maps[(pv.0 - geom.base) as usize];
+            for (_, r) in Stream::runs_in(pmap, p_lo, p_lo + (rel_hi - rel_lo)) {
+                if down(r.volume) {
+                    return None;
+                }
+                out.push(r);
+            }
+            a = b;
+        }
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +381,7 @@ mod tests {
             table,
             extents,
             mirror: None,
+            parity: None,
             params: StreamParams::new(187_500.0, 6_250.0),
             shares: Vec::new(),
             clock: LogicalClock::new(),
@@ -423,6 +535,163 @@ mod tests {
         s.mirror = Some(on_volume(VolumeId(1), vec![ext(0, 4000, 64)]));
         s.compute_shares(2);
         assert_eq!(s.shares, vec![1.0, 1.0]);
+    }
+
+    /// Synthetic parity layout: one contiguous extent per data unit
+    /// (volume and in-file position from the geometry), one contiguous
+    /// parity file per band volume. Returns the logical data map and
+    /// the parity state, plus per-volume "disks" as byte arrays when
+    /// `movie` is given, with parity computed by the real XOR codec.
+    fn synthetic_parity(
+        group: u32,
+        total: u64,
+        movie: Option<&[u8]>,
+    ) -> (Vec<VolumeExtent>, ParityState, Vec<Vec<u8>>) {
+        use crate::placement::{ParityGeometry, PARITY_STRIPE_BYTES};
+        let sb = PARITY_STRIPE_BYTES;
+        let geom = ParityGeometry::new(0, group, sb, total);
+        // Per-volume layout: data file at block 0, parity file right
+        // after the largest possible data file.
+        let pbase = geom.rows() * (sb / 512);
+        let disk_bytes = (2 * geom.rows() * sb) as usize;
+        let mut disks = vec![Vec::new(); group as usize];
+        if movie.is_some() {
+            disks = vec![vec![0u8; disk_bytes]; group as usize];
+        }
+        let mut extents = Vec::new();
+        for k in 0..geom.data_units() {
+            let v = geom.data_volume(k);
+            let len = geom.unit_len(k);
+            let disk_block = geom.data_file_index(k) * (sb / 512);
+            extents.push(VolumeExtent {
+                volume: v,
+                extent: Extent {
+                    file_offset: k * sb,
+                    disk_block,
+                    nblocks: len.div_ceil(512) as u32,
+                },
+            });
+            if let Some(m) = movie {
+                let at = (disk_block * 512) as usize;
+                let src = &m[(k * sb) as usize..(k * sb + len) as usize];
+                disks[v.index()][at..at + src.len()].copy_from_slice(src);
+            }
+        }
+        let parity_maps: Vec<Vec<VolumeExtent>> = (0..group)
+            .map(|v| {
+                let bytes = geom.parity_bytes_on(v);
+                if bytes == 0 {
+                    return Vec::new();
+                }
+                vec![VolumeExtent {
+                    volume: VolumeId(v),
+                    extent: Extent {
+                        file_offset: 0,
+                        disk_block: pbase,
+                        nblocks: (bytes / 512) as u32,
+                    },
+                }]
+            })
+            .collect();
+        if let Some(m) = movie {
+            for r in 0..geom.rows() {
+                let units: Vec<&[u8]> = (0..group as u64 - 1)
+                    .filter_map(|j| {
+                        let k = r * (group as u64 - 1) + j;
+                        if k * sb >= total {
+                            return None;
+                        }
+                        Some(&m[(k * sb) as usize..(k * sb + geom.unit_len(k)) as usize])
+                    })
+                    .collect();
+                let p = cras_disk::parity_of(&units, sb as usize);
+                let pv = geom.parity_volume(r);
+                let at = ((pbase + geom.parity_file_index(r) * (sb / 512)) * 512) as usize;
+                disks[pv.index()][at..at + p.len()].copy_from_slice(&p);
+            }
+        }
+        (extents, ParityState { geom, parity_maps }, disks)
+    }
+
+    #[test]
+    fn parity_stream_shares_charge_worst_case_degraded() {
+        let (extents, ps, _) = synthetic_parity(4, 1 << 20, None);
+        let mut s = stream_with_extents(extents);
+        s.parity = Some(ps);
+        s.compute_shares(4);
+        assert_eq!(s.shares, vec![0.5; 4]);
+    }
+
+    #[test]
+    fn degraded_parity_reads_are_byte_identical_across_widths_and_fail_points() {
+        // Property test: random group sizes, movie lengths, failed
+        // volumes and in-unit ranges. Reconstructing from the planned
+        // surviving reads with the real XOR codec must reproduce the
+        // lost bytes exactly.
+        let mut rng = Rng::new(0x9A21);
+        for trial in 0..60 {
+            let group = rng.range_inclusive(2, 5) as u32;
+            let sb = crate::placement::PARITY_STRIPE_BYTES;
+            let total = rng.range_inclusive(1, 4 * (group as u64 - 1)) * sb
+                - if rng.chance(0.5) {
+                    rng.below(sb - 1) + 1
+                } else {
+                    0
+                };
+            let movie: Vec<u8> = (0..total).map(|_| rng.below(256) as u8).collect();
+            let (extents, ps, disks) = synthetic_parity(group, total, Some(&movie));
+            let geom = ps.geom;
+            // Pick a random data unit and a random subrange of it.
+            let k = rng.below(geom.data_units());
+            let fail = geom.data_volume(k);
+            let len = geom.unit_len(k);
+            let rel_lo = (rng.below(len) / 512) * 512; // block-aligned
+            let rel_hi = len.min(rel_lo + 512 + (rng.below(len) / 512) * 512);
+            let (lo, hi) = (k * sb + rel_lo, k * sb + rel_hi);
+            let failed = vec![false; group as usize];
+            let runs = Stream::parity_recon_runs(&extents, &ps, lo, hi, fail, &failed)
+                .expect("single failure must be reconstructible");
+            assert!(runs.iter().all(|r| r.volume != fail), "trial {trial}");
+            // XOR the surviving reads positionally: every read covers
+            // the same stripe-relative range (clamped to unit length).
+            let span = (rel_hi - rel_lo) as usize;
+            let mut acc = vec![0u8; span];
+            for r in &runs {
+                let at = (r.block * 512) as usize;
+                let buf = &disks[r.volume.index()][at..at + r.nblocks as usize * 512];
+                cras_disk::xor_into(&mut acc, &buf[..span.min(buf.len())]);
+            }
+            assert_eq!(
+                &acc[..],
+                &movie[lo as usize..hi as usize],
+                "trial {trial}: g={group} total={total} unit={k} range={rel_lo}..{rel_hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_volume_parity_degrades_to_a_mirror_read() {
+        // g = 2: no sibling data units; the "reconstruction" is a single
+        // read of the parity unit, which is a byte copy of the data.
+        let (extents, ps, _) = synthetic_parity(2, 10 * 64 * 1024, None);
+        let runs =
+            Stream::parity_recon_runs(&extents, &ps, 0, 64 * 1024, VolumeId(1), &[false, false])
+                .unwrap();
+        assert_eq!(runs.len(), 1);
+        let blocks: u64 = runs.iter().map(|r| r.nblocks as u64).sum();
+        assert_eq!(blocks, 64 * 1024 / 512);
+    }
+
+    #[test]
+    fn second_failure_in_band_is_unreconstructible() {
+        let (extents, ps, _) = synthetic_parity(4, 20 * 64 * 1024, None);
+        let k = 0u64;
+        let fail = ps.geom.data_volume(k);
+        let mut failed = vec![false; 4];
+        // Fail some *other* volume in the band too.
+        let other = (0..4).find(|&v| VolumeId(v) != fail).unwrap();
+        failed[other as usize] = true;
+        assert!(Stream::parity_recon_runs(&extents, &ps, 0, 4096, fail, &failed).is_none());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod policy;
 pub mod request;
 pub mod seek;
 pub mod volume;
+pub mod xor;
 
 pub use calibrate::{Calibration, DiskParams};
 pub use device::{DiskDevice, DiskStats, DiskTimings, ERROR_LATENCY};
@@ -40,3 +41,4 @@ pub use policy::{modeled_travel, DiskQueue, QueuePolicy, SweepCursor};
 pub use request::{Completed, DiskRequest, IoClass, IoKind, ServiceBreakdown};
 pub use seek::SeekModel;
 pub use volume::{ReplaceError, VolumeId, VolumeSet};
+pub use xor::{parity_of, reconstruct, xor_into};

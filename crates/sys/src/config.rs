@@ -91,8 +91,6 @@ pub struct SysConfig {
     pub costs: CpuCosts,
     /// Deployment mode (Figure 5) for control-call overheads.
     pub deploy: DeployMode,
-    /// How interval batches are issued across volumes.
-    pub issue: IssueMode,
     /// RNG seed for the whole system.
     pub seed: u64,
     /// Number of CPU-hog threads.
@@ -134,7 +132,6 @@ impl Default for SysConfig {
             sched: SchedMode::FixedPriority,
             costs: CpuCosts::default(),
             deploy: DeployMode::UnixServer,
-            issue: IssueMode::Pipelined,
             seed: 42,
             hogs: 0,
             poll: Duration::from_millis(5),

@@ -6,7 +6,8 @@
 //! * [`player`] — QtPlay-like clients measuring per-frame delay.
 //! * [`bgload`] — the `cat` background readers.
 //! * [`config`] — scheduling mode, CPU cost model, priorities.
-//! * [`rebuild`] — rate-controlled mirror rebuild after a volume loss.
+//! * [`rebuild`] — rate-controlled rebuild after a volume loss: mirror
+//!   copies and parity reconstruction.
 //! * [`metrics`] — per-interval admission-accuracy accounting.
 //! * [`tags`] — the global event enum and routing tags.
 //! * [`net`] — a minimal NPS-like network link for the distributed
@@ -29,6 +30,6 @@ pub use config::{prio, CpuCosts, IssueMode, SchedMode, SysConfig};
 pub use metrics::{IntervalIo, IntervalWall, Metrics, VolumeHealth};
 pub use net::Link;
 pub use player::{Player, PlayerMode, PlayerStats};
-pub use rebuild::{CopyChunk, RebuildManager};
+pub use rebuild::{plan_chunks, plan_parity_recon, RebuildChunk, RebuildManager, SrcRead};
 pub use system::{AttachError, MoviePlacement, System, UOwner, UReq};
 pub use tags::{ClientId, CpuTag, DiskTag, Event};

@@ -324,6 +324,33 @@ impl Metrics {
         }
     }
 
+    /// Average spare fraction of the interval over the last `window`
+    /// completed interval walls: `1 − span/interval` per wall, clamped
+    /// to `[0, 1]`, averaged. 1.0 with no completed walls — an idle
+    /// system has all its slack. The load-aware rebuild pacing scales
+    /// its rate cap by this.
+    pub fn recent_slack(&self, interval: Duration, window: usize) -> f64 {
+        let t = interval.as_secs_f64();
+        if t <= 0.0 || window == 0 {
+            return 1.0;
+        }
+        let spans: Vec<f64> = self
+            .walls
+            .iter()
+            .rev()
+            .filter_map(IntervalWall::span)
+            .take(window)
+            .collect();
+        if spans.is_empty() {
+            return 1.0;
+        }
+        spans
+            .iter()
+            .map(|s| (1.0 - s / t).clamp(0.0, 1.0))
+            .sum::<f64>()
+            / spans.len() as f64
+    }
+
     /// Rebuild copy time, once the rebuild has finished.
     pub fn rebuild_time(&self) -> Option<Duration> {
         match (self.rebuild_started_at, self.rebuild_finished_at) {
@@ -581,6 +608,25 @@ mod tests {
         assert_eq!(m.lost_reads, 1);
         assert_eq!(m.intervals()[0].remaining, 0);
         assert_eq!(m.admission_ratios(0).len(), 1);
+    }
+
+    #[test]
+    fn recent_slack_tracks_interval_spans() {
+        let mut m = Metrics::new();
+        let t = Duration::from_millis(100);
+        assert_eq!(m.recent_slack(t, 8), 1.0, "idle system has all its slack");
+        // One completed wall spanning 40 ms of a 100 ms interval.
+        m.on_interval(&report(&[1], 0.1), Instant::ZERO);
+        m.on_cras_read_done(ReadId(1), &completed(40, 10));
+        assert!((m.recent_slack(t, 8) - 0.6).abs() < 1e-9);
+        // A second wall using the whole interval drags the average down;
+        // an over-long span clamps at zero slack rather than going
+        // negative.
+        m.on_interval(&report(&[2], 0.1), Instant::ZERO);
+        m.on_cras_read_done(ReadId(2), &completed(150, 10));
+        assert!((m.recent_slack(t, 8) - 0.3).abs() < 1e-9);
+        // Window 1 sees only the latest wall.
+        assert!(m.recent_slack(t, 1).abs() < 1e-9);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use cras_core::{
-    on_volume, AdmissionError, CrasServer, PlacementPolicy, ReadId, ReadReq, VolumeExtent,
+    on_volume, AdmissionError, CrasServer, ParityGeometry, ParityState, PlacementPolicy, ReadId,
+    ReadReq, VolumeExtent, PARITY_STRIPE_BYTES,
 };
 use cras_disk::{DiskDevice, DiskRequest, VolumeId, VolumeSet};
 use cras_media::{Movie, StreamProfile};
@@ -25,8 +26,16 @@ use crate::bgload::{BgReader, BgWriter};
 use crate::config::{prio, IssueMode, SchedMode, SysConfig};
 use crate::metrics::{Metrics, VolumeHealth};
 use crate::player::{Player, PlayerMode};
-use crate::rebuild::{plan_chunks, RebuildManager};
+use crate::rebuild::{plan_chunks, plan_parity_recon, RebuildManager};
 use crate::tags::{ClientId, CpuTag, DiskTag, Event, TagArena};
+
+/// Completed interval walls the load-aware rebuild pacing averages its
+/// slack estimate over.
+const REBUILD_SLACK_WINDOW: usize = 8;
+
+/// Fraction of the configured rebuild rate the load-aware pacing never
+/// drops below, so a saturated system still makes rebuild progress.
+const REBUILD_RATE_FLOOR: f64 = 0.25;
 
 /// Owner of a Unix-server request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +98,24 @@ pub enum MoviePlacement {
         ino: Ino,
         /// The replica data file on the mirror volume.
         mirror_ino: Ino,
+    },
+    /// Laid out in rotating-parity stripe groups across a band of `group`
+    /// volumes: each row of `group - 1` data units gets one XOR parity
+    /// unit, and the parity volume rotates per row so no spindle is a
+    /// dedicated parity disk.
+    Parity {
+        /// First volume of the band.
+        base: u32,
+        /// Band width `g` (data units per row is `g - 1`).
+        group: u32,
+        /// Stripe unit in bytes.
+        stripe_bytes: u64,
+        /// Total media bytes.
+        total_bytes: u64,
+        /// `data[v]` is the data-unit file on band volume `base + v`.
+        data: Vec<Ino>,
+        /// `parity[v]` is the parity-unit file on band volume `base + v`.
+        parity: Vec<Ino>,
     },
 }
 
@@ -163,6 +190,11 @@ pub struct System {
     next_client: u32,
     rng: Rng,
     ticks_active: bool,
+    /// How interval batches are issued across volumes. Pipelined is the
+    /// system; the serial baseline exists only for the cross-volume
+    /// overlap experiment and is selected per run through
+    /// [`System::set_issue_mode`], never through [`SysConfig`].
+    issue: IssueMode,
     /// Rebuild in progress (at most one at a time).
     rebuild: Option<RebuildManager>,
     /// Rebuild generation counter: bumped on every attach so disk
@@ -261,6 +293,7 @@ impl System {
             next_client: 0,
             rng,
             ticks_active: false,
+            issue: IssueMode::Pipelined,
             rebuild: None,
             rebuild_gen: 0,
             serial_batches: VecDeque::new(),
@@ -291,6 +324,20 @@ impl System {
                 quantum,
             },
         }
+    }
+
+    /// Selects how interval batches are issued across volumes
+    /// (experiment hook). [`IssueMode::SerialVolumes`] is a measured
+    /// *baseline*, not a supported operating mode — only the
+    /// cross-volume overlap experiment should ever select it, so it is
+    /// deliberately not part of [`SysConfig`].
+    pub fn set_issue_mode(&mut self, mode: IssueMode) {
+        self.issue = mode;
+    }
+
+    /// The current batch-issue mode.
+    pub fn issue_mode(&self) -> IssueMode {
+        self.issue
     }
 
     /// The current virtual time.
@@ -368,6 +415,75 @@ impl System {
                 self.record_movie_striped(name, profile, secs, stripe_bytes)
             }
             PlacementPolicy::Mirrored => self.record_movie_mirrored(name, profile, secs),
+            PlacementPolicy::Parity { group } => {
+                self.record_movie_parity(name, profile, secs, group)
+            }
+        }
+    }
+
+    /// Records a movie in rotating-parity layout across the next band of
+    /// `group` volumes: band volume `v` gets a data-unit file
+    /// (`{name}.pd{v}`) holding its share of the stripe rows and a
+    /// parity file (`{name}.pp{v}`) holding the rows whose parity
+    /// rotates onto it. The control file lives on the band's base
+    /// volume. Setup phase: the parity bytes are *laid out* here; the
+    /// simulation is data-free, so no XOR is computed (the
+    /// [`cras_core::ParityEncoder`] covers the §4 recording path).
+    fn record_movie_parity(
+        &mut self,
+        name: &str,
+        profile: StreamProfile,
+        secs: f64,
+        group: usize,
+    ) -> Movie {
+        let base = self.cras.place_next_band(group).0;
+        let group = group as u32;
+        let table = cras_media::generate_chunks(&profile, secs, &mut self.rng);
+        let total = table.total_bytes();
+        let geom = ParityGeometry::new(base, group, PARITY_STRIPE_BYTES, total);
+        let mut data = Vec::with_capacity(group as usize);
+        let mut parity = Vec::with_capacity(group as usize);
+        for v in 0..group {
+            let fsv = &mut self.fs[(base + v) as usize];
+            let dino = fsv
+                .create(&format!("{name}.pd{v}"))
+                .expect("data-unit file");
+            let db = geom.data_bytes_on(v);
+            if db > 0 {
+                fsv.append(dino, db).expect("data-unit allocation");
+            }
+            let pino = fsv.create(&format!("{name}.pp{v}")).expect("parity file");
+            let pb = geom.parity_bytes_on(v);
+            if pb > 0 {
+                fsv.append(pino, pb).expect("parity allocation");
+            }
+            data.push(dino);
+            parity.push(pino);
+        }
+        let ctl = cras_media::container::encode(&table);
+        let ctl_ino = self.fs[base as usize]
+            .create(&format!("{name}.ctl"))
+            .expect("control file");
+        self.fs[base as usize]
+            .append(ctl_ino, ctl.len() as u64)
+            .expect("control file fits");
+        let ino = data[0];
+        self.placements.insert(
+            name.to_string(),
+            MoviePlacement::Parity {
+                base,
+                group,
+                stripe_bytes: geom.stripe_bytes,
+                total_bytes: total,
+                data,
+                parity,
+            },
+        );
+        Movie {
+            name: name.to_string(),
+            ino,
+            table,
+            profile,
         }
     }
 
@@ -483,6 +599,22 @@ impl System {
                 VolumeId(*primary),
                 self.fs[*primary as usize].extent_map(movie.ino),
             ),
+            Some(MoviePlacement::Parity {
+                base,
+                group,
+                stripe_bytes,
+                total_bytes,
+                data,
+                ..
+            }) => {
+                let geom = ParityGeometry::new(*base, *group, *stripe_bytes, *total_bytes);
+                let maps: Vec<Vec<Extent>> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &ino)| self.fs[(*base + v as u32) as usize].extent_map(ino))
+                    .collect();
+                parity_data_extents(&geom, &maps)
+            }
             // Movies created directly through `ufs_mut()` (tests,
             // experiments) live on volume 0.
             None => on_volume(VolumeId(0), self.fs[0].extent_map(movie.ino)),
@@ -502,19 +634,49 @@ impl System {
         }
     }
 
+    /// The parity layout and per-volume parity-file maps of a
+    /// parity-placed movie, for `crs_open` and the rebuild planner.
+    fn movie_parity_state(&self, movie: &Movie) -> Option<ParityState> {
+        match self.placements.get(&movie.name) {
+            Some(MoviePlacement::Parity {
+                base,
+                group,
+                stripe_bytes,
+                total_bytes,
+                parity,
+                ..
+            }) => {
+                let geom = ParityGeometry::new(*base, *group, *stripe_bytes, *total_bytes);
+                let parity_maps = parity
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &ino)| {
+                        let vol = *base + v as u32;
+                        on_volume(VolumeId(vol), self.fs[vol as usize].extent_map(ino))
+                    })
+                    .collect();
+                Some(ParityState { geom, parity_maps })
+            }
+            _ => None,
+        }
+    }
+
     /// The single volume holding a movie's data, for Unix-server access
     /// paths that read one file.
     ///
     /// # Panics
     ///
-    /// Panics for striped movies: the Unix server reads whole files and
-    /// has no stripe-reassembly layer.
+    /// Panics for striped and parity movies: the Unix server reads whole
+    /// files and has no stripe-reassembly layer.
     fn movie_volume(&self, movie: &Movie) -> u32 {
         match self.placements.get(&movie.name) {
             Some(MoviePlacement::Whole { vol, .. }) => *vol,
             Some(MoviePlacement::Mirrored { primary, .. }) => *primary,
             Some(MoviePlacement::Striped { .. }) => {
                 panic!("Unix-server access to a striped movie is not supported")
+            }
+            Some(MoviePlacement::Parity { .. }) => {
+                panic!("Unix-server access to a parity movie is not supported")
             }
             None => 0,
         }
@@ -549,24 +711,46 @@ impl System {
         stride: u32,
     ) -> Result<ClientId, AdmissionError> {
         let extents = self.movie_extents(movie);
-        let mirror = self.movie_mirror_extents(movie);
-        let stream = if self.cfg.enforce_admission {
-            self.cras
-                .open_replicated(&movie.name, movie.table.clone(), extents, mirror)?
-        } else {
-            match self.cras.open_replicated(
-                &movie.name,
-                movie.table.clone(),
-                extents.clone(),
-                mirror.clone(),
-            ) {
-                Ok(id) => id,
-                Err(_) => self.cras.open_replicated_unchecked(
+        let stream = if let Some(ps) = self.movie_parity_state(movie) {
+            if self.cfg.enforce_admission {
+                self.cras
+                    .open_parity(&movie.name, movie.table.clone(), extents, ps)?
+            } else {
+                match self.cras.open_parity(
                     &movie.name,
                     movie.table.clone(),
-                    extents,
-                    mirror,
-                ),
+                    extents.clone(),
+                    ps.clone(),
+                ) {
+                    Ok(id) => id,
+                    Err(_) => self.cras.open_parity_unchecked(
+                        &movie.name,
+                        movie.table.clone(),
+                        extents,
+                        ps,
+                    ),
+                }
+            }
+        } else {
+            let mirror = self.movie_mirror_extents(movie);
+            if self.cfg.enforce_admission {
+                self.cras
+                    .open_replicated(&movie.name, movie.table.clone(), extents, mirror)?
+            } else {
+                match self.cras.open_replicated(
+                    &movie.name,
+                    movie.table.clone(),
+                    extents.clone(),
+                    mirror.clone(),
+                ) {
+                    Ok(id) => id,
+                    Err(_) => self.cras.open_replicated_unchecked(
+                        &movie.name,
+                        movie.table.clone(),
+                        extents,
+                        mirror,
+                    ),
+                }
             }
         };
         let id = self.alloc_client();
@@ -824,6 +1008,61 @@ impl System {
             };
             chunks.extend(plan_chunks(&src, &dst, self.cfg.rebuild_chunk));
         }
+        // Parity movies whose band contains the volume: reconstruct its
+        // lost data units from the surviving data+parity units, and
+        // re-encode its lost parity units from the rows' data units.
+        // (base, group, stripe_bytes, total_bytes, data inos, parity inos)
+        type ParityBand = (u32, u32, u64, u64, Vec<Ino>, Vec<Ino>);
+        let parity_placed: Vec<ParityBand> = self
+            .placements
+            .values()
+            .filter_map(|p| match p {
+                MoviePlacement::Parity {
+                    base,
+                    group,
+                    stripe_bytes,
+                    total_bytes,
+                    data,
+                    parity,
+                } if (*base..*base + *group).contains(&vol) => Some((
+                    *base,
+                    *group,
+                    *stripe_bytes,
+                    *total_bytes,
+                    data.clone(),
+                    parity.clone(),
+                )),
+                _ => None,
+            })
+            .collect();
+        for (base, group, stripe_bytes, total_bytes, data, parity) in parity_placed {
+            let geom = ParityGeometry::new(base, group, stripe_bytes, total_bytes);
+            let maps: Vec<Vec<Extent>> = data
+                .iter()
+                .enumerate()
+                .map(|(v, &ino)| self.fs[(base + v as u32) as usize].extent_map(ino))
+                .collect();
+            let extents = parity_data_extents(&geom, &maps);
+            let parity_maps = parity
+                .iter()
+                .enumerate()
+                .map(|(v, &ino)| {
+                    let pv = base + v as u32;
+                    on_volume(VolumeId(pv), self.fs[pv as usize].extent_map(ino))
+                })
+                .collect();
+            let ps = ParityState { geom, parity_maps };
+            let bv = (vol - base) as usize;
+            let dst_data = on_volume(VolumeId(vol), self.fs[vol as usize].extent_map(data[bv]));
+            let dst_parity = on_volume(VolumeId(vol), self.fs[vol as usize].extent_map(parity[bv]));
+            chunks.extend(plan_parity_recon(
+                &extents,
+                &ps,
+                &dst_data,
+                &dst_parity,
+                vol,
+            ));
+        }
         let now = self.now();
         self.metrics.rebuild_started_at = Some(now);
         self.rebuild_gen += 1;
@@ -862,6 +1101,15 @@ impl System {
     }
 
     fn on_rebuild_step(&mut self, gen: u64, _now: Instant) {
+        // Load-aware pacing: scale the configured rate cap by the spare
+        // fraction the recent intervals actually left on the table, so a
+        // lightly loaded array rebuilds near the cap while a busy one
+        // backs off. The floor keeps a saturated system from starving
+        // the rebuild outright.
+        let slack = self
+            .metrics
+            .recent_slack(self.cfg.server.interval, REBUILD_SLACK_WINDOW);
+        let rate = self.cfg.rebuild_rate * slack.max(REBUILD_RATE_FLOOR);
         let Some(rb) = &mut self.rebuild else {
             return;
         };
@@ -871,14 +1119,26 @@ impl System {
             // double-issue a chunk.
             return;
         }
+        rb.set_rate(rate);
         match rb.take_next() {
             Some((idx, c)) => {
-                // Normal-priority read: the RT queue's strict priority
+                // Normal-priority I/O: the RT queue's strict priority
                 // protects admitted streams from the rebuild traffic.
-                self.submit_disk(
-                    c.src_vol,
-                    DiskRequest::read(c.src_block, c.nblocks, DiskTag::RebuildRead(gen, idx)),
-                );
+                if c.srcs.is_empty() {
+                    // Nothing survives to read (the parity of an
+                    // all-absent tail row is zeros): write directly.
+                    self.submit_disk(
+                        c.dst_vol,
+                        DiskRequest::write(c.dst_block, c.nblocks, DiskTag::RebuildWrite(gen, idx)),
+                    );
+                } else {
+                    for s in &c.srcs {
+                        self.submit_disk(
+                            s.vol,
+                            DiskRequest::read(s.block, s.nblocks, DiskTag::RebuildRead(gen, idx)),
+                        );
+                    }
+                }
             }
             None => self.finish_rebuild(),
         }
@@ -955,7 +1215,7 @@ impl System {
     /// in-flight batch (adding `retries` re-issued in its place) and
     /// releases the next batch when the current one drains.
     fn on_serial_read_settled(&mut self, rid: ReadId, retries: &[ReadId]) {
-        if self.cfg.issue != IssueMode::SerialVolumes {
+        if self.issue != IssueMode::SerialVolumes {
             return;
         }
         self.serial_outstanding.remove(&rid.0);
@@ -1006,7 +1266,7 @@ impl System {
                     )
                 });
                 self.metrics.on_interval(&rep, now);
-                match self.cfg.issue {
+                match self.issue {
                     IssueMode::Pipelined => {
                         // Hand every spindle its whole batch at tick
                         // time: each volume chains through its own
@@ -1103,15 +1363,22 @@ impl System {
                     .is_some_and(|rb| rb.generation() == gen);
                 if done.failed {
                     if live {
-                        // The surviving replica failed under us: abort.
+                        // A surviving source failed under us: abort.
                         self.rebuild = None;
                     }
                 } else if live {
-                    let c = self.rebuild.as_ref().expect("live rebuild").chunk(idx);
-                    self.submit_disk(
-                        c.dst_vol,
-                        DiskRequest::write(c.dst_block, c.nblocks, DiskTag::RebuildWrite(gen, idx)),
-                    );
+                    let rb = self.rebuild.as_mut().expect("live rebuild");
+                    // A mirror copy has one source; a parity
+                    // reconstruction reads all g-1 survivors and XORs
+                    // them — the write starts when the last lands.
+                    if rb.source_done() {
+                        let c = rb.chunk(idx);
+                        let (dv, db, nb) = (c.dst_vol, c.dst_block, c.nblocks);
+                        self.submit_disk(
+                            dv,
+                            DiskRequest::write(db, nb, DiskTag::RebuildWrite(gen, idx)),
+                        );
+                    }
                 }
             }
             DiskTag::RebuildWrite(gen, idx) => {
@@ -1429,6 +1696,41 @@ fn striped_extents(maps: &[Vec<Extent>], stripe_bytes: u64, total: u64) -> Vec<V
         }
         logical += len;
         k += 1;
+    }
+    out
+}
+
+/// Composes the placed logical extent map of a parity movie's *data*
+/// bytes from the band's per-volume data-unit files. Data unit `k`
+/// (logical bytes `[k·S, k·S+len)`) is the `data_file_index(k)`-th unit
+/// inside its volume's data file; only the final logical unit may be
+/// short, and it is the last one in its file, so within-file unit
+/// offsets are exact multiples of the stripe unit.
+fn parity_data_extents(geom: &ParityGeometry, maps: &[Vec<Extent>]) -> Vec<VolumeExtent> {
+    let sb = geom.stripe_bytes;
+    let mut out = Vec::new();
+    for k in 0..geom.data_units() {
+        let len = geom.unit_len(k);
+        let vol = geom.data_volume(k);
+        let within = geom.data_file_index(k) * sb;
+        let (lo, hi) = (within, within + len);
+        for e in &maps[(vol.0 - geom.base) as usize] {
+            let e_lo = e.file_offset;
+            let e_hi = e.file_offset + e.nblocks as u64 * 512;
+            let a = lo.max(e_lo);
+            let b = hi.min(e_hi);
+            if a >= b {
+                continue;
+            }
+            out.push(VolumeExtent {
+                volume: vol,
+                extent: Extent {
+                    file_offset: k * sb + (a - lo),
+                    disk_block: e.disk_block + (a - e_lo) / 512,
+                    nblocks: (b - a).div_ceil(512) as u32,
+                },
+            });
+        }
     }
     out
 }
@@ -1853,8 +2155,8 @@ mod tests {
         cfg.server.placement = PlacementPolicy::Striped {
             stripe_bytes: 256 * 1024,
         };
-        cfg.issue = IssueMode::SerialVolumes;
         let mut s = sys(cfg);
+        s.set_issue_mode(IssueMode::SerialVolumes);
         let movie = s.record_movie("m", StreamProfile::mpeg1(), 8.0);
         let c = s.add_cras_player(&movie, 1).unwrap();
         s.start_playback(c);
@@ -1880,5 +2182,141 @@ mod tests {
         let mut s = sys(cfg);
         let movie = s.record_movie("m", StreamProfile::mpeg1(), 4.0);
         s.add_ufs_player(&movie, 1);
+    }
+
+    fn parity_cfg(volumes: usize, group: usize) -> SysConfig {
+        let mut cfg = SysConfig::default();
+        cfg.server.volumes = volumes;
+        cfg.server.placement = PlacementPolicy::Parity { group };
+        cfg
+    }
+
+    /// The victim volume's on-disk footprint for one parity movie:
+    /// block-rounded data units plus full parity units — exactly what a
+    /// reconstruction rebuild must write back.
+    fn parity_footprint_on(s: &System, name: &str, vol: u32) -> u64 {
+        match s.placement(name) {
+            Some(MoviePlacement::Parity {
+                base,
+                group,
+                stripe_bytes,
+                total_bytes,
+                ..
+            }) => {
+                let geom = ParityGeometry::new(*base, *group, *stripe_bytes, *total_bytes);
+                let v = vol - *base;
+                (0..geom.data_units())
+                    .filter(|&k| geom.data_volume(k).0 == vol)
+                    .map(|k| geom.unit_len(k).div_ceil(512) * 512)
+                    .sum::<u64>()
+                    + geom.parity_bytes_on(v)
+            }
+            other => panic!("unexpected placement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parity_extents_cover_the_movie_across_the_band() {
+        let mut s = sys(parity_cfg(4, 4));
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 6.0);
+        let extents = s.movie_extents(&movie);
+        let mut cursor = 0u64;
+        for ve in &extents {
+            assert_eq!(ve.extent.file_offset, cursor, "gap in logical bytes");
+            cursor += ve.extent.nblocks as u64 * 512;
+        }
+        assert!(
+            cursor >= movie.table.total_bytes(),
+            "extents cover the movie"
+        );
+        let vols: std::collections::BTreeSet<u32> = extents.iter().map(|ve| ve.volume.0).collect();
+        assert_eq!(vols.len(), 4, "every band volume holds data units");
+        let ps = s.movie_parity_state(&movie).expect("parity state");
+        for v in 0..4u32 {
+            let mapped: u64 = ps.parity_maps[v as usize]
+                .iter()
+                .map(|e| e.extent.bytes())
+                .sum();
+            assert!(
+                mapped >= ps.geom.parity_bytes_on(v),
+                "volume {v} parity file too small"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_stream_survives_a_volume_failure() {
+        let mut s = sys(parity_cfg(4, 4));
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 10.0);
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(3));
+        s.fail_volume(1);
+        s.run_for(Duration::from_secs(12));
+        let pl = &s.players[&c.0];
+        assert!(pl.done, "playback should finish through the failure");
+        assert_eq!(pl.stats.frames_dropped, 0, "parity stream dropped");
+        assert_eq!(s.metrics.overruns, 0, "deadline missed during failover");
+        assert!(
+            s.metrics.degraded_intervals > 0,
+            "survivors should have served degraded intervals"
+        );
+        assert_eq!(s.metrics.lost_reads, 0, "single failure lost data");
+    }
+
+    #[test]
+    fn parity_rebuild_writes_back_the_victims_exact_footprint() {
+        // Across fail points: whichever band volume dies, the
+        // reconstruction rebuild must write exactly that volume's data
+        // and parity units to the replacement — no more, no less.
+        for victim in [0u32, 2, 3] {
+            let mut s = sys(parity_cfg(4, 4));
+            let movie = s.record_movie("m", StreamProfile::mpeg1(), 12.0);
+            let expect = parity_footprint_on(&s, "m", victim);
+            let c = s.add_cras_player(&movie, 1).unwrap();
+            s.start_playback(c);
+            s.run_for(Duration::from_secs(2));
+            s.fail_volume(victim);
+            s.run_for(Duration::from_secs(1));
+            s.attach_replacement(victim);
+            assert!(s.rebuild_active());
+            s.run_for(Duration::from_secs(40));
+            assert!(!s.rebuild_active(), "rebuild should have completed");
+            assert_eq!(
+                s.metrics.rebuild_bytes, expect,
+                "victim {victim} footprint mismatch"
+            );
+            assert!(
+                !s.cras.volume_failed(VolumeId(victim)),
+                "capacity not restored"
+            );
+            let pl = &s.players[&c.0];
+            assert_eq!(pl.stats.frames_dropped, 0, "victim {victim} dropped frames");
+        }
+    }
+
+    #[test]
+    fn parity_rebuild_respects_the_load_scaled_rate() {
+        let mut s = sys(parity_cfg(4, 4));
+        let movie = s.record_movie("m", StreamProfile::mpeg1(), 25.0);
+        let c = s.add_cras_player(&movie, 1).unwrap();
+        s.start_playback(c);
+        s.run_for(Duration::from_secs(2));
+        s.fail_volume(2);
+        s.run_for(Duration::from_secs(1));
+        s.attach_replacement(2);
+        s.run_for(Duration::from_secs(60));
+        assert!(!s.rebuild_active(), "rebuild should have completed");
+        let t = s.metrics.rebuild_time().expect("rebuild finished");
+        // Load-aware pacing only ever scales the configured cap *down*,
+        // so the cap's rate floor still binds.
+        let floor = s.metrics.rebuild_bytes as f64 / s.cfg.rebuild_rate;
+        assert!(
+            t.as_secs_f64() >= floor * 0.99,
+            "rebuild {}s beat the rate cap floor {floor}s",
+            t.as_secs_f64()
+        );
+        assert_eq!(s.players[&c.0].stats.frames_dropped, 0);
+        assert_eq!(s.metrics.overruns, 0);
     }
 }

@@ -72,7 +72,6 @@ pub fn run_one(
 ) -> OverlapOutcome {
     let mut cfg = SysConfig::default();
     cfg.seed = seed;
-    cfg.issue = mode;
     cfg.server.volumes = volumes;
     // Fine stripes: an interval's worth of MPEG1 (~90 KB) spans volumes
     // every interval. Identical movies played in lockstep over coarse
@@ -83,6 +82,9 @@ pub fn run_one(
     };
     cfg.server.buffer_budget = 64 << 20;
     let mut sys = System::new(cfg);
+    // The serial baseline is an experiment-only knob, deliberately not
+    // part of `SysConfig`.
+    sys.set_issue_mode(mode);
     let movies: Vec<_> = (0..requested)
         .map(|i| {
             sys.record_movie(
@@ -407,13 +409,13 @@ mod tests {
         let admitted = |mode: IssueMode| {
             let mut cfg = SysConfig::default();
             cfg.seed = 0xAD01;
-            cfg.issue = mode;
             cfg.server.volumes = 4;
             cfg.server.placement = PlacementPolicy::Striped {
                 stripe_bytes: 256 * 1024,
             };
             cfg.server.buffer_budget = 64 << 20;
             let mut sys = System::new(cfg);
+            sys.set_issue_mode(mode);
             let movies: Vec<_> = (0..40)
                 .map(|i| sys.record_movie(&format!("a{i}"), StreamProfile::mpeg1(), 6.0))
                 .collect();

@@ -16,6 +16,7 @@
 //! | [`qos`] | §2.4 dynamic QOS rate change scenario |
 //! | [`faults`] | transient-fault injection vs the deadline manager |
 //! | [`failover`] | mirrored placement: volume loss, degraded reads, rebuild |
+//! | [`parity_failover`] | rotating parity: volume loss, reconstruction, capacity vs mirroring |
 //! | [`cache_sharing`] | interval cache: Zipf arrivals, cache-aware admission |
 //! | [`interval_overlap`] | pipelined vs serial cross-volume interval issue |
 //! | [`measured_capacity`] | admitted load validated by simulation |
@@ -53,6 +54,7 @@ pub mod frag;
 pub mod interval_overlap;
 pub mod measured_capacity;
 pub mod multi;
+pub mod parity_failover;
 pub mod qos;
 pub mod result;
 pub mod runner;
