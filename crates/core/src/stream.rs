@@ -325,6 +325,14 @@ impl Stream {
             let unit_lo = k * sb;
             let unit_len = geom.unit_len(k);
             let b = hi.min(unit_lo + unit_len);
+            if b <= a {
+                // The planner rounds run ends up to a device block, so a
+                // range can extend past the tail unit's last data byte.
+                // Those bytes are implicit zeros — nothing to read; skip
+                // to the next stripe unit.
+                a = unit_lo + sb;
+                continue;
+            }
             let (rel_lo, rel_hi) = (a - unit_lo, b - unit_lo);
             let row = geom.row_of_unit(k);
             // The row's surviving data units, same relative range.

@@ -18,8 +18,16 @@ use cras_sim::{Duration, Instant};
 use crate::thread::{Burst, SchedPolicy, ThreadId, ThreadRec, ThreadState};
 
 /// Identifies one scheduled slice; stale tokens are ignored.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SliceToken(u64);
+
+impl SliceToken {
+    /// The token's raw issue number (monotone per CPU). Used by the
+    /// orchestrator's canonical same-tick event ordering.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 /// What the orchestrator must do after a scheduler operation: schedule the
 /// next slice-boundary event, if any.

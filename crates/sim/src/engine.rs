@@ -177,6 +177,54 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Pops *every* event due at the earliest pending timestamp into
+    /// `buf` (appending, FIFO order preserved) and advances the clock to
+    /// that timestamp. Returns the batch's timestamp, or `None` when the
+    /// queue is empty.
+    ///
+    /// This is the deterministic same-tick dispatch batch: a dispatcher
+    /// that re-orders the batch by a canonical event key (instead of
+    /// insertion order) becomes invariant to the *delivery* order of
+    /// same-tick events — the property the sys-layer interleaving fuzzer
+    /// asserts, and the property parallel shards will need.
+    pub fn pop_batch(&mut self, buf: &mut Vec<E>) -> Option<Instant> {
+        let (at, first) = self.pop()?;
+        buf.push(first);
+        while self.peek_time() == Some(at) {
+            // peek_time is a conservative bound: the head may be a
+            // tombstone, which pop() skips — re-check the popped time.
+            match self.pop() {
+                Some((t, ev)) if t == at => buf.push(ev),
+                Some((t, ev)) => {
+                    // A tombstone hid a later event; it belongs to the
+                    // next batch. Put it back and rewind the clock to
+                    // the batch's timestamp.
+                    self.now = at;
+                    self.schedule(t, ev);
+                    break;
+                }
+                None => break,
+            }
+        }
+        Some(at)
+    }
+
+    /// Advances the virtual clock to `t` without dispatching anything.
+    /// Used by crash recovery to fast-forward a freshly built system to
+    /// the crash instant before resuming journaled streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past, or if an event earlier than `t` is
+    /// still pending (skipping over it would break monotonicity).
+    pub fn advance_to(&mut self, t: Instant) {
+        assert!(t >= self.now, "advancing into the past");
+        if let Some(at) = self.peek_time() {
+            assert!(at >= t, "advance_to would skip a pending event");
+        }
+        self.now = t;
+    }
+
     /// Peeks at the time of the earliest pending event without firing it.
     pub fn peek_time(&self) -> Option<Instant> {
         // Tombstones may hide the true head; this is a conservative bound
@@ -399,6 +447,60 @@ mod tests {
                 assert_eq!(popped, keep, "case {case}");
             }
         }
+    }
+
+    #[test]
+    fn pop_batch_takes_all_equal_timestamps_in_fifo_order() {
+        let mut e: Engine<u32> = Engine::new();
+        let t = Instant::ZERO + ms(5);
+        e.schedule(t, 1);
+        e.schedule(t, 2);
+        e.schedule_after(ms(9), 9);
+        e.schedule(t, 3);
+        let mut batch = Vec::new();
+        assert_eq!(e.pop_batch(&mut batch), Some(t));
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(e.now(), t);
+        batch.clear();
+        assert_eq!(e.pop_batch(&mut batch), Some(Instant::ZERO + ms(9)));
+        assert_eq!(batch, vec![9]);
+        batch.clear();
+        assert_eq!(e.pop_batch(&mut batch), None);
+    }
+
+    #[test]
+    fn pop_batch_requeues_event_hidden_by_tombstone() {
+        let mut e: Engine<u32> = Engine::new();
+        let t = Instant::ZERO + ms(5);
+        e.schedule(t, 1);
+        let a = e.schedule(t, 2);
+        e.schedule_after(ms(9), 9); // Hidden behind 2's tombstone.
+        e.cancel(a);
+        let mut batch = Vec::new();
+        assert_eq!(e.pop_batch(&mut batch), Some(t));
+        assert_eq!(batch, vec![1], "cancelled event must not appear");
+        assert_eq!(e.now(), t, "clock stays at the batch timestamp");
+        // The later event is still pending and schedulable at its time.
+        batch.clear();
+        assert_eq!(e.pop_batch(&mut batch), Some(Instant::ZERO + ms(9)));
+        assert_eq!(batch, vec![9]);
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_forward() {
+        let mut e: Engine<u32> = Engine::new();
+        e.advance_to(Instant::ZERO + ms(50));
+        assert_eq!(e.now(), Instant::ZERO + ms(50));
+        e.schedule_after(ms(1), 1);
+        assert_eq!(e.pop().unwrap().0, Instant::ZERO + ms(51));
+    }
+
+    #[test]
+    #[should_panic(expected = "skip a pending event")]
+    fn advance_to_refuses_to_skip_pending_events() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(ms(1), 1);
+        e.advance_to(Instant::ZERO + ms(50));
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! `cras-sys` — the orchestrator: one discrete-event loop binding every
 //! substrate into the system the paper evaluates.
 //!
-//! * [`system`] — [`system::System`]: the event loop, the Unix-server
-//!   request path, CRAS interval wiring, players, background load, hogs.
+//! * [`system`] — [`system::SysState`], the pure transition core
+//!   (`(State, Event) → (State', Actions)`), and [`system::System`],
+//!   the thin executor that pops events and applies the emitted
+//!   [`action::Action`]s against engine, disks, CPU and ports.
+//! * [`action`] — the effect vocabulary transitions emit.
+//! * [`journal`] — the durable transition journal crash recovery
+//!   replays.
 //! * [`player`] — QtPlay-like clients measuring per-frame delay.
 //! * [`bgload`] — the `cat` background readers.
 //! * [`config`] — scheduling mode, CPU cost model, priorities.
@@ -16,8 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod action;
 pub mod bgload;
 pub mod config;
+pub mod journal;
 pub mod metrics;
 pub mod net;
 pub mod player;
@@ -25,11 +32,13 @@ pub mod rebuild;
 pub mod system;
 pub mod tags;
 
+pub use action::Action;
 pub use bgload::BgReader;
 pub use config::{prio, CpuCosts, IssueMode, SchedMode, SysConfig};
+pub use journal::{Journal, JournalRecord};
 pub use metrics::{IntervalIo, IntervalWall, Metrics, VolumeHealth};
 pub use net::Link;
 pub use player::{Player, PlayerMode, PlayerStats};
 pub use rebuild::{plan_chunks, plan_parity_recon, RebuildChunk, RebuildManager, SrcRead};
-pub use system::{AttachError, MoviePlacement, System, UOwner, UReq};
+pub use system::{AttachError, MoviePlacement, SysState, System, UOwner, UReq};
 pub use tags::{ClientId, CpuTag, DiskTag, Event};

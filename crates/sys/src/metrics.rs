@@ -389,6 +389,86 @@ impl Metrics {
         let max = rs.iter().copied().fold(0.0, f64::max);
         (avg, max)
     }
+
+    /// Serializes the deterministic portion of the metrics to a canonical
+    /// JSON string: fixed key order, instants as integer nanoseconds,
+    /// floats via Rust's shortest round-trip formatting (`{:?}`). Two
+    /// identically-behaving runs produce byte-identical output, so the
+    /// replay-determinism and interleaving-fuzzer tests compare this
+    /// string directly. The internal read-id lookup maps (iteration-order
+    /// dependent and empty at quiescence anyway) are deliberately
+    /// excluded.
+    pub fn canonical_json(&self) -> String {
+        fn f(x: f64) -> String {
+            format!("{x:?}")
+        }
+        fn opt_instant(t: Option<Instant>) -> String {
+            match t {
+                Some(t) => t.as_nanos().to_string(),
+                None => "null".to_string(),
+            }
+        }
+        let mut out = String::new();
+        out.push('{');
+        out.push_str("\"intervals\":[");
+        for (i, r) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"volume\":{},\"issued_at\":{},\"calculated\":{},\
+                 \"total_reqs\":{},\"remaining\":{},\"last_done\":{},\"service_sum\":{}}}",
+                r.index,
+                r.volume,
+                r.issued_at.as_nanos(),
+                f(r.calculated),
+                r.total_reqs,
+                r.remaining,
+                r.last_done.as_nanos(),
+                f(r.service_sum),
+            ));
+        }
+        out.push_str("],\"walls\":[");
+        for (i, w) in self.walls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"issued_at\":{},\"total_reqs\":{},\"remaining\":{},\
+                 \"last_done\":{},\"service_sum\":{},\"calc_max\":{},\"calc_sum\":{},\
+                 \"volumes\":{}}}",
+                w.index,
+                w.issued_at.as_nanos(),
+                w.total_reqs,
+                w.remaining,
+                w.last_done.as_nanos(),
+                f(w.service_sum),
+                f(w.calc_max),
+                f(w.calc_sum),
+                w.volumes,
+            ));
+        }
+        out.push_str(&format!(
+            "],\"cras_read_bytes\":{},\"cras_read_busy_ns\":{},\"cras_write_bytes\":{},\
+             \"overruns\":{},\"degraded_reads\":{},\"lost_reads\":{},\
+             \"degraded_intervals\":{},\"volume_failed_at\":{},\"rebuild_started_at\":{},\
+             \"rebuild_finished_at\":{},\"rebuild_bytes\":{},\
+             \"cache_served_stream_intervals\":{}}}",
+            self.cras_read_bytes,
+            self.cras_read_busy.as_nanos(),
+            self.cras_write_bytes,
+            self.overruns,
+            self.degraded_reads,
+            self.lost_reads,
+            self.degraded_intervals,
+            opt_instant(self.volume_failed_at),
+            opt_instant(self.rebuild_started_at),
+            opt_instant(self.rebuild_finished_at),
+            self.rebuild_bytes,
+            self.cache_served_stream_intervals,
+        ));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -627,6 +707,24 @@ mod tests {
         assert!((m.recent_slack(t, 8) - 0.3).abs() < 1e-9);
         // Window 1 sees only the latest wall.
         assert!(m.recent_slack(t, 1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_reflects_state() {
+        let mut m = Metrics::new();
+        m.on_interval(&report(&[1], 0.1), Instant::ZERO);
+        m.on_cras_read_done(ReadId(1), &completed(20, 10));
+        m.volume_failed_at = Some(Instant::from_secs_f64(2.5));
+        let a = m.canonical_json();
+        let b = m.canonical_json();
+        assert_eq!(a, b, "serialization is a pure function of state");
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"volume_failed_at\":2500000000"));
+        assert!(a.contains("\"rebuild_started_at\":null"));
+        assert!(a.contains("\"service_sum\":0.01"));
+        // A state change changes the bytes.
+        m.overruns += 1;
+        assert_ne!(m.canonical_json(), a);
     }
 
     #[test]

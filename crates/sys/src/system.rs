@@ -1,19 +1,33 @@
 //! The orchestrated system: one event loop binding the disk volumes, the
 //! CPU, the Unix server, CRAS and the client applications.
 //!
-//! Components are pure state machines; this module is the only place
-//! events are scheduled. Every figure in the paper is a run of this system
-//! under a different configuration. The storage backend is a
-//! [`VolumeSet`]: §4's "several disk devices" variation. With one volume
-//! the system is byte-identical to the single-disk original.
+//! The module is split along the PHASM seam
+//! `(State, Event) → (State', Actions)`:
+//!
+//! * [`SysState`] is the pure transition core. Its event handlers mutate
+//!   only component state and push the side effects they want — disk
+//!   submits, timer arms, CPU wakes, deadline warnings, trace and
+//!   journal records — onto an [`Action`] buffer. They never touch the
+//!   engine, the disks, the CPU or the ports.
+//! * [`System`] is the thin executor: it owns the executable substrates
+//!   (engine, volume set, CPU, deadline port), pops events, calls the
+//!   matching transition, and applies the emitted actions *in push
+//!   order*. Push order equals the old inline call order and every
+//!   action lands at the same virtual instant the handler ran, so the
+//!   split is behavior-preserving by construction.
+//!
+//! Every figure in the paper is a run of this system under a different
+//! configuration. The storage backend is a [`VolumeSet`]: §4's "several
+//! disk devices" variation. With one volume the system is byte-identical
+//! to the single-disk original.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 use cras_core::{
     on_volume, AdmissionError, CrasServer, ParityGeometry, ParityState, PlacementPolicy, ReadId,
-    ReadReq, VolumeExtent, PARITY_STRIPE_BYTES,
+    ReadReq, StreamId, VolumeExtent, PARITY_STRIPE_BYTES,
 };
-use cras_disk::{DiskDevice, DiskRequest, VolumeId, VolumeSet};
+use cras_disk::{Completed, DiskDevice, DiskRequest, VolumeId, VolumeSet};
 use cras_media::{Movie, StreamProfile};
 use cras_rtmach::port::{FullPolicy, Port};
 use cras_rtmach::{Cpu, SchedPolicy, ThreadId};
@@ -22,8 +36,10 @@ use cras_sim::{Duration, Engine, Instant, Rng};
 use cras_ufs::layout::fsblock_to_disk;
 use cras_ufs::{Extent, FsReq, Ino, MkfsParams, Step, Ufs, UnixServer, BSIZE, SECT_PER_FSBLOCK};
 
+use crate::action::Action;
 use crate::bgload::{BgReader, BgWriter};
 use crate::config::{prio, IssueMode, SchedMode, SysConfig};
+use crate::journal::{Journal, JournalRecord};
 use crate::metrics::{Metrics, VolumeHealth};
 use crate::player::{Player, PlayerMode};
 use crate::rebuild::{plan_chunks, plan_parity_recon, RebuildManager};
@@ -146,16 +162,19 @@ impl std::fmt::Display for AttachError {
 
 impl std::error::Error for AttachError {}
 
-/// The assembled system.
-pub struct System {
+/// The pure transition core: every component state machine of the
+/// server, none of the executable substrates.
+///
+/// Event handlers on this type implement
+/// `(State, Event) → (State', Actions)`: they mutate only this state and
+/// push the side effects they want onto an [`Action`] buffer. The
+/// [`System`] executor applies those actions against the engine, disks,
+/// CPU and ports in push order. [`System`] derefs to this type, so all
+/// component state reads (`sys.players`, `sys.metrics`, …) keep working
+/// unchanged.
+pub struct SysState {
     /// Configuration it was built with.
     pub cfg: SysConfig,
-    /// The event queue and virtual clock.
-    pub engine: Engine<Event>,
-    /// The disk volumes.
-    pub disks: VolumeSet<DiskTag>,
-    /// The CPU.
-    pub cpu: Cpu,
     /// The serialized Unix server.
     pub userver: UnixServer<UReq>,
     /// The CRAS server.
@@ -168,12 +187,10 @@ pub struct System {
     pub writers: BTreeMap<u32, BgWriter>,
     /// Measurements.
     pub metrics: Metrics,
-    /// The deadline notification port: one message per interval overrun,
-    /// consumed by the deadline-manager role (bounded; losing an old
-    /// warning is acceptable, as in Real-Time Mach).
-    pub deadline_port: Port<u64>,
     /// Post-mortem event trace (disabled by default; enable with
-    /// `sys.trace.set_enabled(true)`).
+    /// `sys.trace.set_enabled(true)`). The ring is part of the state;
+    /// handlers emit [`Action::Trace`] records (only while enabled) and
+    /// the executor appends them.
     pub trace: Trace,
     /// Per-volume file systems (index = volume id).
     fs: Vec<Ufs>,
@@ -208,6 +225,49 @@ pub struct System {
     /// [`IssueMode::SerialVolumes`] only: read ids of the one batch
     /// currently in flight.
     serial_outstanding: HashSet<u64>,
+}
+
+/// The assembled system: the [`SysState`] transition core plus the thin
+/// executor owning the executable substrates.
+///
+/// [`System`] derefs to [`SysState`], so component state remains
+/// reachable as before (`sys.players`, `sys.cras`, …). The executor half
+/// is [`System::handle`]: pop an event, run the pure transition, apply
+/// the emitted [`Action`]s in push order. Durable control decisions
+/// (recordings, admissions, starts/stops, volume failures, rebuild
+/// lifecycle) additionally land in the transition [`Journal`], which
+/// [`System::recover`] replays after a crash.
+pub struct System {
+    /// The event queue and virtual clock.
+    pub engine: Engine<Event>,
+    /// The disk volumes.
+    pub disks: VolumeSet<DiskTag>,
+    /// The CPU.
+    pub cpu: Cpu,
+    /// The deadline notification port: one message per interval overrun,
+    /// consumed by the deadline-manager role (bounded; losing an old
+    /// warning is acceptable, as in Real-Time Mach).
+    pub deadline_port: Port<u64>,
+    /// The pure transition core.
+    state: SysState,
+    /// The durable transition journal.
+    journal: Journal,
+    /// Reused action buffer (drained after every transition).
+    actions: Vec<Action>,
+}
+
+impl std::ops::Deref for System {
+    type Target = SysState;
+
+    fn deref(&self) -> &SysState {
+        &self.state
+    }
+}
+
+impl std::ops::DerefMut for System {
+    fn deref_mut(&mut self) -> &mut SysState {
+        &mut self.state
+    }
 }
 
 impl System {
@@ -271,33 +331,37 @@ impl System {
             .map(|i| cpu.create(&format!("hog{i}"), Self::policy_for(&cfg, prio::HOG)))
             .collect();
         System {
-            cfg,
             engine: Engine::new(),
             disks,
             cpu,
-            userver: UnixServer::new(),
-            cras,
-            players: BTreeMap::new(),
-            bgs: BTreeMap::new(),
-            writers: BTreeMap::new(),
-            metrics: Metrics::new(),
             deadline_port: Port::new(64, FullPolicy::DropOldest),
-            trace: Trace::new(4096),
-            fs,
-            placements: BTreeMap::new(),
-            tags: TagArena::default(),
-            inflight_blocks: HashSet::new(),
-            server_wait: None,
-            cras_tid,
-            hog_tids,
-            next_client: 0,
-            rng,
-            ticks_active: false,
-            issue: IssueMode::Pipelined,
-            rebuild: None,
-            rebuild_gen: 0,
-            serial_batches: VecDeque::new(),
-            serial_outstanding: HashSet::new(),
+            state: SysState {
+                cfg,
+                userver: UnixServer::new(),
+                cras,
+                players: BTreeMap::new(),
+                bgs: BTreeMap::new(),
+                writers: BTreeMap::new(),
+                metrics: Metrics::new(),
+                trace: Trace::new(4096),
+                fs,
+                placements: BTreeMap::new(),
+                tags: TagArena::default(),
+                inflight_blocks: HashSet::new(),
+                server_wait: None,
+                cras_tid,
+                hog_tids,
+                next_client: 0,
+                rng,
+                ticks_active: false,
+                issue: IssueMode::Pipelined,
+                rebuild: None,
+                rebuild_gen: 0,
+                serial_batches: VecDeque::new(),
+                serial_outstanding: HashSet::new(),
+            },
+            journal: Journal::new(),
+            actions: Vec::new(),
         }
     }
 
@@ -326,6 +390,28 @@ impl System {
         }
     }
 
+    /// The current virtual time.
+    pub fn now(&self) -> Instant {
+        self.engine.now()
+    }
+
+    /// The volume-0 disk (single-disk compatibility accessor).
+    pub fn disk(&self) -> &DiskDevice<DiskTag> {
+        self.disks.volume(VolumeId(0))
+    }
+
+    /// Mutable volume-0 disk.
+    pub fn disk_mut(&mut self) -> &mut DiskDevice<DiskTag> {
+        self.disks.volume_mut(VolumeId(0))
+    }
+
+    /// The transition journal accumulated so far.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+}
+
+impl SysState {
     /// Selects how interval batches are issued across volumes
     /// (experiment hook). [`IssueMode::SerialVolumes`] is a measured
     /// *baseline*, not a supported operating mode — only the
@@ -340,24 +426,9 @@ impl System {
         self.issue
     }
 
-    /// The current virtual time.
-    pub fn now(&self) -> Instant {
-        self.engine.now()
-    }
-
     /// Number of volumes.
     pub fn volumes(&self) -> usize {
         self.fs.len()
-    }
-
-    /// The volume-0 disk (single-disk compatibility accessor).
-    pub fn disk(&self) -> &DiskDevice<DiskTag> {
-        self.disks.volume(VolumeId(0))
-    }
-
-    /// Mutable volume-0 disk.
-    pub fn disk_mut(&mut self) -> &mut DiskDevice<DiskTag> {
-        self.disks.volume_mut(VolumeId(0))
     }
 
     /// The volume-0 file system (single-disk compatibility accessor).
@@ -386,11 +457,12 @@ impl System {
         self.placements.get(name)
     }
 
-    /// Records a movie into the file system (setup phase; consumes no
-    /// simulated time). Under round-robin placement the whole movie lands
-    /// on the next volume in rotation; under striped placement its data is
-    /// spread over every volume in stripe units.
-    pub fn record_movie(&mut self, name: &str, profile: StreamProfile, secs: f64) -> Movie {
+    /// Records a movie into the file system. The public entry point is
+    /// [`System::record_movie`], which journals the recording so crash
+    /// recovery can replay it; placement is a pure function of the
+    /// config seed and the record order, so replaying the journal
+    /// reproduces it exactly.
+    fn record_movie(&mut self, name: &str, profile: StreamProfile, secs: f64) -> Movie {
         match self.cfg.server.placement {
             PlacementPolicy::RoundRobin => {
                 let vol = self.cras.place_next();
@@ -682,34 +754,15 @@ impl System {
         }
     }
 
-    /// Starts CRAS's interval timer (idempotent).
-    pub fn activate_cras(&mut self) {
-        if !self.ticks_active {
-            self.ticks_active = true;
-            self.engine.schedule_now(Event::CrasTick);
-        }
-    }
-
-    /// Starts the configured CPU hogs.
-    pub fn start_hogs(&mut self) {
-        let burst = self.cfg.costs.hog_burst;
-        for (i, tid) in self.hog_tids.clone().into_iter().enumerate() {
-            self.wake_cpu(tid, burst, CpuTag::Hog(i as u32));
-        }
-    }
-
     fn alloc_client(&mut self) -> ClientId {
         let id = ClientId(self.next_client);
         self.next_client += 1;
         id
     }
 
-    /// Adds a player that consumes a movie through CRAS (`crs_open`).
-    pub fn add_cras_player(
-        &mut self,
-        movie: &Movie,
-        stride: u32,
-    ) -> Result<ClientId, AdmissionError> {
+    /// Opens a CRAS stream for `movie`: the admission half of
+    /// [`System::add_cras_player`].
+    fn open_cras_stream(&mut self, movie: &Movie) -> Result<StreamId, AdmissionError> {
         let extents = self.movie_extents(movie);
         let stream = if let Some(ps) = self.movie_parity_state(movie) {
             if self.cfg.enforce_admission {
@@ -753,12 +806,70 @@ impl System {
                 }
             }
         };
-        let id = self.alloc_client();
+        Ok(stream)
+    }
+}
+
+impl System {
+    /// Starts CRAS's interval timer (idempotent).
+    pub fn activate_cras(&mut self) {
+        if !self.state.ticks_active {
+            self.state.ticks_active = true;
+            self.engine.schedule_now(Event::CrasTick);
+        }
+    }
+
+    /// Starts the configured CPU hogs.
+    pub fn start_hogs(&mut self) {
+        let burst = self.state.cfg.costs.hog_burst;
+        for (i, tid) in self.state.hog_tids.clone().into_iter().enumerate() {
+            self.exec_wake_cpu(tid, burst, CpuTag::Hog(i as u32));
+        }
+    }
+
+    /// Control-plane CPU wake (setup paths outside the event loop).
+    /// Handlers never call this — they emit [`Action::WakeCpu`] instead.
+    fn exec_wake_cpu(&mut self, tid: ThreadId, burst: Duration, tag: CpuTag) {
+        let now = self.engine.now();
+        let id = self.state.tags.intern(tag);
+        if let Some((at, tok)) = self.cpu.wake(tid, burst, id, now) {
+            self.engine.schedule(at, Event::CpuSlice(tok));
+        }
+    }
+
+    /// Records a movie into the file system (setup phase; consumes no
+    /// simulated time). Under round-robin placement the whole movie lands
+    /// on the next volume in rotation; under striped placement its data is
+    /// spread over every volume in stripe units. The recording is
+    /// journaled: replaying the journal against the same config seed
+    /// reproduces the placement exactly.
+    pub fn record_movie(&mut self, name: &str, profile: StreamProfile, secs: f64) -> Movie {
+        let movie = self.state.record_movie(name, profile, secs);
+        self.journal.append(
+            self.engine.now(),
+            JournalRecord::Recorded {
+                name: name.to_string(),
+                profile,
+                secs,
+            },
+        );
+        movie
+    }
+
+    /// Adds a player that consumes a movie through CRAS (`crs_open`).
+    /// The admission is journaled so crash recovery can re-open it.
+    pub fn add_cras_player(
+        &mut self,
+        movie: &Movie,
+        stride: u32,
+    ) -> Result<ClientId, AdmissionError> {
+        let stream = self.state.open_cras_stream(movie)?;
+        let id = self.state.alloc_client();
         let tid = self.cpu.create(
             &format!("player{}", id.0),
-            Self::policy_for(&self.cfg, prio::PLAYER),
+            Self::policy_for(&self.state.cfg, prio::PLAYER),
         );
-        self.players.insert(
+        self.state.players.insert(
             id.0,
             Player::new(
                 id,
@@ -768,18 +879,28 @@ impl System {
                 tid,
             ),
         );
+        self.journal.append(
+            self.engine.now(),
+            JournalRecord::Admitted {
+                client: id.0,
+                movie: movie.name.clone(),
+                stride,
+            },
+        );
         Ok(id)
     }
 
     /// Adds a player that reads the movie through the Unix file system.
+    /// Not journaled: UFS playback holds no CRAS reservation, so there
+    /// is nothing durable to recover.
     pub fn add_ufs_player(&mut self, movie: &Movie, stride: u32) -> ClientId {
-        let vol = self.movie_volume(movie);
-        let id = self.alloc_client();
+        let vol = self.state.movie_volume(movie);
+        let id = self.state.alloc_client();
         let tid = self.cpu.create(
             &format!("player{}", id.0),
-            Self::policy_for(&self.cfg, prio::PLAYER),
+            Self::policy_for(&self.state.cfg, prio::PLAYER),
         );
-        self.players.insert(
+        self.state.players.insert(
             id.0,
             Player::new(
                 id,
@@ -794,7 +915,9 @@ impl System {
         );
         id
     }
+}
 
+impl SysState {
     /// Adds a background `cat` reader over a movie file (64 KB reads,
     /// flat out).
     pub fn add_bg_reader(&mut self, movie: &Movie) -> ClientId {
@@ -826,6 +949,18 @@ impl System {
         id
     }
 
+    /// Whether every player has finished.
+    pub fn all_players_done(&self) -> bool {
+        self.players.values().all(|p| p.done)
+    }
+
+    /// Whether a rebuild is currently running.
+    pub fn rebuild_active(&self) -> bool {
+        self.rebuild.is_some()
+    }
+}
+
+impl System {
     /// Starts the background writers and the syncer (1 s cadence, like
     /// the classic update daemon's spirit at media time scales).
     pub fn start_writers(&mut self) {
@@ -875,7 +1010,32 @@ impl System {
             .due(0)
             .max(now);
         self.engine.schedule(due0, Event::PlayerFrame(client));
+        self.journal.append(
+            now,
+            JournalRecord::Started {
+                client: client.0,
+                playback_start: start,
+            },
+        );
         start
+    }
+
+    /// Stops a player: CRAS players `crs_stop` their stream, releasing
+    /// its reservation; the player is marked done. Journaled, so crash
+    /// recovery does not resurrect the stream.
+    pub fn stop_playback(&mut self, client: ClientId) {
+        let now = self.now();
+        let Some(mode) = self.state.players.get(&client.0).map(|p| p.mode) else {
+            return;
+        };
+        if let PlayerMode::Cras { stream } = mode {
+            self.state.cras.stop(stream, now);
+        }
+        if let Some(p) = self.state.players.get_mut(&client.0) {
+            p.done = true;
+        }
+        self.journal
+            .append(now, JournalRecord::Stopped { client: client.0 });
     }
 
     /// Runs the event loop until `t` (events after `t` stay queued).
@@ -902,9 +1062,37 @@ impl System {
         self.run_until(t);
     }
 
-    /// Whether every player has finished.
-    pub fn all_players_done(&self) -> bool {
-        self.players.values().all(|p| p.done)
+    /// Runs until `t` like [`System::run_until`], but delivers every
+    /// batch of same-instant events in a *randomly permuted, then
+    /// canonically re-sorted* order. The shuffle models a real kernel
+    /// delivering simultaneous wakeups in arbitrary order; the re-sort
+    /// by [`Event::dispatch_key`] is the system's defense. The
+    /// interleaving fuzzer runs this under many `rng` seeds and asserts
+    /// byte-identical metrics.
+    pub fn run_until_shuffled(&mut self, t: Instant, rng: &mut Rng) {
+        let mut batch: Vec<Event> = Vec::new();
+        loop {
+            match self.engine.peek_time() {
+                Some(at) if at <= t => {}
+                _ => break,
+            }
+            batch.clear();
+            let Some(at) = self.engine.pop_batch(&mut batch) else {
+                break;
+            };
+            if at > t {
+                // A cancelled tombstone hid this later batch: re-queue.
+                for ev in batch.drain(..) {
+                    self.engine.schedule(at, ev);
+                }
+                break;
+            }
+            rng.shuffle(&mut batch);
+            batch.sort_by_key(Event::dispatch_key);
+            for &ev in &batch {
+                self.handle(ev, at);
+            }
+        }
     }
 
     // ----- redundancy: failure, detection and rebuild -----------------
@@ -922,14 +1110,11 @@ impl System {
         }
         self.trace
             .log_with(now, "volume", || format!("volume {vol} failed"));
+        self.journal
+            .append(now, JournalRecord::VolumeFailed { vol });
         // Conservatively abort any rebuild in progress: the dead spindle
         // may be the copy's source, and a rebuild onto it is moot.
         self.rebuild = None;
-    }
-
-    /// Whether a rebuild is currently running.
-    pub fn rebuild_active(&self) -> bool {
-        self.rebuild.is_some()
     }
 
     /// Attaches a fresh replacement disk for a failed volume and starts
@@ -968,14 +1153,15 @@ impl System {
         self.disks
             .try_replace_volume(VolumeId(vol), Self::base_device(&self.cfg, vol))
             .map_err(|_| AttachError::DeviceBusy)?;
-        if self.cfg.disk_fault_prob > 0.0 {
+        let cfg = self.state.cfg;
+        if cfg.disk_fault_prob > 0.0 {
             // The replacement spindle gets its own fault stream.
             self.disks
                 .volume_mut(VolumeId(vol))
                 .set_fault_injector(Some(cras_disk::FaultInjector::new(
-                    self.cfg.disk_fault_prob,
-                    self.cfg.disk_fault_penalty,
-                    self.cfg.seed ^ 0xFA17 ^ ((vol as u64) << 32) ^ 0x5EB1,
+                    cfg.disk_fault_prob,
+                    cfg.disk_fault_penalty,
+                    cfg.seed ^ 0xFA17 ^ ((vol as u64) << 32) ^ 0x5EB1,
                 )));
         }
         let mirrored: Vec<(u32, u32, Ino, Ino)> = self
@@ -1076,6 +1262,8 @@ impl System {
         ));
         self.trace
             .log_with(now, "rebuild", || format!("rebuilding volume {vol}"));
+        self.journal
+            .append(now, JournalRecord::RebuildStarted { vol });
         self.engine.schedule_now(Event::RebuildStep(gen));
         Ok(())
     }
@@ -1100,7 +1288,265 @@ impl System {
             .collect()
     }
 
-    fn on_rebuild_step(&mut self, gen: u64, _now: Instant) {
+    // ----- crash recovery ---------------------------------------------
+
+    /// Reconstructs a system after a crash from its transition journal.
+    ///
+    /// `cfg` must equal the crashed instance's config: placement is a
+    /// pure function of the config seed and the record order, so
+    /// replaying the journal's recordings reproduces the on-disk layout
+    /// exactly. The replay then fast-forwards the clock to `resume_at`
+    /// (the crash instant), re-fails failed volumes, re-admits the
+    /// surviving admissions (admitted minus stopped) in journal order,
+    /// resumes every started stream at its first undelivered frame with
+    /// a fresh initial delay — zero frames dropped — and restarts an
+    /// interrupted rebuild from scratch onto a fresh replacement.
+    ///
+    /// Returns the recovered system and the old→new client-id map (ids
+    /// are reassigned densely during replay).
+    ///
+    /// Soft state is regenerated, not recovered: stream buffers refill
+    /// during the fresh initial delay and per-frame statistics restart
+    /// at the resume point. Background readers/writers and CPU hogs are
+    /// experiment load, not durable decisions, and are not journaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a journaled admission no longer passes the admission
+    /// test on replay (only possible when `cfg` differs from the
+    /// crashed instance's) or a journaled rebuild cannot re-attach.
+    pub fn recover(
+        cfg: SysConfig,
+        journal: &Journal,
+        resume_at: Instant,
+    ) -> (System, BTreeMap<u32, u32>) {
+        let mut sys = System::new(cfg);
+        let mut movies: BTreeMap<String, Movie> = BTreeMap::new();
+        let mut admitted: Vec<(u32, String, u32)> = Vec::new();
+        let mut started: BTreeMap<u32, Instant> = BTreeMap::new();
+        let mut stopped: BTreeSet<u32> = BTreeSet::new();
+        let mut failed: BTreeSet<u32> = BTreeSet::new();
+        let mut rebuilding: BTreeSet<u32> = BTreeSet::new();
+        for (_, rec) in journal.entries() {
+            match rec {
+                JournalRecord::Recorded {
+                    name,
+                    profile,
+                    secs,
+                } => {
+                    let m = sys.record_movie(name, *profile, *secs);
+                    movies.insert(name.clone(), m);
+                }
+                JournalRecord::Admitted {
+                    client,
+                    movie,
+                    stride,
+                } => {
+                    admitted.push((*client, movie.clone(), *stride));
+                }
+                JournalRecord::Started {
+                    client,
+                    playback_start,
+                } => {
+                    started.insert(*client, *playback_start);
+                }
+                JournalRecord::Stopped { client } => {
+                    stopped.insert(*client);
+                }
+                JournalRecord::VolumeFailed { vol } => {
+                    failed.insert(*vol);
+                    rebuilding.remove(vol);
+                }
+                JournalRecord::RebuildStarted { vol } => {
+                    rebuilding.insert(*vol);
+                }
+                JournalRecord::RebuildFinished { vol } => {
+                    failed.remove(vol);
+                    rebuilding.remove(vol);
+                }
+                JournalRecord::Checkpoint { .. } => {}
+            }
+        }
+        // Restart at the crash instant: recording consumes no simulated
+        // time, so the queue is empty and the clock can jump.
+        sys.engine.advance_to(resume_at);
+        for vol in &failed {
+            sys.fail_volume(*vol);
+        }
+        let mut remap: BTreeMap<u32, u32> = BTreeMap::new();
+        for (old_id, movie, stride) in &admitted {
+            if stopped.contains(old_id) {
+                continue;
+            }
+            let m = movies
+                .get(movie)
+                .expect("journal order: recorded before admitted");
+            let new_id = sys
+                .add_cras_player(m, *stride)
+                .expect("recovery re-admission failed; config mismatch?");
+            remap.insert(*old_id, new_id.0);
+        }
+        for (&old_id, &new_id) in &remap {
+            if let Some(&old_start) = started.get(&old_id) {
+                sys.resume_playback(ClientId(new_id), old_start, resume_at);
+            }
+        }
+        for vol in &rebuilding {
+            if failed.contains(vol) {
+                sys.try_attach_replacement(*vol)
+                    .expect("recovery rebuild re-attach failed");
+            }
+        }
+        (sys, remap)
+    }
+
+    /// Re-anchors a recovered player at the first frame the crashed run
+    /// had not yet delivered. The stream seeks to that frame's media
+    /// timestamp and restarts with a fresh initial delay;
+    /// `playback_start` is set so `due(k*)` equals the new delivery
+    /// anchor, keeping the frame cadence exact from there on. A player
+    /// whose every frame was already due before `resume_at` is marked
+    /// done instead.
+    pub fn resume_playback(&mut self, client: ClientId, old_start: Instant, resume_at: Instant) {
+        let (time_scale, mode, target) = {
+            let Some(p) = self.state.players.get(&client.0) else {
+                return;
+            };
+            let mut k = 0u32;
+            let mut target = None;
+            while let Some(ch) = p.table.get(k) {
+                if old_start + ch.timestamp.mul_f64(p.time_scale) > resume_at {
+                    target = Some((k, ch.timestamp));
+                    break;
+                }
+                k += p.stride;
+            }
+            (p.time_scale, p.mode, target)
+        };
+        let Some((k, ts)) = target else {
+            // Every frame was already due: the stream finished before
+            // the crash; nothing to resume.
+            if let Some(p) = self.state.players.get_mut(&client.0) {
+                p.done = true;
+            }
+            return;
+        };
+        self.activate_cras();
+        let now = self.now();
+        let begin = match mode {
+            PlayerMode::Cras { stream } => {
+                self.state.cras.seek(stream, now, ts);
+                self.state.cras.start(stream, now)
+            }
+            PlayerMode::Ufs { .. } => {
+                let delay = self.state.cfg.server.interval
+                    * self.state.cfg.server.initial_delay_intervals as u64;
+                now + delay
+            }
+        };
+        let new_start = begin - ts.mul_f64(time_scale);
+        {
+            let p = self
+                .state
+                .players
+                .get_mut(&client.0)
+                .expect("checked above");
+            p.playback_start = new_start;
+            p.next_frame = k;
+        }
+        self.engine
+            .schedule(begin.max(now), Event::PlayerFrame(client));
+        self.journal.append(
+            now,
+            JournalRecord::Started {
+                client: client.0,
+                playback_start: new_start,
+            },
+        );
+    }
+
+    // ----- event dispatch (the executor) ------------------------------
+
+    /// Pops one event's worth of work: completes the substrate
+    /// interaction the event carries (CPU slice end, disk completion),
+    /// runs the matching pure transition on [`SysState`], then applies
+    /// the emitted actions in push order.
+    fn handle(&mut self, ev: Event, now: Instant) {
+        debug_assert!(self.actions.is_empty());
+        let mut acts = std::mem::take(&mut self.actions);
+        match ev {
+            Event::CrasTick => self.state.on_cras_tick(now, &mut acts),
+            Event::CpuSlice(tok) => {
+                let out = self.cpu.slice_end(tok, now);
+                if let Some((at, t)) = out.resched {
+                    self.engine.schedule(at, Event::CpuSlice(t));
+                }
+                if let Some(done) = out.completed {
+                    self.state.on_cpu_done(done.tag, now, &mut acts);
+                }
+            }
+            Event::DiskDone(vol) => {
+                let (done, next) = self.disks.complete(VolumeId(vol), now);
+                if let Some(at) = next {
+                    self.engine.schedule(at, Event::DiskDone(vol));
+                }
+                let vol_down = self.disks.is_down(VolumeId(vol));
+                self.state.on_disk_done(vol, done, vol_down, now, &mut acts);
+            }
+            Event::PlayerFrame(c) | Event::PlayerPoll(c) => {
+                self.state.on_player_tick(c, now, &mut acts)
+            }
+            Event::BgKick(c) => self.state.on_bg_kick(c, now, &mut acts),
+            Event::BgWrite(c) => self.state.on_bg_write(c, now, &mut acts),
+            Event::Sync => self.state.on_sync(now, &mut acts),
+            Event::RebuildStep(gen) => self.state.on_rebuild_step(gen, now, &mut acts),
+            Event::Checkpoint(seq) => self.state.on_checkpoint(seq, &mut acts),
+        }
+        self.apply(&mut acts, now);
+        self.actions = acts;
+    }
+
+    /// Applies emitted actions in push order. Every action lands at the
+    /// virtual instant the transition ran, so the insertion sequence
+    /// into the engine queue is exactly what the old inline handlers
+    /// produced.
+    fn apply(&mut self, acts: &mut Vec<Action>, now: Instant) {
+        for act in acts.drain(..) {
+            match act {
+                Action::SubmitDisk { vol, req } => {
+                    if let Some(at) = self.disks.submit(VolumeId(vol), now, req) {
+                        self.engine.schedule(at, Event::DiskDone(vol));
+                    }
+                }
+                Action::SubmitBatch { vol, reqs } => {
+                    if let Some(at) = self.disks.submit_batch(vol, now, reqs) {
+                        self.engine.schedule(at, Event::DiskDone(vol.0));
+                    }
+                }
+                Action::Schedule { at, ev } => {
+                    self.engine.schedule(at, ev);
+                }
+                Action::WakeCpu { tid, burst, tag } => {
+                    if let Some((at, tok)) = self.cpu.wake(tid, burst, tag, now) {
+                        self.engine.schedule(at, Event::CpuSlice(tok));
+                    }
+                }
+                Action::DeadlineWarn { index } => {
+                    self.deadline_port.send(now, index);
+                }
+                Action::Trace { component, message } => {
+                    self.state.trace.log(now, component, message);
+                }
+                Action::Journal(rec) => {
+                    self.journal.append(now, rec);
+                }
+            }
+        }
+    }
+}
+
+impl SysState {
+    fn on_rebuild_step(&mut self, gen: u64, now: Instant, acts: &mut Vec<Action>) {
         // Load-aware pacing: scale the configured rate cap by the spare
         // fraction the recent intervals actually left on the table, so a
         // lightly loaded array rebuilds near the cap while a busy one
@@ -1130,72 +1576,82 @@ impl System {
                     self.submit_disk(
                         c.dst_vol,
                         DiskRequest::write(c.dst_block, c.nblocks, DiskTag::RebuildWrite(gen, idx)),
+                        acts,
                     );
                 } else {
                     for s in &c.srcs {
                         self.submit_disk(
                             s.vol,
                             DiskRequest::read(s.block, s.nblocks, DiskTag::RebuildRead(gen, idx)),
+                            acts,
                         );
                     }
                 }
             }
-            None => self.finish_rebuild(),
+            None => self.finish_rebuild(now, acts),
         }
     }
 
-    fn finish_rebuild(&mut self) {
+    fn finish_rebuild(&mut self, now: Instant, acts: &mut Vec<Action>) {
         let Some(rb) = self.rebuild.take() else {
             return;
         };
-        let now = self.now();
         self.cras.set_volume_failed(VolumeId(rb.volume()), false);
         self.metrics.rebuild_finished_at = Some(now);
         self.metrics.rebuild_bytes = rb.copied_bytes();
-        self.trace.log_with(now, "rebuild", || {
+        self.trace_with("rebuild", acts, || {
             format!(
                 "volume {} rebuilt ({} bytes)",
                 rb.volume(),
                 rb.copied_bytes()
             )
         });
+        acts.push(Action::Journal(JournalRecord::RebuildFinished {
+            vol: rb.volume(),
+        }));
     }
 
-    // ----- event dispatch ---------------------------------------------
-
-    fn handle(&mut self, ev: Event, now: Instant) {
-        match ev {
-            Event::CrasTick => self.on_cras_tick(now),
-            Event::CpuSlice(tok) => self.on_cpu_slice(tok, now),
-            Event::DiskDone(vol) => self.on_disk_done(vol, now),
-            Event::PlayerFrame(c) | Event::PlayerPoll(c) => self.on_player_tick(c, now),
-            Event::BgKick(c) => self.on_bg_kick(c, now),
-            Event::BgWrite(c) => self.on_bg_write(c, now),
-            Event::Sync => self.on_sync(now),
-            Event::RebuildStep(gen) => self.on_rebuild_step(gen, now),
-            Event::RecorderTick => {}
-            Event::Checkpoint(_) => {}
-        }
-    }
-
-    fn wake_cpu(&mut self, tid: ThreadId, burst: Duration, tag: CpuTag) {
-        let now = self.now();
+    /// Emits a CPU wake: interns the completion tag and defers the wake
+    /// to the executor.
+    fn wake_cpu(&mut self, tid: ThreadId, burst: Duration, tag: CpuTag, acts: &mut Vec<Action>) {
         let id = self.tags.intern(tag);
-        if let Some((at, tok)) = self.cpu.wake(tid, burst, id, now) {
-            self.engine.schedule(at, Event::CpuSlice(tok));
+        acts.push(Action::WakeCpu {
+            tid,
+            burst,
+            tag: id,
+        });
+    }
+
+    /// Emits a disk submit.
+    fn submit_disk(&self, vol: u32, req: DiskRequest<DiskTag>, acts: &mut Vec<Action>) {
+        acts.push(Action::SubmitDisk { vol, req });
+    }
+
+    /// Emits a trace record, building the message only while tracing is
+    /// enabled (preserving the disabled-path cost of `Trace::log_with`).
+    fn trace_with<F: FnOnce() -> String>(
+        &self,
+        component: &'static str,
+        acts: &mut Vec<Action>,
+        f: F,
+    ) {
+        if self.trace.is_enabled() {
+            acts.push(Action::Trace {
+                component,
+                message: f(),
+            });
         }
     }
 
-    fn submit_disk(&mut self, vol: u32, req: DiskRequest<DiskTag>) {
-        let now = self.now();
-        if let Some(at) = self.disks.submit(VolumeId(vol), now, req) {
-            self.engine.schedule(at, Event::DiskDone(vol));
-        }
+    /// The `Event::Checkpoint` transition: stamp the marker into the
+    /// journal.
+    fn on_checkpoint(&mut self, seq: u32, acts: &mut Vec<Action>) {
+        acts.push(Action::Journal(JournalRecord::Checkpoint { seq }));
     }
 
     /// [`IssueMode::SerialVolumes`] only: releases the next staged
     /// per-volume batch once the previous one has fully completed.
-    fn issue_next_serial_batch(&mut self) {
+    fn issue_next_serial_batch(&mut self, acts: &mut Vec<Action>) {
         debug_assert!(self.serial_outstanding.is_empty());
         let Some(batch) = self.serial_batches.pop_front() else {
             return;
@@ -1207,6 +1663,7 @@ impl System {
             self.submit_disk(
                 r.volume.0,
                 DiskRequest::rt_read(r.block, r.nblocks, DiskTag::Cras(r.id)),
+                acts,
             );
         }
     }
@@ -1214,7 +1671,7 @@ impl System {
     /// [`IssueMode::SerialVolumes`] only: retires `rid` from the
     /// in-flight batch (adding `retries` re-issued in its place) and
     /// releases the next batch when the current one drains.
-    fn on_serial_read_settled(&mut self, rid: ReadId, retries: &[ReadId]) {
+    fn on_serial_read_settled(&mut self, rid: ReadId, retries: &[ReadId], acts: &mut Vec<Action>) {
         if self.issue != IssueMode::SerialVolumes {
             return;
         }
@@ -1223,41 +1680,40 @@ impl System {
             self.serial_outstanding.insert(r.0);
         }
         if self.serial_outstanding.is_empty() {
-            self.issue_next_serial_batch();
+            self.issue_next_serial_batch(acts);
         }
     }
 
-    fn on_cras_tick(&mut self, now: Instant) {
+    fn on_cras_tick(&mut self, now: Instant, acts: &mut Vec<Action>) {
         // The request-scheduler thread must win the CPU before the
         // interval pass happens; under round robin this is where delay
         // creeps in (Figure 10).
         let streams = self.cras.stream_count() as u64;
         let burst = self.cfg.costs.cras_tick_base
             + Duration::from_nanos(self.cfg.costs.cras_tick_per_stream.as_nanos() * streams.max(1));
-        self.wake_cpu(self.cras_tid, burst, CpuTag::CrasSched);
+        self.wake_cpu(self.cras_tid, burst, CpuTag::CrasSched, acts);
         let next = now + self.cfg.server.interval;
-        self.engine.schedule(next, Event::CrasTick);
+        acts.push(Action::Schedule {
+            at: next,
+            ev: Event::CrasTick,
+        });
     }
 
-    fn on_cpu_slice(&mut self, tok: cras_rtmach::SliceToken, now: Instant) {
-        let out = self.cpu.slice_end(tok, now);
-        if let Some((at, t)) = out.resched {
-            self.engine.schedule(at, Event::CpuSlice(t));
-        }
-        let Some(done) = out.completed else {
-            return;
-        };
-        match self.tags.resolve(done.tag) {
+    /// The completion half of a CPU burst: the executor has already
+    /// ended the slice and re-armed the scheduler; this transition
+    /// routes the interned completion tag.
+    fn on_cpu_done(&mut self, tag: u64, now: Instant, acts: &mut Vec<Action>) {
+        match self.tags.resolve(tag) {
             CpuTag::CrasSched => {
                 let rep = self.cras.interval_tick(now);
                 if rep.overran {
                     // The paper's recovery action is a warning message.
-                    self.deadline_port.send(now, rep.index);
-                    self.trace.log_with(now, "deadline", || {
+                    acts.push(Action::DeadlineWarn { index: rep.index });
+                    self.trace_with("deadline", acts, || {
                         format!("interval {} overran", rep.index)
                     });
                 }
-                self.trace.log_with(now, "cras", || {
+                self.trace_with("cras", acts, || {
                     format!(
                         "tick {}: {} reads, {} chunks posted",
                         rep.index,
@@ -1281,9 +1737,7 @@ impl System {
                                     DiskRequest::rt_read(r.block, r.nblocks, DiskTag::Cras(r.id))
                                 })
                                 .collect();
-                            if let Some(at) = self.disks.submit_batch(vol, now, reqs) {
-                                self.engine.schedule(at, Event::DiskDone(vol.0));
-                            }
+                            acts.push(Action::SubmitBatch { vol, reqs });
                         }
                     }
                     IssueMode::SerialVolumes => {
@@ -1295,28 +1749,34 @@ impl System {
                             self.serial_batches.push_back(batch.to_vec());
                         }
                         if self.serial_outstanding.is_empty() {
-                            self.issue_next_serial_batch();
+                            self.issue_next_serial_batch(acts);
                         }
                     }
                 }
             }
             CpuTag::PlayerDecode { client, frame } => {
-                self.on_frame_decoded(client, frame, now);
+                self.on_frame_decoded(client, frame, now, acts);
             }
             CpuTag::Hog(i) => {
                 let burst = self.cfg.costs.hog_burst;
                 let tid = self.hog_tids[i as usize];
-                self.wake_cpu(tid, burst, CpuTag::Hog(i));
+                self.wake_cpu(tid, burst, CpuTag::Hog(i), acts);
             }
             CpuTag::UfsServe => {}
         }
     }
 
-    fn on_disk_done(&mut self, vol: u32, now: Instant) {
-        let (done, next) = self.disks.complete(VolumeId(vol), now);
-        if let Some(at) = next {
-            self.engine.schedule(at, Event::DiskDone(vol));
-        }
+    /// The transition for a disk completion. The executor has already
+    /// popped `done` from the volume and chained the next `DiskDone`;
+    /// `vol_down` is the device's down state at completion time.
+    fn on_disk_done(
+        &mut self,
+        vol: u32,
+        done: Completed<DiskTag>,
+        vol_down: bool,
+        now: Instant,
+        acts: &mut Vec<Action>,
+    ) {
         match done.req.tag {
             DiskTag::Cras(rid) if done.failed => {
                 // Failure detection lives in the I/O-done manager: a
@@ -1325,13 +1785,13 @@ impl System {
                 // against the surviving replica (degraded read) or, with
                 // no replica, its batch is dropped.
                 let v = VolumeId(vol);
-                if self.disks.is_down(v) && !self.cras.volume_failed(v) {
+                if vol_down && !self.cras.volume_failed(v) {
                     self.cras.set_volume_failed(v, true);
                     if self.metrics.volume_failed_at.is_none() {
                         self.metrics.volume_failed_at = Some(now);
                     }
-                    self.trace
-                        .log_with(now, "volume", || format!("volume {vol} error detected"));
+                    self.trace_with("volume", acts, || format!("volume {vol} error detected"));
+                    acts.push(Action::Journal(JournalRecord::VolumeFailed { vol }));
                 }
                 let retries = self.cras.io_failed(rid);
                 let ids: Vec<ReadId> = retries.iter().map(|r| r.id).collect();
@@ -1340,15 +1800,16 @@ impl System {
                     self.submit_disk(
                         r.volume.0,
                         DiskRequest::rt_read(r.block, r.nblocks, DiskTag::Cras(r.id)),
+                        acts,
                     );
                 }
-                self.on_serial_read_settled(rid, &ids);
+                self.on_serial_read_settled(rid, &ids, acts);
             }
             DiskTag::Cras(rid) => {
                 self.metrics.on_cras_read_done(rid, &done);
                 // I/O-done manager thread: cheap, handled inline.
                 self.cras.io_done(rid, now);
-                self.on_serial_read_settled(rid, &[]);
+                self.on_serial_read_settled(rid, &[], acts);
             }
             DiskTag::CrasWrite(_) => {
                 self.metrics.cras_write_bytes += done.req.bytes();
@@ -1377,6 +1838,7 @@ impl System {
                         self.submit_disk(
                             dv,
                             DiskRequest::write(db, nb, DiskTag::RebuildWrite(gen, idx)),
+                            acts,
                         );
                     }
                 }
@@ -1394,9 +1856,12 @@ impl System {
                     let rb = self.rebuild.as_mut().expect("live rebuild");
                     match rb.chunk_copied(idx, now) {
                         Some(due) => {
-                            self.engine.schedule(due, Event::RebuildStep(gen));
+                            acts.push(Action::Schedule {
+                                at: due,
+                                ev: Event::RebuildStep(gen),
+                            });
                         }
-                        None => self.finish_rebuild(),
+                        None => self.finish_rebuild(now, acts),
                     }
                 }
             }
@@ -1406,7 +1871,7 @@ impl System {
                     self.fs[v as usize].mark_cached(b);
                     self.inflight_blocks.remove(&(v, b));
                 }
-                self.check_server_wait(now);
+                self.check_server_wait(now, acts);
             }
             DiskTag::Raw(_) => {}
         }
@@ -1414,7 +1879,17 @@ impl System {
 
     /// Issues a read through the Unix server on behalf of `owner`, against
     /// the file system on `vol`.
-    fn ufs_read(&mut self, vol: u32, owner: UOwner, ino: Ino, offset: u64, len: u64) {
+    #[allow(clippy::too_many_arguments)]
+    fn ufs_read(
+        &mut self,
+        vol: u32,
+        owner: UOwner,
+        ino: Ino,
+        offset: u64,
+        len: u64,
+        now: Instant,
+        acts: &mut Vec<Action>,
+    ) {
         let plan = self.fs[vol as usize].plan_read(ino, offset, len);
         let req = FsReq {
             tag: UReq { vol, owner },
@@ -1422,14 +1897,13 @@ impl System {
             read_ahead: plan.read_ahead,
         };
         if let Some(step) = self.userver.submit(req) {
-            let now = self.now();
-            self.drive_userver(step, now);
+            self.drive_userver(step, now, acts);
         }
     }
 
     /// Advances the server when the blocks its fetch step waits on have
     /// all arrived.
-    fn check_server_wait(&mut self, now: Instant) {
+    fn check_server_wait(&mut self, now: Instant, acts: &mut Vec<Action>) {
         let done = match &mut self.server_wait {
             None => false,
             Some(wait) => {
@@ -1441,11 +1915,11 @@ impl System {
         if done {
             self.server_wait = None;
             let step = self.userver.fetch_done();
-            self.drive_userver(step, now);
+            self.drive_userver(step, now, acts);
         }
     }
 
-    fn drive_userver(&mut self, first: Step<UReq>, now: Instant) {
+    fn drive_userver(&mut self, first: Step<UReq>, now: Instant, acts: &mut Vec<Action>) {
         let mut step = Some(first);
         while let Some(s) = step.take() {
             match s {
@@ -1482,6 +1956,7 @@ impl System {
                                 SECT_PER_FSBLOCK * sub.len,
                                 DiskTag::UfsFetch(vol, sub),
                             ),
+                            acts,
                         );
                     }
                     self.server_wait = Some(missing.into_iter().map(|b| (vol, b)).collect());
@@ -1512,6 +1987,7 @@ impl System {
                                     SECT_PER_FSBLOCK * sub.len,
                                     DiskTag::UfsReadAhead(vol, sub),
                                 ),
+                                acts,
                             );
                         }
                     }
@@ -1526,6 +2002,7 @@ impl System {
                                 tid,
                                 self.cfg.costs.decode,
                                 CpuTag::PlayerDecode { client, frame },
+                                acts,
                             );
                         }
                         UOwner::Bg { client, bytes } => {
@@ -1533,7 +2010,10 @@ impl System {
                             let bg = self.bgs.get_mut(&client.0).expect("bg exists");
                             bg.complete(bytes);
                             let at = now + bg.pause.max(min_cycle);
-                            self.engine.schedule(at, Event::BgKick(client));
+                            acts.push(Action::Schedule {
+                                at,
+                                ev: Event::BgKick(client),
+                            });
                         }
                     }
                     step = self.userver.next_request();
@@ -1542,7 +2022,7 @@ impl System {
         }
     }
 
-    fn on_player_tick(&mut self, client: ClientId, now: Instant) {
+    fn on_player_tick(&mut self, client: ClientId, now: Instant, acts: &mut Vec<Action>) {
         let Some(player) = self.players.get(&client.0) else {
             return;
         };
@@ -1561,26 +2041,33 @@ impl System {
                             tid,
                             self.cfg.costs.decode,
                             CpuTag::PlayerDecode { client, frame: k },
+                            acts,
                         );
                     }
                     None => {
                         let media_now = self.cras.media_time(stream, now);
                         let jitter = self.cfg.server.jitter;
+                        let poll = self.cfg.poll;
                         let p = self.players.get_mut(&client.0).expect("exists");
                         p.stats.polls += 1;
                         p.polls_this_frame += 1;
                         let expired = media_now > chunk.timestamp + jitter;
                         if expired || p.polls_this_frame > 1000 {
-                            self.trace.log_with(now, "player", || {
-                                format!("client {} dropped frame {k}", client.0)
-                            });
                             if let Some(_due) = p.frame_dropped(now) {
                                 let due = p.due(p.next_frame).max(now);
-                                self.engine.schedule(due, Event::PlayerFrame(client));
+                                acts.push(Action::Schedule {
+                                    at: due,
+                                    ev: Event::PlayerFrame(client),
+                                });
                             }
+                            self.trace_with("player", acts, || {
+                                format!("client {} dropped frame {k}", client.0)
+                            });
                         } else {
-                            let at = now + self.cfg.poll;
-                            self.engine.schedule(at, Event::PlayerPoll(client));
+                            acts.push(Action::Schedule {
+                                at: now + poll,
+                                ev: Event::PlayerPoll(client),
+                            });
                         }
                     }
                 }
@@ -1596,22 +2083,33 @@ impl System {
                     ino,
                     chunk.file_offset,
                     chunk.size as u64,
+                    now,
+                    acts,
                 );
             }
         }
     }
 
-    fn on_frame_decoded(&mut self, client: ClientId, frame: u32, now: Instant) {
+    fn on_frame_decoded(
+        &mut self,
+        client: ClientId,
+        frame: u32,
+        now: Instant,
+        acts: &mut Vec<Action>,
+    ) {
         let Some(player) = self.players.get_mut(&client.0) else {
             return;
         };
         if let Some(due) = player.frame_shown(frame, now) {
             let at = due.max(now);
-            self.engine.schedule(at, Event::PlayerFrame(client));
+            acts.push(Action::Schedule {
+                at,
+                ev: Event::PlayerFrame(client),
+            });
         }
     }
 
-    fn on_bg_write(&mut self, client: ClientId, _now: Instant) {
+    fn on_bg_write(&mut self, client: ClientId, now: Instant, acts: &mut Vec<Action>) {
         let Some(w) = self.writers.get_mut(&client.0) else {
             return;
         };
@@ -1621,10 +2119,13 @@ impl System {
         self.fs[vol as usize]
             .append_dirty(ino, bytes)
             .expect("edit file grows within limits");
-        self.engine.schedule_after(period, Event::BgWrite(client));
+        acts.push(Action::Schedule {
+            at: now + period,
+            ev: Event::BgWrite(client),
+        });
     }
 
-    fn on_sync(&mut self, _now: Instant) {
+    fn on_sync(&mut self, now: Instant, acts: &mut Vec<Action>) {
         // Flush everything dirty each pass, like the classic update
         // daemon: write-back arrives in bursts, which is exactly the
         // disk contention the editing experiment studies.
@@ -1638,16 +2139,19 @@ impl System {
                         SECT_PER_FSBLOCK * run.len,
                         DiskTag::UfsWriteback(v as u32, run),
                     ),
+                    acts,
                 );
             }
         }
         if !self.writers.is_empty() {
-            self.engine
-                .schedule_after(Duration::from_secs(1), Event::Sync);
+            acts.push(Action::Schedule {
+                at: now + Duration::from_secs(1),
+                ev: Event::Sync,
+            });
         }
     }
 
-    fn on_bg_kick(&mut self, client: ClientId, _now: Instant) {
+    fn on_bg_kick(&mut self, client: ClientId, now: Instant, acts: &mut Vec<Action>) {
         let Some(bg) = self.bgs.get(&client.0) else {
             return;
         };
@@ -1657,7 +2161,15 @@ impl System {
         let (pos, len) = bg.next_range();
         let (ino, vol) = (bg.ino, bg.vol);
         self.bgs.get_mut(&client.0).expect("exists").in_flight = true;
-        self.ufs_read(vol, UOwner::Bg { client, bytes: len }, ino, pos, len);
+        self.ufs_read(
+            vol,
+            UOwner::Bg { client, bytes: len },
+            ino,
+            pos,
+            len,
+            now,
+            acts,
+        );
     }
 }
 

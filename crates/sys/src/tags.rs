@@ -17,8 +17,6 @@ pub enum Event {
     CpuSlice(SliceToken),
     /// CRAS's interval timer fired.
     CrasTick,
-    /// The recorder's interval timer fired.
-    RecorderTick,
     /// A player's next frame is due.
     PlayerFrame(ClientId),
     /// A player retries a frame that was not yet buffered.
@@ -34,8 +32,35 @@ pub enum Event {
     /// from an aborted rebuild (the replacement volume failed again)
     /// cannot drive a newer rebuild's chunk cursor.
     RebuildStep(u64),
-    /// End of the measurement window (used by experiment drivers).
+    /// Experiment-driver checkpoint marker; the handler stamps a
+    /// [`crate::journal::JournalRecord::Checkpoint`] into the journal.
     Checkpoint(u32),
+}
+
+impl Event {
+    /// Total order used to canonicalize same-tick dispatch.
+    ///
+    /// Two events due at the same virtual instant may be delivered in
+    /// any order by a real kernel; the interleaving fuzzer permutes
+    /// them, then sorts by this key before dispatch so observable
+    /// behavior is invariant to delivery order. The key is total: no
+    /// two distinct live events compare equal (disk completions are
+    /// per-volume one-at-a-time, slice tokens are unique, client timers
+    /// are per-client exclusive, and rebuild generations are unique).
+    pub fn dispatch_key(&self) -> (u8, u64) {
+        match *self {
+            Event::DiskDone(vol) => (0, vol as u64),
+            Event::CpuSlice(tok) => (1, tok.raw()),
+            Event::CrasTick => (2, 0),
+            Event::PlayerFrame(c) => (3, c.0 as u64),
+            Event::PlayerPoll(c) => (4, c.0 as u64),
+            Event::BgKick(c) => (5, c.0 as u64),
+            Event::BgWrite(c) => (6, c.0 as u64),
+            Event::Sync => (7, 0),
+            Event::RebuildStep(gen) => (8, gen),
+            Event::Checkpoint(seq) => (9, seq as u64),
+        }
+    }
 }
 
 /// Routing tag carried by disk requests.

@@ -67,6 +67,7 @@ fn main() {
     );
 
     // An absurd request is refused by the admission test.
-    let err = sys.cras.set_rate(stream, sys.now(), 64.0);
+    let at = sys.now();
+    let err = sys.cras.set_rate(stream, at, 64.0);
     println!("crs_set_rate(64x) -> {}", err.expect_err("must be refused"));
 }

@@ -1,9 +1,10 @@
 //! Determinism: every experiment is a pure function of its seed.
 #![allow(clippy::field_reassign_with_default)]
 
+use cras_repro::core::PlacementPolicy;
 use cras_repro::media::StreamProfile;
 use cras_repro::sim::Duration;
-use cras_repro::sys::{SysConfig, System};
+use cras_repro::sys::{MoviePlacement, SysConfig, System};
 
 fn run_once(seed: u64) -> (u64, u64, Vec<(u64, u64)>) {
     let mut cfg = SysConfig::default();
@@ -46,6 +47,71 @@ fn different_seeds_differ_somewhere() {
         a.0 != b.0 || a.1 != b.1 || a.2 != b.2,
         "seeds 1 and 2 produced bit-identical runs"
     );
+}
+
+/// A mixed workload touching every placement and data path the server
+/// has: a mirrored run that loses its primary volume and rebuilds onto
+/// a replacement, and a rotating-parity run with an interval-cache
+/// follower that loses one spindle of the band mid-play. Returns the
+/// concatenated canonical metrics serialization of both runs.
+fn run_mixed(seed: u64) -> String {
+    let mut out = String::new();
+
+    // Mirrored + failover + rebuild.
+    let mut cfg = SysConfig::default();
+    cfg.seed = seed;
+    cfg.server.volumes = 3;
+    cfg.server.placement = PlacementPolicy::Mirrored;
+    let mut sys = System::new(cfg);
+    let m = sys.record_movie("mir.mov", StreamProfile::mpeg1(), 6.0);
+    let c = sys.add_cras_player(&m, 1).unwrap();
+    let start = sys.start_playback(c);
+    sys.run_until(start + Duration::from_secs(1));
+    let Some(&MoviePlacement::Mirrored { primary, .. }) = sys.placement("mir.mov") else {
+        panic!("expected mirrored placement");
+    };
+    sys.fail_volume(primary);
+    sys.attach_replacement(primary);
+    sys.run_for(Duration::from_secs(8));
+    assert!(sys.players[&c.0].done, "mirrored player hung");
+    out.push_str(&sys.metrics.canonical_json());
+    out.push('\n');
+
+    // Rotating parity + interval cache + one spindle lost in the band.
+    let mut cfg = SysConfig::default();
+    cfg.seed = seed ^ 0x9E37_79B9_7F4A_7C15;
+    cfg.server.volumes = 3;
+    cfg.server.placement = PlacementPolicy::Parity { group: 3 };
+    cfg.server.cache_budget = 64 << 20;
+    let mut sys = System::new(cfg);
+    let m = sys.record_movie("par.mov", StreamProfile::mpeg1(), 6.0);
+    let lead = sys.add_cras_player(&m, 1).unwrap();
+    let start = sys.start_playback(lead);
+    // The follower opens one interval behind the leader, close enough
+    // to ride the leader's cached window.
+    sys.run_until(start);
+    let follow = sys.add_cras_player(&m, 1).unwrap();
+    sys.start_playback(follow);
+    sys.run_until(start + Duration::from_secs(2));
+    sys.fail_volume(1);
+    sys.run_for(Duration::from_secs(8));
+    assert!(sys.players[&lead.0].done, "parity leader hung");
+    assert!(sys.players[&follow.0].done, "parity follower hung");
+    out.push_str(&sys.metrics.canonical_json());
+    out.push('\n');
+    out
+}
+
+#[test]
+fn mixed_workload_metrics_are_byte_identical_across_replays() {
+    let a = run_mixed(0xD1CE);
+    let b = run_mixed(0xD1CE);
+    assert_eq!(a, b, "same seed must reproduce the metrics byte for byte");
+    // The serialization actually reflects the workload: both the
+    // failover path and the cache path left their marks.
+    assert!(a.contains("\"volume_failed_at\":") && !a.contains("\"volume_failed_at\":null"));
+    let c = run_mixed(0xD1CF);
+    assert_ne!(a, c, "a different seed should perturb something");
 }
 
 #[test]
