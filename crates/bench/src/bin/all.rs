@@ -124,6 +124,26 @@ fn main() {
     write_result("cache_sharing", &cache_t.to_json());
     write_result("cache_sharing_admitted", &cache_f.to_json());
 
+    let (cluster_p, cluster_counts): (wl::cluster_scaling::ClusterParams, &[usize]) = if quick {
+        let mut p = wl::cluster_scaling::ClusterParams::standard();
+        p.shards = 3;
+        p.volumes = 2;
+        p.titles = 120;
+        p.stagger = Duration::from_millis(300);
+        p.measure = Duration::from_secs(12);
+        (p, &[160])
+    } else {
+        (
+            wl::cluster_scaling::ClusterParams::standard(),
+            &[240, 480, 960],
+        )
+    };
+    let (cl_t, cl_f, _) = wl::cluster_scaling::sweep(&cluster_p, cluster_counts);
+    println!("{}", cl_t.render());
+    println!("{}", cl_f.render());
+    write_result("cluster_scaling", &cl_t.to_json());
+    write_result("cluster_scaling_served", &cl_f.to_json());
+
     let ov_counts: &[usize] = if quick { &[8] } else { &[4, 8, 12] };
     let (ov_t, ov_f, _) = wl::interval_overlap::sweep(ov_counts, 4, secs(12, 20), 0x0E);
     println!("{}", ov_t.render());

@@ -1,0 +1,622 @@
+//! The placement gateway: N independent [`System`] shards behind one
+//! deterministic front door.
+//!
+//! Each shard is a complete CRAS server — its own volume set, interval
+//! cache, admission control and transition journal. The gateway owns
+//! placement and routing policy only; it never reaches into a shard's
+//! event loop:
+//!
+//! * **Placement** — a title's replica shards come from the consistent
+//!   hash ring; its replica *count* comes from its popularity rank
+//!   (hot head of the Zipf catalog → `replicas` copies, tail → one).
+//! * **Routing** — an open goes to the live replica with the fewest
+//!   admitted streams, ties broken toward the most recent slack
+//!   (exported by [`System::load_signal`]), then by shard id. If that
+//!   shard's admission test refuses, the next candidate is tried.
+//! * **Failover** — [`Cluster::kill_shard`] fails every volume of the
+//!   victim at once, stops stepping it, and re-opens each of its active
+//!   sessions on the best surviving replica. Titles without a surviving
+//!   copy are reported lost. Single-volume faults *inside* a shard stay
+//!   invisible here: mirror/parity redundancy absorbs them locally.
+//!
+//! Stepping is barrier-synchronous: every live shard runs to the next
+//! barrier before any gateway action happens. Because shards share no
+//! state between barriers, [`Stepping::Parallel`] (one thread per shard
+//! per quantum) replays the exact per-shard event sequences of
+//! [`Stepping::Lockstep`] — byte-identical metrics, checked in tests.
+
+use std::collections::BTreeMap;
+
+use cras_core::AdmissionError;
+use cras_media::{Movie, StreamProfile};
+use cras_sim::{Duration, Instant};
+use cras_sys::player::PlayerStats;
+use cras_sys::{ClientId, ShardLoad, SysConfig, System};
+
+use crate::popularity::PopularityEstimator;
+use crate::ring::{mix, Ring};
+
+/// How the gateway steps its shards between barriers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stepping {
+    /// One shard after another on the calling thread.
+    Lockstep,
+    /// One thread per live shard per quantum; the barrier joins them.
+    /// First real use of the pure-transition seam: a shard's step
+    /// touches only its own `System`.
+    Parallel,
+}
+
+/// Cluster construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Per-shard system configuration. Each shard reseeds
+    /// `base.seed` with its id so shards are independent but the
+    /// cluster as a whole replays from one seed.
+    pub base: SysConfig,
+    /// Replica count for hot titles (tail titles get one copy).
+    pub replicas: usize,
+    /// How many of the hottest catalog ranks count as hot.
+    pub hot_titles: usize,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: usize,
+    /// Per-shard stream ceiling enforced by routing (`None` = only the
+    /// shards' own admission tests gate opens). A shard's disk admission
+    /// bounds spindle time and the cache bounds memory, but neither
+    /// charges the CPU a stream costs; past the CPU's capacity the
+    /// request scheduler starves and every stream degrades at once. The
+    /// gateway turns that cliff into a rejection instead.
+    pub stream_cap: Option<usize>,
+    /// Synchronization quantum between shard barriers.
+    pub barrier: Duration,
+    /// Lockstep or one-thread-per-shard stepping.
+    pub stepping: Stepping,
+}
+
+impl ClusterConfig {
+    /// A `shards`-wide cluster over `base`, with 2-way hot replication,
+    /// a 32-title hot set, and one admission interval per barrier.
+    pub fn new(shards: usize, base: SysConfig) -> ClusterConfig {
+        ClusterConfig {
+            shards,
+            base,
+            replicas: 2,
+            hot_titles: 32,
+            vnodes: 64,
+            stream_cap: None,
+            barrier: base.server.interval,
+            stepping: Stepping::Lockstep,
+        }
+    }
+}
+
+/// One shard: a full [`System`] plus its gateway-side liveness flag.
+pub struct Shard {
+    /// Shard id (index into the cluster).
+    pub id: u32,
+    /// The complete single-server system.
+    pub sys: System,
+    alive: bool,
+}
+
+impl Shard {
+    /// Whether the gateway considers this shard live (dead shards are
+    /// not stepped and receive no opens).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+}
+
+/// A title's placement across the cluster.
+#[derive(Clone, Debug)]
+pub struct TitleInfo {
+    /// Popularity rank used at placement time (0 = hottest).
+    pub rank: usize,
+    /// Shards holding a copy, ring order (primary first).
+    pub replicas: Vec<u32>,
+    /// The per-shard recording handle.
+    movies: BTreeMap<u32, Movie>,
+}
+
+/// Handle for an open viewer session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// A viewer session as the gateway tracks it.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// Title being played.
+    pub title: String,
+    /// Shard currently serving it.
+    pub shard: u32,
+    /// Player client id inside that shard.
+    pub client: ClientId,
+    /// Whether a whole-shard failover moved this session.
+    pub rerouted: bool,
+    /// Whether the session was lost to a shard death (no surviving
+    /// replica, or every survivor refused admission).
+    pub lost: bool,
+}
+
+/// Why [`Cluster::open`] refused a session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OpenError {
+    /// The title was never added to the catalog.
+    UnknownTitle,
+    /// Every shard holding the title is dead.
+    AllReplicasDown,
+    /// Every live replica's admission test refused (last error shown).
+    Rejected(AdmissionError),
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::UnknownTitle => write!(f, "unknown title"),
+            OpenError::AllReplicasDown => write!(f, "every replica shard is dead"),
+            OpenError::Rejected(e) => write!(f, "every live replica refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// What [`Cluster::kill_shard`] did with the victim's sessions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Active sessions the victim was serving at the kill.
+    pub orphaned: usize,
+    /// Re-admitted on a surviving replica shard.
+    pub rerouted: usize,
+    /// Already finished playback; nothing to move.
+    pub finished: usize,
+    /// Lost: no surviving replica holds the title.
+    pub lost_no_replica: usize,
+    /// Lost: survivors hold the title but all refused admission.
+    pub lost_rejected: usize,
+}
+
+/// The sharded gateway.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    shards: Vec<Shard>,
+    ring: Ring,
+    titles: BTreeMap<String, TitleInfo>,
+    sessions: BTreeMap<u64, Session>,
+    next_session: u64,
+    popularity: PopularityEstimator,
+    now: Instant,
+}
+
+impl Cluster {
+    /// Builds the cluster: `cfg.shards` independent systems, each
+    /// seeded from `cfg.base.seed` mixed with its shard id.
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        assert!(cfg.shards > 0, "a cluster needs at least one shard");
+        assert!(
+            cfg.replicas <= cfg.shards,
+            "cannot hold more replicas than shards"
+        );
+        let shards = (0..cfg.shards as u32)
+            .map(|id| {
+                let mut sc = cfg.base;
+                sc.seed = cfg.base.seed ^ mix(0x5AD0 + id as u64);
+                Shard {
+                    id,
+                    sys: System::new(sc),
+                    alive: true,
+                }
+            })
+            .collect();
+        Cluster {
+            ring: Ring::new(0..cfg.shards as u32, cfg.vnodes),
+            cfg,
+            shards,
+            titles: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            next_session: 0,
+            popularity: PopularityEstimator::new(),
+            now: Instant::ZERO,
+        }
+    }
+
+    /// The cluster's barrier clock.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// All shards, dead ones included.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Live shard count.
+    pub fn alive_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.alive).count()
+    }
+
+    /// The online popularity estimator (fed by every open request).
+    pub fn popularity(&self) -> &PopularityEstimator {
+        &self.popularity
+    }
+
+    /// A title's placement, if it is in the catalog.
+    pub fn title(&self, name: &str) -> Option<&TitleInfo> {
+        self.titles.get(name)
+    }
+
+    /// Adds `name` to the catalog at popularity `rank` (0 = hottest)
+    /// and records it on its replica shards. Hot ranks
+    /// (`rank < cfg.hot_titles`) get `cfg.replicas` copies on distinct
+    /// shards; the tail gets one. Returns the replica shard ids.
+    pub fn add_title(
+        &mut self,
+        name: &str,
+        profile: &StreamProfile,
+        secs: f64,
+        rank: usize,
+    ) -> Vec<u32> {
+        let k = if rank < self.cfg.hot_titles {
+            self.cfg.replicas.max(1)
+        } else {
+            1
+        };
+        let replicas = self.ring.replicas(name, k);
+        assert!(!replicas.is_empty(), "no live shard to place on");
+        let mut movies = BTreeMap::new();
+        for &s in &replicas {
+            let m = self.shards[s as usize]
+                .sys
+                .record_movie(name, *profile, secs);
+            movies.insert(s, m);
+        }
+        self.titles.insert(
+            name.to_string(),
+            TitleInfo {
+                rank,
+                replicas: replicas.clone(),
+                movies,
+            },
+        );
+        replicas
+    }
+
+    /// Candidate replicas for `title`, best first: live shards holding
+    /// a copy, ordered by fewest admitted streams, then most recent
+    /// slack, then shard id.
+    fn route_candidates(&self, info: &TitleInfo) -> Vec<u32> {
+        let mut cands: Vec<u32> = info
+            .replicas
+            .iter()
+            .copied()
+            .filter(|&s| self.shards[s as usize].alive)
+            .filter(|&s| match self.cfg.stream_cap {
+                Some(cap) => self.shards[s as usize].sys.cras.stream_count() < cap,
+                None => true,
+            })
+            .collect();
+        cands.sort_by(|&a, &b| {
+            let la: ShardLoad = self.shards[a as usize].sys.load_signal();
+            let lb: ShardLoad = self.shards[b as usize].sys.load_signal();
+            la.streams
+                .cmp(&lb.streams)
+                .then(lb.recent_slack.total_cmp(&la.recent_slack))
+                .then(a.cmp(&b))
+        });
+        cands
+    }
+
+    /// Admits `title` on the best live replica and starts playback.
+    fn route_open(&mut self, title: &str) -> Result<(u32, ClientId), OpenError> {
+        let info = self.titles.get(title).ok_or(OpenError::UnknownTitle)?;
+        let cands = self.route_candidates(info);
+        if cands.is_empty() {
+            return Err(OpenError::AllReplicasDown);
+        }
+        let mut last = None;
+        for s in cands {
+            let movie = self.titles[title].movies[&s].clone();
+            let sh = &mut self.shards[s as usize];
+            match sh.sys.add_cras_player(&movie, 1) {
+                Ok(c) => {
+                    sh.sys.start_playback(c);
+                    return Ok((s, c));
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(OpenError::Rejected(last.expect("candidates were nonempty")))
+    }
+
+    /// Opens a viewer session for `title`, routing to the least-loaded
+    /// live replica. Every request — admitted or refused — feeds the
+    /// popularity estimator.
+    pub fn open(&mut self, title: &str) -> Result<SessionId, OpenError> {
+        self.popularity.observe(title);
+        let (shard, client) = self.route_open(title)?;
+        let id = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(
+            id,
+            Session {
+                title: title.to_string(),
+                shard,
+                client,
+                rerouted: false,
+                lost: false,
+            },
+        );
+        Ok(SessionId(id))
+    }
+
+    /// Stops a session's playback and releases its reservation.
+    pub fn close(&mut self, sid: SessionId) {
+        if let Some(s) = self.sessions.get(&sid.0) {
+            let (shard, client) = (s.shard, s.client);
+            if self.shards[shard as usize].alive {
+                self.shards[shard as usize].sys.stop_playback(client);
+            }
+        }
+        self.sessions.remove(&sid.0);
+    }
+
+    /// The gateway's view of a session.
+    pub fn session(&self, sid: SessionId) -> Option<&Session> {
+        self.sessions.get(&sid.0)
+    }
+
+    /// All sessions in id order.
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, &Session)> {
+        self.sessions.iter().map(|(&id, s)| (SessionId(id), s))
+    }
+
+    /// Player statistics for a session, if its shard is live and the
+    /// session was not lost.
+    pub fn session_stats(&self, sid: SessionId) -> Option<&PlayerStats> {
+        let s = self.sessions.get(&sid.0)?;
+        if s.lost || !self.shards[s.shard as usize].alive {
+            return None;
+        }
+        self.shards[s.shard as usize]
+            .sys
+            .players
+            .get(&s.client.0)
+            .map(|p| &p.stats)
+    }
+
+    /// Kills shard `victim` whole: every volume fails fast, the shard
+    /// stops being stepped, and each session it was serving is
+    /// re-admitted on the best surviving replica of its title (playback
+    /// restarts from the top, as after a set-top reconnect). Titles
+    /// with no surviving copy are reported lost.
+    pub fn kill_shard(&mut self, victim: u32) -> FailoverReport {
+        let idx = victim as usize;
+        assert!(self.shards[idx].alive, "shard {victim} is already dead");
+        self.shards[idx].alive = false;
+        self.shards[idx].sys.fail_shard();
+        self.ring.remove_shard(victim);
+        let mut report = FailoverReport::default();
+        let orphans: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.shard == victim && !s.lost)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in orphans {
+            let (title, client) = {
+                let s = &self.sessions[&id];
+                (s.title.clone(), s.client)
+            };
+            let done = self.shards[idx]
+                .sys
+                .players
+                .get(&client.0)
+                .is_none_or(|p| p.done);
+            if done {
+                report.finished += 1;
+                continue;
+            }
+            report.orphaned += 1;
+            match self.route_open(&title) {
+                Ok((shard, client)) => {
+                    report.rerouted += 1;
+                    let s = self.sessions.get_mut(&id).expect("session exists");
+                    s.shard = shard;
+                    s.client = client;
+                    s.rerouted = true;
+                }
+                Err(e) => {
+                    if matches!(e, OpenError::Rejected(_)) {
+                        report.lost_rejected += 1;
+                    } else {
+                        report.lost_no_replica += 1;
+                    }
+                    self.sessions.get_mut(&id).expect("session exists").lost = true;
+                }
+            }
+        }
+        report
+    }
+
+    /// Steps one shard to the barrier and aligns its clock with it.
+    fn step_shard(sh: &mut Shard, t: Instant) {
+        sh.sys.run_until(t);
+        if sh.sys.now() < t {
+            // Safe: after `run_until(t)` every pending event is past `t`.
+            sh.sys.engine.advance_to(t);
+        }
+    }
+
+    /// Runs every live shard to the next barrier, repeatedly, until the
+    /// cluster clock reaches `t`. Gateway actions (opens, kills) only
+    /// ever happen between calls, i.e. at barriers — which is why
+    /// parallel stepping cannot change any shard's event sequence.
+    pub fn run_until(&mut self, t: Instant) {
+        while self.now < t {
+            let next = t.min(self.now + self.cfg.barrier);
+            match self.cfg.stepping {
+                Stepping::Lockstep => {
+                    for sh in self.shards.iter_mut().filter(|s| s.alive) {
+                        Self::step_shard(sh, next);
+                    }
+                }
+                Stepping::Parallel => {
+                    std::thread::scope(|scope| {
+                        for sh in self.shards.iter_mut().filter(|s| s.alive) {
+                            scope.spawn(move || Self::step_shard(sh, next));
+                        }
+                    });
+                }
+            }
+            self.now = next;
+        }
+    }
+
+    /// Runs for `d` from the cluster clock.
+    pub fn run_for(&mut self, d: Duration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Per-shard canonical metrics serializations (dead shards
+    /// included), the unit of the determinism tests.
+    pub fn canonical_metrics(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .map(|s| s.sys.metrics.canonical_json())
+            .collect()
+    }
+
+    /// Total frames shown by sessions still served by live shards.
+    pub fn live_frames_shown(&self) -> u64 {
+        self.live_stats(|st| st.frames_shown)
+    }
+
+    /// Total frames dropped by sessions still served by live shards.
+    pub fn live_frames_dropped(&self) -> u64 {
+        self.live_stats(|st| st.frames_dropped)
+    }
+
+    fn live_stats(&self, f: impl Fn(&PlayerStats) -> u64) -> u64 {
+        self.sessions
+            .keys()
+            .filter_map(|&id| self.session_stats(SessionId(id)))
+            .map(f)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cras_media::StreamProfile;
+
+    fn small_cluster(stepping: Stepping) -> Cluster {
+        let mut base = SysConfig {
+            seed: 0xC1_05_7E,
+            ..SysConfig::default()
+        };
+        base.server.volumes = 2;
+        let mut cfg = ClusterConfig::new(3, base);
+        cfg.stepping = stepping;
+        cfg.hot_titles = 2;
+        Cluster::new(cfg)
+    }
+
+    fn drive(stepping: Stepping) -> (Vec<String>, u64, u64) {
+        let mut cl = small_cluster(stepping);
+        for (rank, name) in ["a.mov", "b.mov", "c.mov", "d.mov"].iter().enumerate() {
+            cl.add_title(name, &StreamProfile::mpeg1(), 30.0, rank);
+        }
+        let mut opened = 0;
+        for i in 0..12 {
+            let title = ["a.mov", "a.mov", "b.mov", "c.mov"][i % 4];
+            if cl.open(title).is_ok() {
+                opened += 1;
+            }
+            cl.run_for(Duration::from_millis(400));
+        }
+        cl.run_for(Duration::from_secs(5));
+        (cl.canonical_metrics(), opened, cl.live_frames_shown())
+    }
+
+    #[test]
+    fn hot_titles_get_more_replicas_than_tail() {
+        let mut cl = small_cluster(Stepping::Lockstep);
+        let hot = cl.add_title("hot.mov", &StreamProfile::mpeg1(), 10.0, 0);
+        let cold = cl.add_title("cold.mov", &StreamProfile::mpeg1(), 10.0, 99);
+        assert_eq!(hot.len(), 2);
+        let mut d = hot.clone();
+        d.dedup();
+        assert_eq!(d.len(), 2, "replicas must land on distinct shards");
+        assert_eq!(cold.len(), 1);
+    }
+
+    #[test]
+    fn parallel_stepping_matches_lockstep_byte_for_byte() {
+        let (a, opened_a, shown_a) = drive(Stepping::Lockstep);
+        let (b, opened_b, shown_b) = drive(Stepping::Parallel);
+        assert_eq!(opened_a, opened_b);
+        assert_eq!(shown_a, shown_b);
+        assert_eq!(a, b, "per-shard canonical metrics diverged");
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        assert_eq!(drive(Stepping::Lockstep), drive(Stepping::Lockstep));
+    }
+
+    #[test]
+    fn shard_kill_reroutes_replicated_titles() {
+        let mut cl = small_cluster(Stepping::Lockstep);
+        cl.add_title("hot.mov", &StreamProfile::mpeg1(), 60.0, 0);
+        let sid = cl.open("hot.mov").expect("admitted");
+        cl.run_for(Duration::from_secs(2));
+        let victim = cl.session(sid).unwrap().shard;
+        let report = cl.kill_shard(victim);
+        assert_eq!(report.orphaned, 1);
+        assert_eq!(report.rerouted, 1);
+        let s = cl.session(sid).unwrap();
+        assert!(s.rerouted && !s.lost);
+        assert_ne!(s.shard, victim);
+        // The survivor actually serves it: frames advance after the kill.
+        cl.run_for(Duration::from_secs(4));
+        let shown = cl.session_stats(sid).map(|st| st.frames_shown);
+        assert!(shown.unwrap_or(0) > 0, "rerouted session never played");
+        assert_eq!(cl.alive_count(), 2);
+    }
+
+    #[test]
+    fn shard_kill_loses_unreplicated_titles() {
+        let mut cl = small_cluster(Stepping::Lockstep);
+        cl.add_title("cold.mov", &StreamProfile::mpeg1(), 60.0, 50);
+        let sid = cl.open("cold.mov").expect("admitted");
+        cl.run_for(Duration::from_secs(1));
+        let victim = cl.session(sid).unwrap().shard;
+        let report = cl.kill_shard(victim);
+        assert_eq!(report.lost_no_replica, 1);
+        assert!(cl.session(sid).unwrap().lost);
+        assert!(cl.session_stats(sid).is_none());
+        assert_eq!(cl.open("cold.mov"), Err(OpenError::AllReplicasDown));
+        // The cluster keeps running without the dead shard.
+        cl.run_for(Duration::from_secs(2));
+    }
+
+    #[test]
+    fn routing_balances_toward_least_loaded_replica() {
+        let mut cl = small_cluster(Stepping::Lockstep);
+        cl.add_title("hot.mov", &StreamProfile::mpeg1(), 30.0, 0);
+        let mut by_shard = BTreeMap::new();
+        for _ in 0..4 {
+            let sid = cl.open("hot.mov").expect("admitted");
+            *by_shard
+                .entry(cl.session(sid).unwrap().shard)
+                .or_insert(0usize) += 1;
+            cl.run_for(Duration::from_millis(100));
+        }
+        // Two replicas, four viewers: the least-loaded rule alternates.
+        assert_eq!(by_shard.len(), 2);
+        assert!(by_shard.values().all(|&c| c == 2), "{by_shard:?}");
+    }
+}

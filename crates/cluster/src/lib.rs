@@ -1,0 +1,31 @@
+//! `cras-cluster` — a sharded continuous-media cluster built from N
+//! independent single-server [`System`](cras_sys::System)s behind one
+//! placement gateway.
+//!
+//! The paper's server tops out at a dozen-odd streams per spindle; the
+//! cluster scales *titles and spindles together* by sharding the
+//! catalog. Disk load then grows with shards and distinct titles, not
+//! with viewers — the interval cache inside each shard absorbs repeat
+//! viewers of the titles that shard owns.
+//!
+//! * [`ring`] — deterministic consistent-hash ring: title → replica
+//!   shards, stable under shard addition/removal.
+//! * [`popularity`] — Zipf weights and the online open-count estimator
+//!   behind popularity-weighted replication.
+//! * [`gateway`] — [`Cluster`]: placement, least-loaded replica
+//!   routing, whole-shard kill + failover, and barrier-synchronous
+//!   lockstep or parallel stepping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gateway;
+pub mod popularity;
+pub mod ring;
+
+pub use gateway::{
+    Cluster, ClusterConfig, FailoverReport, OpenError, Session, SessionId, Shard, Stepping,
+    TitleInfo,
+};
+pub use popularity::{head_share, zipf_cdf, zipf_rank, zipf_weight, PopularityEstimator};
+pub use ring::{title_point, Ring};

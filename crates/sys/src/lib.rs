@@ -36,7 +36,7 @@ pub use action::Action;
 pub use bgload::BgReader;
 pub use config::{prio, CpuCosts, IssueMode, SchedMode, SysConfig};
 pub use journal::{Journal, JournalRecord};
-pub use metrics::{IntervalIo, IntervalWall, Metrics, VolumeHealth};
+pub use metrics::{IntervalIo, IntervalWall, Metrics, ShardLoad, VolumeHealth};
 pub use net::Link;
 pub use player::{Player, PlayerMode, PlayerStats};
 pub use rebuild::{plan_chunks, plan_parity_recon, RebuildChunk, RebuildManager, SrcRead};

@@ -161,6 +161,30 @@ pub struct Metrics {
     pub cache_served_stream_intervals: u64,
 }
 
+/// A shard's load and health snapshot, exported for cluster-level
+/// routing: the gateway compares these across a title's replicas and
+/// sends the open to the least-loaded live one.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardLoad {
+    /// Streams currently admitted (open, reservation held).
+    pub streams: usize,
+    /// Spare fraction of recent interval walls (1.0 = idle, 0.0 = the
+    /// interval time is fully consumed) — [`Metrics::recent_slack`].
+    pub recent_slack: f64,
+    /// Volumes configured in this shard.
+    pub volumes: usize,
+    /// Volumes currently failed and not yet rebuilt.
+    pub volumes_down: usize,
+}
+
+impl ShardLoad {
+    /// Whether every volume is down — the whole-shard-failure state a
+    /// gateway treats as shard death.
+    pub fn all_down(&self) -> bool {
+        self.volumes > 0 && self.volumes_down == self.volumes
+    }
+}
+
 /// Per-volume fault/health report assembled from the disk substrate.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct VolumeHealth {

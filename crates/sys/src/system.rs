@@ -40,7 +40,7 @@ use crate::action::Action;
 use crate::bgload::{BgReader, BgWriter};
 use crate::config::{prio, IssueMode, SchedMode, SysConfig};
 use crate::journal::{Journal, JournalRecord};
-use crate::metrics::{Metrics, VolumeHealth};
+use crate::metrics::{Metrics, ShardLoad, VolumeHealth};
 use crate::player::{Player, PlayerMode};
 use crate::rebuild::{plan_chunks, plan_parity_recon, RebuildManager};
 use crate::tags::{ClientId, CpuTag, DiskTag, Event, TagArena};
@@ -148,6 +148,10 @@ pub enum AttachError {
     /// still travels through the event queue; retry after letting the
     /// system run briefly.
     DeviceBusy,
+    /// Another volume is also failed (e.g. after a whole-shard kill).
+    /// A rebuild sources its copy from the surviving spindles, so it
+    /// cannot start until this volume is the only one down.
+    PeersDown,
 }
 
 impl std::fmt::Display for AttachError {
@@ -156,6 +160,7 @@ impl std::fmt::Display for AttachError {
             AttachError::NotFailed => write!(f, "volume is not failed"),
             AttachError::RebuildRunning => write!(f, "a rebuild is already in progress"),
             AttachError::DeviceBusy => write!(f, "failed device has an operation in flight"),
+            AttachError::PeersDown => write!(f, "another volume is also failed"),
         }
     }
 }
@@ -1117,6 +1122,40 @@ impl System {
         self.rebuild = None;
     }
 
+    /// Declares a whole-shard failure now: every volume fails fast at
+    /// once, as when the machine hosting this shard loses power. Each
+    /// spindle goes through [`System::fail_volume`] individually, so the
+    /// journal records the full sequence and crash recovery replays it.
+    /// A cluster gateway uses this as the shard-kill fault and stops
+    /// stepping the shard afterwards; recovery of the shard follows the
+    /// normal attach-replacement path one volume at a time.
+    pub fn fail_shard(&mut self) {
+        for vol in 0..self.cfg.server.volumes as u32 {
+            if !self.cras.volume_failed(VolumeId(vol)) {
+                self.fail_volume(vol);
+            }
+        }
+    }
+
+    /// Snapshot of this shard's admitted load, spare interval capacity
+    /// and volume health, consumed by cluster-level routing: the gateway
+    /// sends each open to the live replica with the fewest admitted
+    /// streams, breaking ties toward the most recent slack.
+    pub fn load_signal(&self) -> ShardLoad {
+        let volumes = self.cfg.server.volumes;
+        let volumes_down = (0..volumes as u32)
+            .filter(|&v| self.cras.volume_failed(VolumeId(v)))
+            .count();
+        ShardLoad {
+            streams: self.cras.stream_count(),
+            recent_slack: self
+                .metrics
+                .recent_slack(self.cfg.server.interval, REBUILD_SLACK_WINDOW),
+            volumes,
+            volumes_down,
+        }
+    }
+
     /// Attaches a fresh replacement disk for a failed volume and starts
     /// the rate-controlled rebuild of every mirrored replica that lived
     /// there. The volume rejoins admission (and read steering) only once
@@ -1147,6 +1186,15 @@ impl System {
         }
         if self.rebuild.is_some() {
             return Err(AttachError::RebuildRunning);
+        }
+        // After a whole-shard kill every volume is down; a rebuild
+        // planned now would source its copy from dead spindles and churn
+        // fast-failing reads until it aborts. Refuse with a typed error
+        // instead.
+        if (0..self.cfg.server.volumes as u32)
+            .any(|v| v != vol && self.cras.volume_failed(VolumeId(v)))
+        {
+            return Err(AttachError::PeersDown);
         }
         // The replacement must match the failed slot's disk model, or a
         // fast volume would silently degrade to stock mechanics.
@@ -1818,42 +1866,32 @@ impl SysState {
                 // A completion whose generation does not match the live
                 // rebuild belongs to an aborted one; its index would be
                 // read against the wrong chunk list. Drop it.
-                let live = self
-                    .rebuild
-                    .as_ref()
-                    .is_some_and(|rb| rb.generation() == gen);
+                let Some(rb) = self.rebuild.as_mut().filter(|rb| rb.generation() == gen) else {
+                    return;
+                };
                 if done.failed {
-                    if live {
-                        // A surviving source failed under us: abort.
-                        self.rebuild = None;
-                    }
-                } else if live {
-                    let rb = self.rebuild.as_mut().expect("live rebuild");
+                    // A surviving source failed under us: abort.
+                    self.rebuild = None;
+                } else if rb.source_done() {
                     // A mirror copy has one source; a parity
                     // reconstruction reads all g-1 survivors and XORs
                     // them — the write starts when the last lands.
-                    if rb.source_done() {
-                        let c = rb.chunk(idx);
-                        let (dv, db, nb) = (c.dst_vol, c.dst_block, c.nblocks);
-                        self.submit_disk(
-                            dv,
-                            DiskRequest::write(db, nb, DiskTag::RebuildWrite(gen, idx)),
-                            acts,
-                        );
-                    }
+                    let c = rb.chunk(idx);
+                    let (dv, db, nb) = (c.dst_vol, c.dst_block, c.nblocks);
+                    self.submit_disk(
+                        dv,
+                        DiskRequest::write(db, nb, DiskTag::RebuildWrite(gen, idx)),
+                        acts,
+                    );
                 }
             }
             DiskTag::RebuildWrite(gen, idx) => {
-                let live = self
-                    .rebuild
-                    .as_ref()
-                    .is_some_and(|rb| rb.generation() == gen);
+                let Some(rb) = self.rebuild.as_mut().filter(|rb| rb.generation() == gen) else {
+                    return;
+                };
                 if done.failed {
-                    if live {
-                        self.rebuild = None;
-                    }
-                } else if live {
-                    let rb = self.rebuild.as_mut().expect("live rebuild");
+                    self.rebuild = None;
+                } else {
                     match rb.chunk_copied(idx, now) {
                         Some(due) => {
                             acts.push(Action::Schedule {
@@ -1997,23 +2035,39 @@ impl SysState {
                             frame,
                             bytes: _,
                         } => {
-                            let tid = self.players.get(&client.0).expect("player exists").tid;
-                            self.wake_cpu(
-                                tid,
-                                self.cfg.costs.decode,
-                                CpuTag::PlayerDecode { client, frame },
-                                acts,
-                            );
+                            // The player may be gone by the time its read
+                            // completes (stopped, or its shard killed while
+                            // the block was in flight): the completion is a
+                            // logged drop, not a decode.
+                            match self.players.get(&client.0).map(|p| p.tid) {
+                                Some(tid) => self.wake_cpu(
+                                    tid,
+                                    self.cfg.costs.decode,
+                                    CpuTag::PlayerDecode { client, frame },
+                                    acts,
+                                ),
+                                None => self.trace_with("userver", acts, || {
+                                    format!(
+                                        "client {} gone; read for frame {frame} dropped",
+                                        client.0
+                                    )
+                                }),
+                            }
                         }
                         UOwner::Bg { client, bytes } => {
                             let min_cycle = self.cfg.costs.bg_cycle;
-                            let bg = self.bgs.get_mut(&client.0).expect("bg exists");
-                            bg.complete(bytes);
-                            let at = now + bg.pause.max(min_cycle);
-                            acts.push(Action::Schedule {
-                                at,
-                                ev: Event::BgKick(client),
-                            });
+                            if let Some(bg) = self.bgs.get_mut(&client.0) {
+                                bg.complete(bytes);
+                                let at = now + bg.pause.max(min_cycle);
+                                acts.push(Action::Schedule {
+                                    at,
+                                    ev: Event::BgKick(client),
+                                });
+                            } else {
+                                self.trace_with("userver", acts, || {
+                                    format!("bg client {} gone; completion dropped", client.0)
+                                });
+                            }
                         }
                     }
                     step = self.userver.next_request();
@@ -2030,7 +2084,19 @@ impl SysState {
             return;
         }
         let k = player.next_frame;
-        let chunk = *player.table.get(k).expect("frame in range");
+        let Some(chunk) = player.table.get(k).copied() else {
+            // A queued PlayerFrame event can outlive the frame table it
+            // indexes (a shard-down race against re-admission): retire
+            // the player as a journal-visible drop instead of panicking
+            // inside the event loop.
+            self.trace_with("player", acts, || {
+                format!("client {} frame {k} out of range; player retired", client.0)
+            });
+            if let Some(p) = self.players.get_mut(&client.0) {
+                p.done = true;
+            }
+            return;
+        };
         match player.mode {
             PlayerMode::Cras { stream } => {
                 let got = self.cras.get(stream, chunk.timestamp);

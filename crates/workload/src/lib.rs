@@ -18,6 +18,7 @@
 //! | [`failover`] | mirrored placement: volume loss, degraded reads, rebuild |
 //! | [`parity_failover`] | rotating parity: volume loss, reconstruction, capacity vs mirroring |
 //! | [`cache_sharing`] | interval cache: Zipf arrivals, cache-aware admission |
+//! | [`cluster_scaling`] | sharded cluster: Zipf catalog, replica routing, whole-shard kill |
 //! | [`interval_overlap`] | pipelined vs serial cross-volume interval issue |
 //! | [`measured_capacity`] | admitted load validated by simulation |
 //! | [`deploy`] | Figure 5 deployment-configuration cost ablation |
@@ -41,6 +42,7 @@ pub mod buffer_ablation;
 pub mod cache_sharing;
 pub mod capacity;
 pub mod capacity_scaling;
+pub mod cluster_scaling;
 pub mod deploy;
 pub mod disk_sched;
 pub mod editing;

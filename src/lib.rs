@@ -14,6 +14,8 @@
 //!   time-driven shared buffers, the `crs_*` API.
 //! * [`sys`] — the orchestrated system (disk + CPU + UFS + CRAS +
 //!   applications).
+//! * [`cluster`] — the sharded multi-system gateway (consistent-hash
+//!   placement, replica routing, whole-shard failover).
 //! * [`workload`] — the per-figure experiment suite.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
@@ -21,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use cras_cluster as cluster;
 pub use cras_core as core;
 pub use cras_disk as disk;
 pub use cras_media as media;
