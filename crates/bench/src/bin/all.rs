@@ -1,12 +1,81 @@
-//! Runs every figure/table regeneration in sequence (pass --quick for a
-//! fast smoke run). Equivalent to running each dedicated binary.
+//! Runs every figure/table regeneration in sequence (pass `--quick` for
+//! a fast smoke run). Equivalent to running each dedicated binary.
+//!
+//! Every artifact also lands on the perf trajectory as a
+//! `BENCH_<name>.json` at the repo root (plus the unwrapped copy under
+//! `results/`), and per-step wall timings are collected into
+//! `BENCH_workloads.json`. With `--check`, the suite re-runs and each
+//! artifact is compared against its committed baseline instead of
+//! being rewritten — warn-only, like `sim_speed -- --check`: drift
+//! prints a `WARN` line but never fails the build.
 
-use cras_bench::{quick_mode, write_result};
+use cras_bench::{check_bench, check_mode, quick_mode, write_bench, write_result};
 use cras_sim::Duration;
 use cras_workload as wl;
 
+/// Routes each artifact to stdout plus the BENCH trajectory (write or
+/// warn-only check), collecting per-step wall timings along the way.
+struct Emitter {
+    quick: bool,
+    check: bool,
+    started: std::time::Instant,
+    last: std::time::Instant,
+    steps: Vec<(&'static str, f64)>,
+}
+
+impl Emitter {
+    fn new() -> Emitter {
+        let now = std::time::Instant::now();
+        Emitter {
+            quick: quick_mode(),
+            check: check_mode(),
+            started: now,
+            last: now,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Prints the rendered artifact and emits its JSON. The wall time
+    /// since the previous emit is attributed to this step, so a step
+    /// producing two artifacts charges the compute to the first.
+    fn emit(&mut self, name: &'static str, text: &str, json: &str) {
+        println!("{text}");
+        self.steps.push((name, self.last.elapsed().as_secs_f64()));
+        self.last = std::time::Instant::now();
+        if self.check {
+            check_bench(name, json, self.quick);
+        } else {
+            write_result(name, json);
+            write_bench(name, json, self.quick);
+        }
+    }
+
+    /// Emits the per-step timing artifact. Timings are the noisiest
+    /// numbers in the suite, so under `--check` they get the same
+    /// warn-only treatment as everything else.
+    fn finish(self) {
+        let mut json = String::from("{\"steps\":[");
+        for (i, (name, secs)) in self.steps.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("{{\"name\":\"{name}\",\"wall_secs\":{secs:.3}}}"));
+        }
+        json.push_str(&format!(
+            "],\"total_wall_secs\":{:.3}}}",
+            self.started.elapsed().as_secs_f64()
+        ));
+        if self.check {
+            check_bench("workloads", &json, self.quick);
+        } else {
+            write_bench("workloads", &json, self.quick);
+        }
+    }
+}
+
 fn main() {
-    let quick = quick_mode();
+    let mut em = Emitter::new();
+    let quick = em.quick;
     let secs = |q: u64, f: u64| Duration::from_secs(if quick { q } else { f });
 
     let cal = wl::fig12::run_calibration();
@@ -32,8 +101,7 @@ fn main() {
             ("ablate", t.render(), t.to_json())
         },
     ] {
-        println!("{text}");
-        write_result(name, &json);
+        em.emit(name, &text, &json);
     }
 
     let fig6 = wl::fig6::run(&wl::fig6::Fig6Config {
@@ -42,19 +110,17 @@ fn main() {
         measure: secs(10, 20),
         ..wl::fig6::Fig6Config::default()
     });
-    println!("{}", fig6.render());
-    write_result("fig6", &fig6.to_json());
+    em.emit("fig6", &fig6.render(), &fig6.to_json());
 
     let (fig7, c7, u7) = wl::fig7::run(&wl::fig7::Fig7Config {
         trace: secs(15, 60),
         ..wl::fig7::Fig7Config::default()
     });
-    println!("{}", fig7.render());
+    em.emit("fig7", &fig7.render(), &fig7.to_json());
     println!(
         "# CRAS delay mean/max: {:.4}/{:.4}s; UFS: {:.4}/{:.4}s",
         c7.0, c7.1, u7.0, u7.1
     );
-    write_result("fig7", &fig7.to_json());
 
     for (name, mut cfg) in [
         ("fig8", wl::admission_acc::AccuracyConfig::fig8()),
@@ -65,46 +131,36 @@ fn main() {
             cfg.step = if name == "fig8" { 4 } else { 2 };
         }
         let f = wl::admission_acc::run(&cfg);
-        println!("{}", f.render());
-        write_result(name, &f.to_json());
+        em.emit(name, &f.render(), &f.to_json());
     }
 
     let (fig10, fp, rr) = wl::fig10::run(&wl::fig10::Fig10Config {
         trace: secs(15, 60),
         ..wl::fig10::Fig10Config::default()
     });
-    println!("{}", fig10.render());
+    em.emit("fig10", &fig10.render(), &fig10.to_json());
     println!("# FP max {:.4}s vs RR max {:.4}s", fp.1, rr.1);
-    write_result("fig10", &fig10.to_json());
 
     let (frag_t, _) = wl::frag::run(if quick { 6 } else { 8 }, secs(10, 20), 0x5EED);
-    println!("{}", frag_t.render());
-    write_result("frag", &frag_t.to_json());
+    em.emit("frag", &frag_t.render(), &frag_t.to_json());
 
     let (vbr_t, _, _) = wl::vbr::run(secs(10, 30), 0x5BB);
-    println!("{}", vbr_t.render());
-    write_result("vbr", &vbr_t.to_json());
+    em.emit("vbr", &vbr_t.render(), &vbr_t.to_json());
 
     let (qos_t, _) = wl::qos::run(secs(12, 30), secs(6, 15), 0x05);
-    println!("{}", qos_t.render());
-    write_result("qos", &qos_t.to_json());
+    em.emit("qos", &qos_t.render(), &qos_t.to_json());
 
     let (faults_t, _) = wl::faults::sweep(&[0.0, 0.01, 0.05, 0.2, 0.6], 8, secs(10, 20), 0xFA17);
-    println!("{}", faults_t.render());
-    write_result("faults", &faults_t.to_json());
+    em.emit("faults", &faults_t.render(), &faults_t.to_json());
 
     let fo_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8, 12] };
     let (fo_t, fo_f, _) = wl::failover::sweep(fo_counts, 4, secs(10, 20), 0xF417);
-    println!("{}", fo_t.render());
-    println!("{}", fo_f.render());
-    write_result("failover", &fo_t.to_json());
-    write_result("failover_rebuild", &fo_f.to_json());
+    em.emit("failover", &fo_t.render(), &fo_t.to_json());
+    em.emit("failover_rebuild", &fo_f.render(), &fo_f.to_json());
 
     let (pf_t, pf_f, _) = wl::parity_failover::sweep(fo_counts, 4, secs(10, 20), 0x9417);
-    println!("{}", pf_t.render());
-    println!("{}", pf_f.render());
-    write_result("parity_failover", &pf_t.to_json());
-    write_result("parity_failover_rebuild", &pf_f.to_json());
+    em.emit("parity_failover", &pf_t.render(), &pf_t.to_json());
+    em.emit("parity_failover_rebuild", &pf_f.render(), &pf_f.to_json());
 
     let cache_budgets: &[u64] = if quick {
         &[0, 64 << 20]
@@ -119,10 +175,12 @@ fn main() {
         secs(10, 20),
         0xCA5E,
     );
-    println!("{}", cache_t.render());
-    println!("{}", cache_f.render());
-    write_result("cache_sharing", &cache_t.to_json());
-    write_result("cache_sharing_admitted", &cache_f.to_json());
+    em.emit("cache_sharing", &cache_t.render(), &cache_t.to_json());
+    em.emit(
+        "cache_sharing_admitted",
+        &cache_f.render(),
+        &cache_f.to_json(),
+    );
 
     let (cluster_p, cluster_counts): (wl::cluster_scaling::ClusterParams, &[usize]) = if quick {
         let mut p = wl::cluster_scaling::ClusterParams::standard();
@@ -139,17 +197,20 @@ fn main() {
         )
     };
     let (cl_t, cl_f, _) = wl::cluster_scaling::sweep(&cluster_p, cluster_counts);
-    println!("{}", cl_t.render());
-    println!("{}", cl_f.render());
-    write_result("cluster_scaling", &cl_t.to_json());
-    write_result("cluster_scaling_served", &cl_f.to_json());
+    em.emit("cluster_scaling", &cl_t.render(), &cl_t.to_json());
+    em.emit("cluster_scaling_served", &cl_f.render(), &cl_f.to_json());
+
+    let (cat_p, cat_counts) = wl::catalog_scaling::bench_shape(quick);
+    let cat_bound = wl::catalog_scaling::spindle_bound(&cat_p);
+    let (cat_t, cat_f, cat_outs) = wl::catalog_scaling::sweep(&cat_p, &cat_counts);
+    let cat_json = wl::catalog_scaling::points_json(cat_bound, &cat_outs);
+    em.emit("catalog_scaling", &cat_t.render(), &cat_json);
+    println!("{}", cat_f.render());
 
     let ov_counts: &[usize] = if quick { &[8] } else { &[4, 8, 12] };
     let (ov_t, ov_f, _) = wl::interval_overlap::sweep(ov_counts, 4, secs(12, 20), 0x0E);
-    println!("{}", ov_t.render());
-    println!("{}", ov_f.render());
-    write_result("interval_overlap", &ov_t.to_json());
-    write_result("interval_overlap_span", &ov_f.to_json());
+    em.emit("interval_overlap", &ov_t.render(), &ov_t.to_json());
+    em.emit("interval_overlap_span", &ov_f.render(), &ov_f.to_json());
 
     let intervals: &[f64] = if quick {
         &[0.5]
@@ -157,30 +218,25 @@ fn main() {
         &[0.25, 0.5, 1.0, 1.5]
     };
     let (mc_t, _) = wl::measured_capacity::validate(intervals, 3, secs(10, 20), 0xCA11);
-    println!("{}", mc_t.render());
-    write_result("measured_capacity", &mc_t.to_json());
+    em.emit("measured_capacity", &mc_t.render(), &mc_t.to_json());
 
     let (cs_fig, _) = wl::capacity_scaling::run(&[1, 2, 4], secs(6, 12), 0xCA9A);
-    println!("{}", cs_fig.render());
-    write_result("capacity_scaling", &cs_fig.to_json());
+    em.emit("capacity_scaling", &cs_fig.render(), &cs_fig.to_json());
 
     let (deploy_t, _) = wl::deploy::run(30.0);
-    println!("{}", deploy_t.render());
-    write_result("deploy", &deploy_t.to_json());
+    em.emit("deploy", &deploy_t.render(), &deploy_t.to_json());
 
     let (ds_t, _) = wl::disk_sched::run(if quick { 300 } else { 2000 }, 16, 0xD15C);
-    println!("{}", ds_t.render());
-    write_result("disk_sched", &ds_t.to_json());
+    em.emit("disk_sched", &ds_t.render(), &ds_t.to_json());
 
     let (multi_t, _, _) = wl::multi::run(secs(12, 30), 0x2C25);
-    println!("{}", multi_t.render());
-    write_result("multi", &multi_t.to_json());
+    em.emit("multi", &multi_t.render(), &multi_t.to_json());
 
     let (edit_t, _, _) = wl::editing::run(secs(12, 30), 0xED17);
-    println!("{}", edit_t.render());
-    write_result("editing", &edit_t.to_json());
+    em.emit("editing", &edit_t.render(), &edit_t.to_json());
 
     let (buf_t, _, _) = wl::buffer_ablation::run(if quick { 15.0 } else { 30.0 }, 10.0, 0xB0F);
-    println!("{}", buf_t.render());
-    write_result("buffer_ablation", &buf_t.to_json());
+    em.emit("buffer_ablation", &buf_t.render(), &buf_t.to_json());
+
+    em.finish();
 }

@@ -32,6 +32,103 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Returns true when `--check` was passed (compare against committed
+/// baselines instead of rewriting them).
+pub fn check_mode() -> bool {
+    std::env::args().any(|a| a == "--check")
+}
+
+/// Writes a perf-trajectory artifact: `BENCH_<name>.json` at the repo
+/// root (where trajectory tooling looks) and a copy under `results/`.
+/// The payload is wrapped as `{"quick":…,"data":…}` so a `--check` run
+/// can refuse to compare across sweep modes.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the harness should fail loudly.
+pub fn write_bench(name: &str, json: &str, quick: bool) {
+    let wrapped = format!("{{\"quick\":{quick},\"data\":{json}}}");
+    let file = format!("BENCH_{name}.json");
+    fs::write(&file, &wrapped).expect("write BENCH artifact");
+    eprintln!("wrote {file}");
+    write_result(&format!("BENCH_{name}"), &wrapped);
+}
+
+/// Pulls every numeric token out of a JSON string, in order. Good
+/// enough for baseline comparison of our hand-rolled artifacts (no
+/// serde dependency): the emitters are deterministic, so two runs of
+/// the same code produce tokens in the same order.
+fn numeric_tokens(json: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+            let start = i;
+            i += 1;
+            while i < bytes.len()
+                && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E' | '-' | '+')
+            {
+                i += 1;
+            }
+            if let Ok(v) = json[start..i].parse() {
+                out.push(v);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Warn-only comparison of a freshly generated artifact against the
+/// committed `BENCH_<name>.json` baseline: numeric tokens are compared
+/// pairwise and the worst relative drift is reported. Never fails the
+/// run — CI machines are too noisy for a hard gate; the check exists so
+/// a regression shows up in the log the day it lands.
+pub fn check_bench(name: &str, json_now: &str, quick: bool) {
+    const TOLERANCE: f64 = 0.20;
+    let file = format!("BENCH_{name}.json");
+    let baseline = match fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("WARN: {name}: no committed {file} to check against ({e})");
+            return;
+        }
+    };
+    let mode = format!("{{\"quick\":{quick},");
+    if !baseline.starts_with(&mode) {
+        println!("WARN: {name}: baseline was generated in a different sweep mode; skipping");
+        return;
+    }
+    let data = &baseline[mode.len()..];
+    let base = numeric_tokens(data);
+    let now = numeric_tokens(json_now);
+    if base.len() != now.len() {
+        println!(
+            "WARN: {name}: artifact shape changed ({} numeric fields vs baseline {})",
+            now.len(),
+            base.len()
+        );
+        return;
+    }
+    let worst = base
+        .iter()
+        .zip(&now)
+        .map(|(b, n)| (n - b).abs() / b.abs().max(1e-9))
+        .fold(0.0f64, f64::max);
+    if worst > TOLERANCE {
+        println!(
+            "WARN: {name}: worst field drift {:+.0}% — outside +/-{:.0}%",
+            worst * 100.0,
+            TOLERANCE * 100.0
+        );
+    } else {
+        println!("OK:   {name}: worst field drift {:+.1}%", worst * 100.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -73,6 +73,12 @@ pub struct ClusterConfig {
     pub barrier: Duration,
     /// Lockstep or one-thread-per-shard stepping.
     pub stepping: Stepping,
+    /// How long a rejected open waits in the gateway's retry queue
+    /// before it is given up. At every barrier the gateway re-tries
+    /// queued opens against the current load; a burst that momentarily
+    /// exceeds capacity is absorbed instead of bounced. `ZERO` disables
+    /// queueing and [`Cluster::open`] fails fast as before.
+    pub retry_window: Duration,
 }
 
 impl ClusterConfig {
@@ -88,6 +94,7 @@ impl ClusterConfig {
             stream_cap: None,
             barrier: base.server.interval,
             stepping: Stepping::Lockstep,
+            retry_window: Duration::ZERO,
         }
     }
 }
@@ -136,8 +143,35 @@ pub struct Session {
     /// Whether a whole-shard failover moved this session.
     pub rerouted: bool,
     /// Whether the session was lost to a shard death (no surviving
-    /// replica, or every survivor refused admission).
+    /// replica, or every survivor refused admission), or expired in the
+    /// retry queue without ever being admitted.
     pub lost: bool,
+    /// Whether the session is parked in the gateway's retry queue
+    /// (rejected at open, waiting for capacity). `shard` and `client`
+    /// are meaningless while this is set.
+    pub queued: bool,
+}
+
+/// One open waiting in the gateway's retry queue.
+struct PendingOpen {
+    session: u64,
+    title: String,
+    deadline: Instant,
+}
+
+/// Counters for the gateway-side open retry queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Opens parked in the queue after an initial rejection.
+    pub queued: u64,
+    /// Queued opens later admitted within the retry window.
+    pub admitted: u64,
+    /// Queued opens that stayed rejected until the window elapsed.
+    pub expired: u64,
+    /// Queued opens dropped because every replica shard died.
+    pub purged: u64,
+    /// Parked (rebuffering) viewers resumed by a barrier retry sweep.
+    pub resumed: u64,
 }
 
 /// Why [`Cluster::open`] refused a session.
@@ -147,6 +181,8 @@ pub enum OpenError {
     UnknownTitle,
     /// Every shard holding the title is dead.
     AllReplicasDown,
+    /// Every live replica sits at the gateway's `stream_cap`.
+    AtCapacity,
     /// Every live replica's admission test refused (last error shown).
     Rejected(AdmissionError),
 }
@@ -156,6 +192,7 @@ impl std::fmt::Display for OpenError {
         match self {
             OpenError::UnknownTitle => write!(f, "unknown title"),
             OpenError::AllReplicasDown => write!(f, "every replica shard is dead"),
+            OpenError::AtCapacity => write!(f, "every live replica is at the stream cap"),
             OpenError::Rejected(e) => write!(f, "every live replica refused: {e}"),
         }
     }
@@ -187,7 +224,11 @@ pub struct Cluster {
     sessions: BTreeMap<u64, Session>,
     next_session: u64,
     popularity: PopularityEstimator,
+    pending: Vec<PendingOpen>,
+    retry_stats: RetryStats,
     now: Instant,
+    /// Next barrier at which parked viewers get an admission retry.
+    resume_at: Instant,
 }
 
 impl Cluster {
@@ -218,7 +259,10 @@ impl Cluster {
             sessions: BTreeMap::new(),
             next_session: 0,
             popularity: PopularityEstimator::new(),
+            pending: Vec::new(),
+            retry_stats: RetryStats::default(),
             now: Instant::ZERO,
+            resume_at: Instant::ZERO,
         }
     }
 
@@ -284,9 +328,15 @@ impl Cluster {
     }
 
     /// Candidate replicas for `title`, best first: live shards holding
-    /// a copy, ordered by fewest admitted streams, then most recent
-    /// slack, then shard id.
-    fn route_candidates(&self, info: &TitleInfo) -> Vec<u32> {
+    /// a copy. When prefix residency is on (DESIGN §16) the replica
+    /// whose cache already pins the title's prefix sorts first — that
+    /// shard can admit the open deferred (zero disk shares) and batch
+    /// it onto an in-flight read stream, so concentrating a hot title's
+    /// viewers there is cheaper than spreading them. The remaining
+    /// order is fewest admitted streams, then most recent slack, then
+    /// shard id.
+    fn route_candidates(&self, title: &str, info: &TitleInfo) -> Vec<u32> {
+        let prefix_on = self.cfg.base.server.prefix_secs > Duration::ZERO;
         let mut cands: Vec<u32> = info
             .replicas
             .iter()
@@ -298,10 +348,12 @@ impl Cluster {
             })
             .collect();
         cands.sort_by(|&a, &b| {
+            let pa = prefix_on && self.shards[a as usize].sys.cras.cache().has_prefix(title);
+            let pb = prefix_on && self.shards[b as usize].sys.cras.cache().has_prefix(title);
             let la: ShardLoad = self.shards[a as usize].sys.load_signal();
             let lb: ShardLoad = self.shards[b as usize].sys.load_signal();
-            la.streams
-                .cmp(&lb.streams)
+            pb.cmp(&pa)
+                .then(la.streams.cmp(&lb.streams))
                 .then(lb.recent_slack.total_cmp(&la.recent_slack))
                 .then(a.cmp(&b))
         });
@@ -311,9 +363,12 @@ impl Cluster {
     /// Admits `title` on the best live replica and starts playback.
     fn route_open(&mut self, title: &str) -> Result<(u32, ClientId), OpenError> {
         let info = self.titles.get(title).ok_or(OpenError::UnknownTitle)?;
-        let cands = self.route_candidates(info);
-        if cands.is_empty() {
+        if !info.replicas.iter().any(|&s| self.shards[s as usize].alive) {
             return Err(OpenError::AllReplicasDown);
+        }
+        let cands = self.route_candidates(title, info);
+        if cands.is_empty() {
+            return Err(OpenError::AtCapacity);
         }
         let mut last = None;
         for s in cands {
@@ -331,11 +386,24 @@ impl Cluster {
     }
 
     /// Opens a viewer session for `title`, routing to the least-loaded
-    /// live replica. Every request — admitted or refused — feeds the
-    /// popularity estimator.
+    /// live replica (prefix holder first for hot titles). Every request
+    /// — admitted or refused — feeds the popularity estimator.
+    ///
+    /// With `cfg.retry_window > ZERO`, a rejection does not fail the
+    /// open: the session is parked in the retry queue (`queued` set)
+    /// and re-tried at every barrier until it is admitted or the window
+    /// elapses — then it is marked `lost`.
     pub fn open(&mut self, title: &str) -> Result<SessionId, OpenError> {
         self.popularity.observe(title);
-        let (shard, client) = self.route_open(title)?;
+        let (shard, client, queued) = match self.route_open(title) {
+            Ok((shard, client)) => (shard, client, false),
+            Err(OpenError::Rejected(_) | OpenError::AtCapacity)
+                if self.cfg.retry_window > Duration::ZERO =>
+            {
+                (u32::MAX, ClientId(u32::MAX), true)
+            }
+            Err(e) => return Err(e),
+        };
         let id = self.next_session;
         self.next_session += 1;
         self.sessions.insert(
@@ -346,17 +414,100 @@ impl Cluster {
                 client,
                 rerouted: false,
                 lost: false,
+                queued,
             },
         );
+        if queued {
+            self.retry_stats.queued += 1;
+            self.pending.push(PendingOpen {
+                session: id,
+                title: title.to_string(),
+                deadline: self.now + self.cfg.retry_window,
+            });
+        }
         Ok(SessionId(id))
     }
 
-    /// Stops a session's playback and releases its reservation.
+    /// Re-tries every queued open against current capacity. Runs at
+    /// each barrier: admitted opens leave the queue and start playback,
+    /// still-rejected ones wait until their deadline, and opens whose
+    /// last replica died (or whose deadline passed) are marked lost.
+    fn drain_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            match self.route_open(&p.title) {
+                Ok((shard, client)) => {
+                    self.retry_stats.admitted += 1;
+                    let s = self.sessions.get_mut(&p.session).expect("session exists");
+                    s.shard = shard;
+                    s.client = client;
+                    s.queued = false;
+                }
+                Err(OpenError::Rejected(_) | OpenError::AtCapacity) if self.now < p.deadline => {
+                    self.pending.push(p)
+                }
+                Err(e) => {
+                    if matches!(e, OpenError::Rejected(_) | OpenError::AtCapacity) {
+                        self.retry_stats.expired += 1;
+                    } else {
+                        self.retry_stats.purged += 1;
+                    }
+                    let s = self.sessions.get_mut(&p.session).expect("session exists");
+                    s.queued = false;
+                    s.lost = true;
+                }
+            }
+        }
+    }
+
+    /// Retries admission for every parked (rebuffering) viewer on the
+    /// live shards. A parked stream holds no admission shares and its
+    /// clock is frozen, so each retry re-runs the full feed ladder
+    /// (disk share, then cache window) against current load and
+    /// resumes playback from the frozen position on success. Runs at
+    /// barriers, throttled to one sweep per admission interval.
+    fn resume_parked(&mut self) {
+        for sh in self.shards.iter_mut().filter(|s| s.alive) {
+            let paused: Vec<u32> = sh
+                .sys
+                .players
+                .iter()
+                .filter(|(_, p)| p.paused && !p.done)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in paused {
+                if sh.sys.retry_parked(ClientId(id)) {
+                    self.retry_stats.resumed += 1;
+                }
+            }
+        }
+    }
+
+    /// Retry-queue counters so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
+    }
+
+    /// Number of opens currently parked in the retry queue.
+    pub fn pending_opens(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ends a session: the shard closes the stream (`crs_close`),
+    /// freeing its admission shares and its slot under `stream_cap`. A
+    /// queued session simply leaves the retry queue.
     pub fn close(&mut self, sid: SessionId) {
         if let Some(s) = self.sessions.get(&sid.0) {
-            let (shard, client) = (s.shard, s.client);
-            if self.shards[shard as usize].alive {
-                self.shards[shard as usize].sys.stop_playback(client);
+            if s.queued {
+                self.pending.retain(|p| p.session != sid.0);
+            } else if !s.lost {
+                let (shard, client) = (s.shard, s.client);
+                if self.shards[shard as usize].alive {
+                    self.shards[shard as usize].sys.close_playback(client);
+                }
             }
         }
         self.sessions.remove(&sid.0);
@@ -376,7 +527,7 @@ impl Cluster {
     /// session was not lost.
     pub fn session_stats(&self, sid: SessionId) -> Option<&PlayerStats> {
         let s = self.sessions.get(&sid.0)?;
-        if s.lost || !self.shards[s.shard as usize].alive {
+        if s.lost || s.queued || !self.shards[s.shard as usize].alive {
             return None;
         }
         self.shards[s.shard as usize]
@@ -397,6 +548,23 @@ impl Cluster {
         self.shards[idx].alive = false;
         self.shards[idx].sys.fail_shard();
         self.ring.remove_shard(victim);
+        // Purge queued opens whose title lost its last live replica:
+        // no amount of waiting will admit them now.
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            let has_live = self
+                .titles
+                .get(&p.title)
+                .is_some_and(|i| i.replicas.iter().any(|&s| self.shards[s as usize].alive));
+            if has_live {
+                self.pending.push(p);
+            } else {
+                self.retry_stats.purged += 1;
+                let s = self.sessions.get_mut(&p.session).expect("session exists");
+                s.queued = false;
+                s.lost = true;
+            }
+        }
         let mut report = FailoverReport::default();
         let orphans: Vec<u64> = self
             .sessions
@@ -428,7 +596,7 @@ impl Cluster {
                     s.rerouted = true;
                 }
                 Err(e) => {
-                    if matches!(e, OpenError::Rejected(_)) {
+                    if matches!(e, OpenError::Rejected(_) | OpenError::AtCapacity) {
                         report.lost_rejected += 1;
                     } else {
                         report.lost_no_replica += 1;
@@ -471,6 +639,11 @@ impl Cluster {
                 }
             }
             self.now = next;
+            self.drain_pending();
+            if self.now >= self.resume_at {
+                self.resume_parked();
+                self.resume_at = self.now + self.cfg.base.server.interval;
+            }
         }
     }
 
@@ -601,6 +774,92 @@ mod tests {
         assert_eq!(cl.open("cold.mov"), Err(OpenError::AllReplicasDown));
         // The cluster keeps running without the dead shard.
         cl.run_for(Duration::from_secs(2));
+    }
+
+    #[test]
+    fn prefix_holder_attracts_same_title_opens() {
+        let mut cl = small_cluster(Stepping::Lockstep);
+        cl.cfg.base.server.cache_budget = 64 << 20;
+        cl.cfg.base.server.prefix_secs = Duration::from_secs(10);
+        cl.cfg.base.server.hot_set = 4;
+        for sh in &mut cl.shards {
+            let mut sc = cl.cfg.base;
+            sc.seed = cl.cfg.base.seed ^ mix(0x5AD0 + sh.id as u64);
+            sh.sys = System::new(sc);
+        }
+        cl.add_title("hot.mov", &StreamProfile::mpeg1(), 30.0, 0);
+        let mut shards = Vec::new();
+        for _ in 0..4 {
+            let sid = cl.open("hot.mov").expect("admitted");
+            shards.push(cl.session(sid).unwrap().shard);
+            cl.run_for(Duration::from_millis(100));
+        }
+        // The first open pins the prefix on one replica; every later
+        // same-title open sticks there instead of alternating.
+        assert!(
+            shards.iter().all(|&s| s == shards[0]),
+            "opens spread away from the prefix holder: {shards:?}"
+        );
+    }
+
+    #[test]
+    fn rejected_open_queues_and_admits_when_capacity_frees() {
+        let mut base = SysConfig {
+            seed: 0x9E7,
+            ..SysConfig::default()
+        };
+        base.server.volumes = 2;
+        let mut cfg = ClusterConfig::new(3, base);
+        cfg.hot_titles = 2;
+        cfg.stream_cap = Some(1);
+        cfg.retry_window = Duration::from_secs(5);
+        let mut cl = Cluster::new(cfg);
+        cl.add_title("q.mov", &StreamProfile::mpeg1(), 30.0, 0);
+        // Two replicas, cap 1 each: the first two opens admit, the
+        // third queues instead of failing.
+        let a = cl.open("q.mov").expect("admitted");
+        let b = cl.open("q.mov").expect("admitted");
+        let c = cl.open("q.mov").expect("queued, not refused");
+        assert!(cl.session(c).unwrap().queued);
+        assert!(cl.session_stats(c).is_none());
+        assert_eq!(cl.pending_opens(), 1);
+        assert_eq!(cl.retry_stats().queued, 1);
+        assert!(!cl.session(a).unwrap().queued && !cl.session(b).unwrap().queued);
+        // Freeing a slot lets the next barrier drain the queue.
+        cl.close(a);
+        cl.run_for(Duration::from_secs(1));
+        let s = cl.session(c).unwrap();
+        assert!(!s.queued && !s.lost, "queued open never admitted");
+        assert_eq!(cl.pending_opens(), 0);
+        assert_eq!(cl.retry_stats().admitted, 1);
+        // The retried session actually plays.
+        cl.run_for(Duration::from_secs(4));
+        assert!(cl.session_stats(c).map(|st| st.frames_shown).unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn queued_open_expires_after_retry_window() {
+        let mut base = SysConfig {
+            seed: 0x9E8,
+            ..SysConfig::default()
+        };
+        base.server.volumes = 2;
+        let mut cfg = ClusterConfig::new(3, base);
+        cfg.hot_titles = 2;
+        cfg.stream_cap = Some(1);
+        cfg.retry_window = Duration::from_secs(2);
+        let mut cl = Cluster::new(cfg);
+        cl.add_title("q.mov", &StreamProfile::mpeg1(), 60.0, 0);
+        let _a = cl.open("q.mov").expect("admitted");
+        let _b = cl.open("q.mov").expect("admitted");
+        let c = cl.open("q.mov").expect("queued");
+        assert!(cl.session(c).unwrap().queued);
+        // Nobody leaves; the window elapses and the open is lost.
+        cl.run_for(Duration::from_secs(3));
+        let s = cl.session(c).unwrap();
+        assert!(s.lost && !s.queued);
+        assert_eq!(cl.retry_stats().expired, 1);
+        assert_eq!(cl.pending_opens(), 0);
     }
 
     #[test]

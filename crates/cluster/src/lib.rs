@@ -24,8 +24,8 @@ pub mod popularity;
 pub mod ring;
 
 pub use gateway::{
-    Cluster, ClusterConfig, FailoverReport, OpenError, Session, SessionId, Shard, Stepping,
-    TitleInfo,
+    Cluster, ClusterConfig, FailoverReport, OpenError, RetryStats, Session, SessionId, Shard,
+    Stepping, TitleInfo,
 };
 pub use popularity::{head_share, zipf_cdf, zipf_rank, zipf_weight, PopularityEstimator};
 pub use ring::{title_point, Ring};

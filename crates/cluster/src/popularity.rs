@@ -1,8 +1,13 @@
-//! Zipf popularity model and online estimator.
+//! Zipf popularity model and online estimator — re-exported from
+//! [`cras_core::cachepolicy`].
 //!
-//! Video-on-demand catalogs are sharply skewed: the classic model is a
-//! Zipf law where the `r`-th most popular of `n` titles draws a
-//! `1/r^theta` share of requests. The gateway uses the model two ways:
+//! The model moved into `cras-core` when the popularity-aware cache
+//! manager (DESIGN §16) started ranking titles for prefix residency:
+//! placement (here) and caching (in the server) must agree on what
+//! "hot" means, so they share one estimator implementation. This module
+//! keeps the cluster-side paths (`cras_cluster::popularity::…`) stable.
+//!
+//! The gateway uses the model two ways:
 //!
 //! * at **placement** time, a title's catalog rank decides its replica
 //!   count — the head of the distribution is replicated to `k` shards,
@@ -11,142 +16,6 @@
 //!   title, so the reported hot set reflects observed traffic, not just
 //!   the prior (and a longer-lived system would re-replicate from it).
 
-use std::collections::BTreeMap;
-
-/// Unnormalized Zipf weight of rank `r` (0-based) with exponent
-/// `theta`.
-pub fn zipf_weight(rank: usize, theta: f64) -> f64 {
-    1.0 / ((rank + 1) as f64).powf(theta)
-}
-
-/// Cumulative request share of the `head` hottest titles out of `n`
-/// under Zipf(`theta`) — how much traffic replication covers.
-pub fn head_share(head: usize, n: usize, theta: f64) -> f64 {
-    let total: f64 = (0..n).map(|r| zipf_weight(r, theta)).sum();
-    let hot: f64 = (0..head.min(n)).map(|r| zipf_weight(r, theta)).sum();
-    if total > 0.0 {
-        hot / total
-    } else {
-        0.0
-    }
-}
-
-/// Cumulative distribution for drawing Zipf-distributed ranks by
-/// inverse-CDF sampling: `cdf[r]` is the probability of rank `<= r`.
-pub fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
-    let mut cdf = Vec::with_capacity(n);
-    let mut acc = 0.0;
-    for r in 0..n {
-        acc += zipf_weight(r, theta);
-        cdf.push(acc);
-    }
-    let total = *cdf.last().unwrap_or(&1.0);
-    for c in &mut cdf {
-        *c /= total;
-    }
-    cdf
-}
-
-/// Draws a rank from `cdf` (as built by [`zipf_cdf`]) given a uniform
-/// sample in `[0, 1)`.
-pub fn zipf_rank(cdf: &[f64], u: f64) -> usize {
-    cdf.partition_point(|&c| c < u)
-        .min(cdf.len().saturating_sub(1))
-}
-
-/// Online open-count estimator. Iteration order is `BTreeMap`'s, so
-/// every report it produces is deterministic.
-#[derive(Clone, Debug, Default)]
-pub struct PopularityEstimator {
-    counts: BTreeMap<String, u64>,
-    total: u64,
-}
-
-impl PopularityEstimator {
-    /// Creates an empty estimator.
-    pub fn new() -> PopularityEstimator {
-        PopularityEstimator::default()
-    }
-
-    /// Records one open of `title`.
-    pub fn observe(&mut self, title: &str) {
-        *self.counts.entry(title.to_string()).or_insert(0) += 1;
-        self.total += 1;
-    }
-
-    /// Opens observed for `title`.
-    pub fn count(&self, title: &str) -> u64 {
-        self.counts.get(title).copied().unwrap_or(0)
-    }
-
-    /// Total opens observed.
-    pub fn total(&self) -> u64 {
-        self.total
-    }
-
-    /// Distinct titles observed.
-    pub fn distinct(&self) -> usize {
-        self.counts.len()
-    }
-
-    /// The `k` most-opened titles, most popular first; ties broken by
-    /// title name so the report is stable across runs.
-    pub fn top(&self, k: usize) -> Vec<(&str, u64)> {
-        let mut v: Vec<(&str, u64)> = self.counts.iter().map(|(t, &c)| (t.as_str(), c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-        v.truncate(k);
-        v
-    }
-
-    /// Observed request share of the `k` most-opened titles.
-    pub fn observed_head_share(&self, k: usize) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        let hot: u64 = self.top(k).iter().map(|&(_, c)| c).sum();
-        hot as f64 / self.total as f64
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn zipf_head_concentrates() {
-        // Under Zipf(1.0) over 1000 titles, the top 32 carry a large
-        // minority of all requests — the premise of hot replication.
-        let share = head_share(32, 1000, 1.0);
-        assert!((0.40..0.60).contains(&share), "head share {share:.3}");
-        assert!(head_share(1000, 1000, 1.0) > 0.999);
-    }
-
-    #[test]
-    fn cdf_inversion_is_monotone_and_in_range() {
-        let cdf = zipf_cdf(100, 1.0);
-        assert_eq!(zipf_rank(&cdf, 0.0), 0);
-        assert_eq!(zipf_rank(&cdf, 0.999_999), 99);
-        let mut last = 0;
-        for i in 0..=100 {
-            let r = zipf_rank(&cdf, i as f64 / 100.0);
-            assert!(r >= last);
-            last = r;
-        }
-    }
-
-    #[test]
-    fn estimator_orders_by_count_then_name() {
-        let mut e = PopularityEstimator::new();
-        for _ in 0..3 {
-            e.observe("b");
-        }
-        for _ in 0..3 {
-            e.observe("a");
-        }
-        e.observe("c");
-        assert_eq!(e.top(2), vec![("a", 3), ("b", 3)]);
-        assert_eq!(e.total(), 7);
-        assert_eq!(e.distinct(), 3);
-        assert!((e.observed_head_share(2) - 6.0 / 7.0).abs() < 1e-12);
-    }
-}
+pub use cras_core::cachepolicy::{
+    head_share, zipf_cdf, zipf_rank, zipf_weight, PopularityEstimator,
+};

@@ -34,6 +34,19 @@ use std::collections::BTreeMap;
 use cras_media::{Chunk, ChunkTable};
 use cras_sim::Duration;
 
+/// How the cache picks victims under byte-budget pressure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictPolicy {
+    /// Globally oldest (lowest insertion sequence) unpinned frame first
+    /// — deterministic FIFO pressure, the original §11 behavior.
+    #[default]
+    OldestFirst,
+    /// Evict from the movie with the fewest registered followers per
+    /// evictable byte: data nobody downstream is waiting on goes first,
+    /// so a popular movie's shared window outlives a cold one's.
+    FollowersPerByte,
+}
+
 /// Counters exported by the cache (mirrored into the system metrics).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -58,6 +71,18 @@ pub struct CacheStats {
     /// Intervals broken by a leader stop/seek or an eviction racing a
     /// follower (the follower fell back to the disk path).
     pub interval_breaks: u64,
+    /// Bytes served to deferred-admission streams from resident prefix
+    /// frames (no follower registration, no pin churn).
+    pub prefix_hit_bytes: u64,
+    /// Streams admitted deferred against a resident prefix (no disk
+    /// share at open; reserve-at-drain).
+    pub prefix_admitted_streams: u64,
+    /// Deferred-admission streams that obtained their disk share at
+    /// prefix-drain time.
+    pub deferred_drained_streams: u64,
+    /// Opens coalesced onto a concurrent leader's read stream within
+    /// the join window (multicast-style batched joins).
+    pub joined_streams: u64,
 }
 
 /// One cached media chunk.
@@ -72,6 +97,9 @@ struct Frame {
     /// Streams that still have to consume this frame. A frame with a
     /// non-empty waiter list is *pinned* and never evicted.
     waiters: Vec<u32>,
+    /// Prefix-resident frame of a hot title: pinned across sessions by
+    /// the cache manager, never evicted until the title is demoted.
+    prefix: bool,
 }
 
 /// Per-movie cache state: resident frames plus follower bookkeeping.
@@ -85,6 +113,9 @@ struct MovieCache {
     /// Registered cache-dependent streams and their consumption
     /// cursors (media time consumed so far).
     followers: BTreeMap<u32, Duration>,
+    /// Media time below which frames are prefix-pinned (zero = the
+    /// title is not in the hot set).
+    prefix_limit: Duration,
 }
 
 /// A global, timestamp-indexed block cache shared by all streams.
@@ -100,6 +131,8 @@ pub struct IntervalCache {
     reserved: u64,
     seq: u64,
     stats: CacheStats,
+    policy: EvictPolicy,
+    prefix_bytes: u64,
 }
 
 impl IntervalCache {
@@ -114,7 +147,19 @@ impl IntervalCache {
             reserved: 0,
             seq: 0,
             stats: CacheStats::default(),
+            policy: EvictPolicy::OldestFirst,
+            prefix_bytes: 0,
         }
+    }
+
+    /// Selects the budget-pressure eviction policy.
+    pub fn set_policy(&mut self, policy: EvictPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active eviction policy.
+    pub fn policy(&self) -> EvictPolicy {
+        self.policy
     }
 
     /// Whether the cache is enabled (non-zero budget).
@@ -172,6 +217,102 @@ impl IntervalCache {
         self.movies.get(movie).map(|m| m.frontier)
     }
 
+    /// Bytes held by prefix-pinned frames across all movies. The pin
+    /// guard keeps this at or under the byte budget at all times.
+    pub fn prefix_bytes(&self) -> u64 {
+        self.prefix_bytes
+    }
+
+    /// Whether `movie` currently has a prefix-residency pin.
+    pub fn has_prefix(&self, movie: &str) -> bool {
+        self.movies
+            .get(movie)
+            .is_some_and(|m| m.prefix_limit > Duration::ZERO)
+    }
+
+    /// Declares (or clears, with `limit == ZERO`) the prefix-residency
+    /// window of a movie: frames below `limit` already resident are
+    /// promoted to prefix pins and future posted frames below `limit`
+    /// are pinned on insert. Promotion is budget-guarded — prefix pins
+    /// never take the pinned total past the byte budget.
+    pub fn set_prefix(&mut self, movie: &str, limit: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        if limit == Duration::ZERO {
+            // Demotion: the cold prefix unpins and rejoins the normal
+            // window/budget eviction rules.
+            if let Some(m) = self.movies.get_mut(movie) {
+                m.prefix_limit = Duration::ZERO;
+                for f in m.frames.values_mut() {
+                    if f.prefix {
+                        f.prefix = false;
+                        self.prefix_bytes -= f.size;
+                    }
+                }
+                self.evict();
+            }
+            return;
+        }
+        let entry = self.movies.entry(movie.to_string()).or_default();
+        entry.prefix_limit = limit;
+        for (_, f) in entry.frames.range_mut(..limit) {
+            if !f.prefix && self.prefix_bytes + f.size <= self.budget {
+                f.prefix = true;
+                self.prefix_bytes += f.size;
+            }
+        }
+    }
+
+    /// Whether every chunk of `movie` in `[from, to)` is resident as a
+    /// prefix-pinned frame — a deferred-admission stream over that span
+    /// is guaranteed memory service (prefix pins are never evicted).
+    pub fn prefix_resident(
+        &self,
+        movie: &str,
+        table: &ChunkTable,
+        from: Duration,
+        to: Duration,
+    ) -> bool {
+        let Some(m) = self.movies.get(movie) else {
+            return false;
+        };
+        if to <= from {
+            return false;
+        }
+        let span = table.chunks_in(from, to);
+        !span.is_empty()
+            && span
+                .iter()
+                .all(|c| m.frames.get(&c.timestamp).is_some_and(|f| f.prefix))
+    }
+
+    /// Serves one interval's chunks to a deferred-admission stream from
+    /// the resident prefix. All-or-nothing like [`IntervalCache::serve`]
+    /// but registers no follower and touches no pins: prefix frames are
+    /// shared by every prefix stream of the title and stay resident for
+    /// the next one.
+    pub fn serve_resident(&mut self, movie: &str, chunks: &[Chunk]) -> bool {
+        if chunks.is_empty() {
+            return true;
+        }
+        let Some(m) = self.movies.get(movie) else {
+            self.stats.miss_bytes += chunks.iter().map(|c| c.size as u64).sum::<u64>();
+            return false;
+        };
+        if !chunks
+            .iter()
+            .all(|c| m.frames.get(&c.timestamp).is_some_and(|f| f.prefix))
+        {
+            self.stats.miss_bytes += chunks.iter().map(|c| c.size as u64).sum::<u64>();
+            return false;
+        }
+        let served: u64 = chunks.iter().map(|c| c.size as u64).sum();
+        self.stats.hit_bytes += served;
+        self.stats.prefix_hit_bytes += served;
+        true
+    }
+
     /// Reserves admission budget for a trailing stream's gap.
     pub fn reserve(&mut self, bytes: u64) {
         self.reserved += bytes;
@@ -209,6 +350,11 @@ impl IntervalCache {
                     }
                 }
                 None => {
+                    // Budget-guarded prefix pin: a posted frame inside a
+                    // hot title's prefix window stays resident across
+                    // sessions, but only while the pinned total fits.
+                    let prefix = c.timestamp < entry.prefix_limit
+                        && self.prefix_bytes + c.size as u64 <= self.budget;
                     entry.frames.insert(
                         c.timestamp,
                         Frame {
@@ -216,11 +362,15 @@ impl IntervalCache {
                             size: c.size as u64,
                             seq: self.seq,
                             waiters,
+                            prefix,
                         },
                     );
                     self.seq += 1;
                     self.bytes += c.size as u64;
                     self.stats.inserted_bytes += c.size as u64;
+                    if prefix {
+                        self.prefix_bytes += c.size as u64;
+                    }
                 }
             }
             if c.end_timestamp() > entry.frontier {
@@ -317,6 +467,9 @@ impl IntervalCache {
             for f in m.frames.values() {
                 self.bytes -= f.size;
                 self.stats.evicted_bytes += f.size;
+                if f.prefix {
+                    self.prefix_bytes -= f.size;
+                }
             }
         }
     }
@@ -330,7 +483,8 @@ impl IntervalCache {
     /// evicted, so a burst of pins may keep the cache transiently over
     /// budget (recorded in `peak_bytes`).
     fn evict(&mut self) {
-        // Window expiry per movie.
+        // Window expiry per movie. Prefix pins are exempt: they expire
+        // only by demotion from the hot set.
         for m in self.movies.values_mut() {
             let tail = m
                 .followers
@@ -343,7 +497,7 @@ impl IntervalCache {
             let expired: Vec<Duration> = m
                 .frames
                 .range(..cutoff)
-                .filter(|(_, f)| f.waiters.is_empty())
+                .filter(|(_, f)| f.waiters.is_empty() && !f.prefix)
                 .map(|(&ts, _)| ts)
                 .collect();
             for ts in expired {
@@ -352,19 +506,24 @@ impl IntervalCache {
                 self.stats.evicted_bytes += f.size;
             }
         }
-        // Budget pressure: oldest unpinned frame first, globally.
+        // Budget pressure on the unpinned remainder.
         while self.bytes > self.budget {
-            let victim = self
-                .movies
-                .iter()
-                .flat_map(|(name, m)| {
-                    m.frames
-                        .iter()
-                        .filter(|(_, f)| f.waiters.is_empty())
-                        .map(move |(&ts, f)| (f.seq, name.clone(), ts))
-                })
-                .min();
-            let Some((_, name, ts)) = victim else {
+            let victim = match self.policy {
+                // Oldest unpinned frame first, globally.
+                EvictPolicy::OldestFirst => self
+                    .movies
+                    .iter()
+                    .flat_map(|(name, m)| {
+                        m.frames
+                            .iter()
+                            .filter(|(_, f)| f.waiters.is_empty() && !f.prefix)
+                            .map(move |(&ts, f)| (f.seq, name.clone(), ts))
+                    })
+                    .min()
+                    .map(|(_, name, ts)| (name, ts)),
+                EvictPolicy::FollowersPerByte => self.followers_per_byte_victim(),
+            };
+            let Some((name, ts)) = victim else {
                 break; // Everything left is pinned.
             };
             let m = self.movies.get_mut(&name).expect("victim movie");
@@ -372,8 +531,45 @@ impl IntervalCache {
             self.bytes -= f.size;
             self.stats.evicted_bytes += f.size;
         }
-        self.movies
-            .retain(|_, m| !m.frames.is_empty() || !m.followers.is_empty());
+        self.movies.retain(|_, m| {
+            !m.frames.is_empty() || !m.followers.is_empty() || m.prefix_limit > Duration::ZERO
+        });
+    }
+
+    /// Picks the next budget victim under [`EvictPolicy::FollowersPerByte`]:
+    /// the movie with the fewest registered followers per evictable byte
+    /// loses its oldest evictable frame. Cross-multiplied integer
+    /// comparison keeps the order exact and deterministic; ties break by
+    /// movie name.
+    fn followers_per_byte_victim(&self) -> Option<(String, Duration)> {
+        let mut best: Option<(u64, u64, &str, Duration)> = None;
+        for (name, m) in &self.movies {
+            let mut evictable = 0u64;
+            let mut oldest: Option<(u64, Duration)> = None;
+            for (&ts, f) in &m.frames {
+                if f.waiters.is_empty() && !f.prefix {
+                    evictable += f.size;
+                    if oldest.is_none_or(|(seq, _)| f.seq < seq) {
+                        oldest = Some((f.seq, ts));
+                    }
+                }
+            }
+            let Some((_, ts)) = oldest else { continue };
+            let followers = m.followers.len() as u64;
+            let better = match best {
+                None => true,
+                Some((bf, be, bn, _)) => {
+                    // followers/evictable < bf/be  ⟺  followers·be < bf·evictable
+                    let lhs = followers as u128 * be as u128;
+                    let rhs = bf as u128 * evictable as u128;
+                    lhs < rhs || (lhs == rhs && name.as_str() < bn)
+                }
+            };
+            if better {
+                best = Some((followers, evictable, name, ts));
+            }
+        }
+        best.map(|(_, _, name, ts)| (name.to_string(), ts))
     }
 }
 
@@ -541,5 +737,61 @@ mod tests {
         c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(6)));
         c.add_follower("m", 3, secs(4));
         assert_eq!(c.pinned_frames(), 2, "only t=4,5 pinned");
+    }
+
+    #[test]
+    fn prefix_frames_survive_window_and_budget_until_demoted() {
+        let mut c = IntervalCache::new(4000, secs(2));
+        let t = table(20);
+        c.set_prefix("m", secs(3));
+        c.insert_posted("m", t.chunks_in(Duration::ZERO, secs(10)));
+        // Window expiry reclaimed the middle; the 3-second prefix and
+        // the trailing window both stayed.
+        assert_eq!(c.prefix_bytes(), 3000);
+        assert!(c.prefix_resident("m", &t, Duration::ZERO, secs(3)));
+        assert!(!c.prefix_resident("m", &t, Duration::ZERO, secs(4)));
+        assert!(c.serve_resident("m", t.chunks_in(Duration::ZERO, secs(3))));
+        assert_eq!(c.stats().prefix_hit_bytes, 3000);
+        // Demotion unpins the prefix and eviction reclaims it.
+        c.set_prefix("m", Duration::ZERO);
+        assert_eq!(c.prefix_bytes(), 0);
+        assert!(!c.prefix_resident("m", &t, Duration::ZERO, secs(3)));
+    }
+
+    #[test]
+    fn prefix_pins_never_exceed_budget() {
+        let mut c = IntervalCache::new(2500, secs(100));
+        let t = table(10);
+        c.set_prefix("m", secs(10));
+        c.insert_posted("m", t.chunks());
+        // Only two 1000-byte frames fit under the 2500-byte budget as
+        // prefix pins; the rest stayed ordinary window frames.
+        assert_eq!(c.prefix_bytes(), 2000);
+        assert!(c.prefix_bytes() <= c.budget());
+        assert!(c.prefix_resident("m", &t, Duration::ZERO, secs(2)));
+        assert!(!c.prefix_resident("m", &t, Duration::ZERO, secs(3)));
+    }
+
+    #[test]
+    fn followers_per_byte_evicts_the_unwatched_movie_first() {
+        let mut c = IntervalCache::new(6000, secs(100));
+        c.set_policy(EvictPolicy::FollowersPerByte);
+        let t = table(10);
+        // "cold" has no followers; "hot" has two. Insert cold first so
+        // FIFO order would also pick it — then verify the policy keeps
+        // preferring cold even when hot's frames are older.
+        c.add_follower("hot", 1, Duration::ZERO);
+        c.add_follower("hot", 2, Duration::ZERO);
+        c.insert_posted("hot", t.chunks_in(Duration::ZERO, secs(3)));
+        c.serve("hot", 1, t.chunks_in(Duration::ZERO, secs(3)));
+        c.serve("hot", 2, t.chunks_in(Duration::ZERO, secs(3)));
+        // hot's 3 frames are now unpinned but have 2 followers behind
+        // them; cold's 4 frames have none.
+        c.insert_posted("cold", t.chunks_in(Duration::ZERO, secs(4)));
+        // 7000 bytes > 6000: the victim must come from cold despite
+        // hot's frames being older.
+        assert_eq!(c.frame_count(), 6);
+        assert!(c.covers("hot", &t, Duration::ZERO));
+        assert!(!c.covers("cold", &t, Duration::ZERO));
     }
 }

@@ -1,0 +1,272 @@
+//! The popularity-aware cache manager: a catalog-wide policy layered
+//! over the interval cache (DESIGN §16).
+//!
+//! DESIGN §11's interval cache pins first-come and sweeps by trailing
+//! window — a *per-interval* policy that knows nothing about which
+//! titles matter. This module adds the catalog view (grounded in
+//! *Multicast Transmission Prefix and Popularity Aware Interval Caching
+//! Based Admission Control Policy*, PAPERS.md):
+//!
+//! * a Zipf popularity model plus an online open-count estimator (moved
+//!   here from `cras-cluster`, which re-exports them — placement and
+//!   caching rank titles the same way);
+//! * a [`CacheManager`] that keeps the hot set's *prefix* frames
+//!   memory-resident across sessions, so a new viewer of a popular
+//!   title starts from memory and only needs a disk share once its
+//!   prefix drains (deferred admission, reserve-at-drain);
+//! * hot-set promotion/demotion driven by observed opens, feeding
+//!   [`IntervalCache::set_prefix`](crate::IntervalCache::set_prefix)
+//!   pins and un-pins deterministically.
+
+use std::collections::BTreeMap;
+
+use cras_sim::Duration;
+
+use crate::cache::IntervalCache;
+
+/// Unnormalized Zipf weight of rank `r` (0-based) with exponent
+/// `theta`.
+pub fn zipf_weight(rank: usize, theta: f64) -> f64 {
+    1.0 / ((rank + 1) as f64).powf(theta)
+}
+
+/// Cumulative request share of the `head` hottest titles out of `n`
+/// under Zipf(`theta`) — how much traffic replication covers.
+pub fn head_share(head: usize, n: usize, theta: f64) -> f64 {
+    let total: f64 = (0..n).map(|r| zipf_weight(r, theta)).sum();
+    let hot: f64 = (0..head.min(n)).map(|r| zipf_weight(r, theta)).sum();
+    if total > 0.0 {
+        hot / total
+    } else {
+        0.0
+    }
+}
+
+/// Cumulative distribution for drawing Zipf-distributed ranks by
+/// inverse-CDF sampling: `cdf[r]` is the probability of rank `<= r`.
+pub fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for r in 0..n {
+        acc += zipf_weight(r, theta);
+        cdf.push(acc);
+    }
+    let total = *cdf.last().unwrap_or(&1.0);
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// Draws a rank from `cdf` (as built by [`zipf_cdf`]) given a uniform
+/// sample in `[0, 1)`.
+pub fn zipf_rank(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u)
+        .min(cdf.len().saturating_sub(1))
+}
+
+/// Online open-count estimator. Iteration order is `BTreeMap`'s, so
+/// every report it produces is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct PopularityEstimator {
+    counts: BTreeMap<String, u64>,
+    total: u64,
+}
+
+impl PopularityEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> PopularityEstimator {
+        PopularityEstimator::default()
+    }
+
+    /// Records one open of `title`.
+    pub fn observe(&mut self, title: &str) {
+        *self.counts.entry(title.to_string()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Opens observed for `title`.
+    pub fn count(&self, title: &str) -> u64 {
+        self.counts.get(title).copied().unwrap_or(0)
+    }
+
+    /// Total opens observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Distinct titles observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `k` most-opened titles, most popular first; ties broken by
+    /// title name so the report is stable across runs.
+    pub fn top(&self, k: usize) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> = self.counts.iter().map(|(t, &c)| (t.as_str(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Observed request share of the `k` most-opened titles.
+    pub fn observed_head_share(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hot: u64 = self.top(k).iter().map(|&(_, c)| c).sum();
+        hot as f64 / self.total as f64
+    }
+}
+
+/// The global cache manager: ranks titles by observed opens and keeps
+/// the hot set's prefixes pinned in the interval cache.
+///
+/// The server owns one manager next to its [`IntervalCache`] and calls
+/// [`CacheManager::observe_open`] on every `crs_open`. The manager
+/// recomputes the top-`hot_set` titles (ties by name, like
+/// [`PopularityEstimator::top`]) and syncs the cache's prefix pins:
+/// promoted titles gain a `prefix_secs` pin, demoted titles lose
+/// theirs — the "cold prefix" the followers-per-byte policy then
+/// reclaims. With `hot_set == 0` or `prefix_secs == 0` the manager
+/// only counts and never pins, leaving the cache byte-identical to the
+/// unmanaged baseline.
+#[derive(Clone, Debug)]
+pub struct CacheManager {
+    popularity: PopularityEstimator,
+    hot_set: usize,
+    prefix_secs: Duration,
+    hot: Vec<String>,
+}
+
+impl CacheManager {
+    /// Creates a manager keeping the first `prefix_secs` of the
+    /// `hot_set` most-opened titles resident.
+    pub fn new(hot_set: usize, prefix_secs: Duration) -> CacheManager {
+        CacheManager {
+            popularity: PopularityEstimator::new(),
+            hot_set,
+            prefix_secs,
+            hot: Vec::new(),
+        }
+    }
+
+    /// Whether prefix residency is active at all.
+    pub fn enabled(&self) -> bool {
+        self.hot_set > 0 && self.prefix_secs > Duration::ZERO
+    }
+
+    /// The configured prefix-residency window.
+    pub fn prefix_secs(&self) -> Duration {
+        self.prefix_secs
+    }
+
+    /// The popularity estimator (shared ranking with cluster placement).
+    pub fn popularity(&self) -> &PopularityEstimator {
+        &self.popularity
+    }
+
+    /// The current hot set, most popular first.
+    pub fn hot_titles(&self) -> &[String] {
+        &self.hot
+    }
+
+    /// Whether `title` is currently in the hot set.
+    pub fn is_hot(&self, title: &str) -> bool {
+        self.hot.iter().any(|t| t == title)
+    }
+
+    /// Records one open of `title`, recomputes the hot set, and syncs
+    /// the cache's prefix pins (new hot titles pinned, demoted titles
+    /// unpinned).
+    pub fn observe_open(&mut self, title: &str, cache: &mut IntervalCache) {
+        self.popularity.observe(title);
+        if !self.enabled() || !cache.enabled() {
+            return;
+        }
+        let next: Vec<String> = self
+            .popularity
+            .top(self.hot_set)
+            .into_iter()
+            .map(|(t, _)| t.to_string())
+            .collect();
+        for old in &self.hot {
+            if !next.contains(old) {
+                cache.set_prefix(old, Duration::ZERO);
+            }
+        }
+        for new in &next {
+            if !cache.has_prefix(new) {
+                cache.set_prefix(new, self.prefix_secs);
+            }
+        }
+        self.hot = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_head_concentrates() {
+        // Under Zipf(1.0) over 1000 titles, the top 32 carry a large
+        // minority of all requests — the premise of hot replication.
+        let share = head_share(32, 1000, 1.0);
+        assert!((0.40..0.60).contains(&share), "head share {share:.3}");
+        assert!(head_share(1000, 1000, 1.0) > 0.999);
+    }
+
+    #[test]
+    fn cdf_inversion_is_monotone_and_in_range() {
+        let cdf = zipf_cdf(100, 1.0);
+        assert_eq!(zipf_rank(&cdf, 0.0), 0);
+        assert_eq!(zipf_rank(&cdf, 0.999_999), 99);
+        let mut last = 0;
+        for i in 0..=100 {
+            let r = zipf_rank(&cdf, i as f64 / 100.0);
+            assert!(r >= last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn estimator_orders_by_count_then_name() {
+        let mut e = PopularityEstimator::new();
+        for _ in 0..3 {
+            e.observe("b");
+        }
+        for _ in 0..3 {
+            e.observe("a");
+        }
+        e.observe("c");
+        assert_eq!(e.top(2), vec![("a", 3), ("b", 3)]);
+        assert_eq!(e.total(), 7);
+        assert_eq!(e.distinct(), 3);
+        assert!((e.observed_head_share(2) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manager_promotes_and_demotes_prefix_pins() {
+        let mut cache = IntervalCache::new(1 << 20, Duration::from_secs(10));
+        let mut mgr = CacheManager::new(1, Duration::from_secs(5));
+        mgr.observe_open("a.mov", &mut cache);
+        assert!(mgr.is_hot("a.mov"));
+        assert!(cache.has_prefix("a.mov"));
+        // Two opens of b displace a from the 1-slot hot set.
+        mgr.observe_open("b.mov", &mut cache);
+        mgr.observe_open("b.mov", &mut cache);
+        assert!(mgr.is_hot("b.mov") && !mgr.is_hot("a.mov"));
+        assert!(cache.has_prefix("b.mov") && !cache.has_prefix("a.mov"));
+    }
+
+    #[test]
+    fn disabled_manager_never_pins() {
+        let mut cache = IntervalCache::new(1 << 20, Duration::from_secs(10));
+        let mut mgr = CacheManager::new(0, Duration::from_secs(5));
+        mgr.observe_open("a.mov", &mut cache);
+        assert!(!mgr.enabled());
+        assert_eq!(mgr.popularity().count("a.mov"), 1);
+        assert!(!cache.has_prefix("a.mov"));
+    }
+}

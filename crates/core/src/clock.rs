@@ -63,6 +63,14 @@ impl LogicalClock {
         self.rate
     }
 
+    /// The real-time anchor of the current running segment (`None` when
+    /// stopped). For a freshly started stream this is its playback
+    /// begin; batched joins use it to anchor a follower's clock on its
+    /// leader's.
+    pub fn anchor(&self) -> Option<Instant> {
+        self.anchor_real
+    }
+
     /// Media time at real time `now` (clamped to the anchor for `now`
     /// before the anchor).
     pub fn media_time(&self, now: Instant) -> Duration {

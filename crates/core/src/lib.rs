@@ -9,6 +9,9 @@
 //! * [`cache`] — the interval cache: trailing streams of a popular
 //!   movie are served from the window the leader just read, and can be
 //!   admitted against a memory budget when the disk bound is full.
+//! * [`cachepolicy`] — the popularity-aware cache manager (DESIGN §16):
+//!   Zipf popularity modelling, prefix residency for the hot set, and
+//!   the deferred (reserve-at-drain) admission policy built on it.
 //! * [`clock`] — per-stream logical clocks (`crs_start/stop/seek`, rate
 //!   changes).
 //! * [`tdbuffer`] — the time-driven shared memory buffer (§2.4,
@@ -38,6 +41,7 @@
 pub mod admission;
 pub mod api;
 pub mod cache;
+pub mod cachepolicy;
 pub mod clock;
 pub mod deploy;
 pub mod fifo;
@@ -49,7 +53,10 @@ pub mod writer;
 
 pub use admission::{Admission, AdmissionError, AdmissionModel, StreamParams, MAX_READ_BYTES};
 pub use api::{crs_close, crs_get, crs_open, crs_seek, crs_start, crs_stop, CrsSession};
-pub use cache::{CacheStats, IntervalCache};
+pub use cache::{CacheStats, EvictPolicy, IntervalCache};
+pub use cachepolicy::{
+    head_share, zipf_cdf, zipf_rank, zipf_weight, CacheManager, PopularityEstimator,
+};
 pub use clock::LogicalClock;
 pub use deploy::DeployMode;
 pub use fifo::FifoBuffer;

@@ -44,7 +44,8 @@ use cras_sim::{Duration, Instant};
 use cras_ufs::Extent;
 
 use crate::admission::{Admission, AdmissionError, AdmissionModel, StreamParams, MAX_READ_BYTES};
-use crate::cache::IntervalCache;
+use crate::cache::{EvictPolicy, IntervalCache};
+use crate::cachepolicy::CacheManager;
 use crate::clock::LogicalClock;
 use crate::placement::{on_volume, volume_shares, PlacementPolicy, VolumeExtent};
 use crate::stream::{CacheState, ParityState, Stream, StreamId};
@@ -87,6 +88,21 @@ pub struct ServerConfig {
     /// Maximum media-time gap at which a trailing stream may attach to
     /// a leading stream's cached window.
     pub max_cache_gap: Duration,
+    /// Prefix-residency window (DESIGN §16): the first `prefix_secs` of
+    /// each hot title stay pinned in the interval cache across
+    /// sessions, and a new viewer of a hot title is admitted *deferred*
+    /// — zero disk shares until its prefix drains. `ZERO` disables.
+    pub prefix_secs: Duration,
+    /// Number of titles in the hot set (ranked by observed opens) whose
+    /// prefixes stay resident. `0` disables prefix residency.
+    pub hot_set: usize,
+    /// Batched-join window: a starting stream whose natural playback
+    /// begin lands within this window of a fresh same-title stream's
+    /// begin coalesces onto that leader's reads (multicast-style,
+    /// zero disk shares). `ZERO` disables joins.
+    pub join_window: Duration,
+    /// Which victim the interval cache evicts when the budget is tight.
+    pub cache_evict: EvictPolicy,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +119,10 @@ impl Default for ServerConfig {
             placement: PlacementPolicy::RoundRobin,
             cache_budget: 0,
             max_cache_gap: Duration::from_secs(10),
+            prefix_secs: Duration::ZERO,
+            hot_set: 0,
+            join_window: Duration::ZERO,
+            cache_evict: EvictPolicy::OldestFirst,
         }
     }
 }
@@ -154,6 +174,20 @@ pub struct IntervalReport {
     /// Streams whose interval was served entirely from the interval
     /// cache (they issued zero disk commands this tick).
     pub cache_served_streams: usize,
+    /// Deferred-admission streams whose prefix drained this tick and
+    /// whose disk share was reserved now (reserve-at-drain). The
+    /// orchestrator journals these so crash recovery re-admits them as
+    /// ordinary disk streams.
+    pub deferred_reserved: Vec<u32>,
+    /// Titles whose streams were parked (clock stopped) by a failed
+    /// cache/deferred re-admission since the previous tick — the
+    /// per-title cost of the eviction policy, for metrics.
+    pub cache_rejected_titles: Vec<String>,
+    /// Stream ids parked since the previous tick. The layer driving
+    /// viewers should pause them (rebuffer) rather than let their
+    /// players burn the poll budget, and may retry admission via
+    /// [`CrasServer::resume`] once capacity frees.
+    pub parked_streams: Vec<u32>,
 }
 
 impl IntervalReport {
@@ -284,6 +318,25 @@ pub struct CrasServer {
     admissions: Vec<Admission>,
     /// The interval cache (inert when `cfg.cache_budget == 0`).
     cache: IntervalCache,
+    /// The popularity-aware cache manager (DESIGN §16): ranks titles by
+    /// observed opens and keeps the hot set's prefixes pinned.
+    manager: CacheManager,
+    /// Batched joins: leader stream id → ids of the streams riding its
+    /// reads. An entry disappears when the leader stops matching its
+    /// followers (stop/seek/rate change/close); orphaned followers
+    /// dissolve at the next tick.
+    joins: BTreeMap<u32, Vec<u32>>,
+    /// Titles parked by a failed cache/deferred re-admission since the
+    /// last tick, drained into [`IntervalReport::cache_rejected_titles`].
+    pending_rejects: Vec<String>,
+    /// Stream ids parked since the last tick, drained into
+    /// [`IntervalReport::parked_streams`] so the layer driving viewers
+    /// can pause them (rebuffer) instead of letting them starve.
+    pending_parks: Vec<u32>,
+    /// Followers orphaned by a leader that parked; they dissolve in the
+    /// *same* tick the park happened (a parked leader fetches nothing,
+    /// so waiting a tick would open a one-interval delivery gap).
+    parked_orphans: Vec<u32>,
     streams: BTreeMap<u32, Stream>,
     next_stream: u32,
     next_place: u32,
@@ -327,12 +380,19 @@ impl CrasServer {
     pub fn new_per_volume(disks: Vec<DiskParams>, cfg: ServerConfig) -> CrasServer {
         assert!(cfg.volumes >= 1, "server needs at least one volume");
         assert_eq!(disks.len(), cfg.volumes, "need one DiskParams per volume");
+        let mut cache = IntervalCache::new(cfg.cache_budget, cfg.max_cache_gap);
+        cache.set_policy(cfg.cache_evict);
         CrasServer {
             admissions: disks
                 .into_iter()
                 .map(|d| Admission::new(d, cfg.model))
                 .collect(),
-            cache: IntervalCache::new(cfg.cache_budget, cfg.max_cache_gap),
+            cache,
+            manager: CacheManager::new(cfg.hot_set, cfg.prefix_secs),
+            joins: BTreeMap::new(),
+            pending_rejects: Vec::new(),
+            pending_parks: Vec::new(),
+            parked_orphans: Vec::new(),
             cfg,
             streams: BTreeMap::new(),
             next_stream: 0,
@@ -376,6 +436,31 @@ impl CrasServer {
     /// The interval cache.
     pub fn cache(&self) -> &IntervalCache {
         &self.cache
+    }
+
+    /// The popularity-aware cache manager.
+    pub fn cache_manager(&self) -> &CacheManager {
+        &self.manager
+    }
+
+    /// The cache relationship of one stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream does not exist.
+    pub fn cache_state_of(&self, id: StreamId) -> CacheState {
+        self.stream(id).cache_state
+    }
+
+    /// Open streams currently holding a disk reservation (the admission
+    /// test charges their spindles): plain disk streams plus
+    /// cache-*served* ones. Cache-admitted, prefix-deferred and joined
+    /// streams charge nothing.
+    pub fn disk_charged_streams(&self) -> usize {
+        self.streams
+            .values()
+            .filter(|s| matches!(s.cache_state, CacheState::Disk | CacheState::Served { .. }))
+            .count()
     }
 
     /// Statistics so far.
@@ -629,6 +714,26 @@ impl CrasServer {
         }
         let mut entries = self.admit_entries();
         entries.push((params, shares, if parity.is_some() { 2 } else { 1 }));
+        // Every checked open feeds the popularity estimator; when the
+        // hot set changes, the manager re-pins prefixes in the cache.
+        self.manager.observe_open(name, &mut self.cache);
+        // Deferred admission (DESIGN §16): a hot title whose whole
+        // prefix is memory-resident starts from memory and reserves a
+        // disk share only when its prefix drains (reserve-at-drain), so
+        // only buffer memory is checked at open.
+        if self.prefix_resident_for(name, &table) {
+            let mut deferred = entries.clone();
+            deferred.last_mut().expect("pushed above").1 = vec![0.0; self.cfg.volumes];
+            if self.admit_set(&deferred).is_ok() {
+                let id = self.install_stream(name, table, extents, mirror, parity, params);
+                self.streams
+                    .get_mut(&id.0)
+                    .expect("installed above")
+                    .cache_state = CacheState::Prefix;
+                self.cache.stats_mut().prefix_admitted_streams += 1;
+                return Ok(id);
+            }
+        }
         // Does the new stream trail an active stream on the same movie
         // closely enough to be fed from the interval cache? (None when
         // the cache is disabled or the window does not cover the gap.)
@@ -727,6 +832,43 @@ impl CrasServer {
         Some(need)
     }
 
+    /// Whether `name` qualifies for deferred (prefix) admission: it is
+    /// in the hot set and its whole prefix is memory-resident.
+    fn prefix_resident_for(&self, name: &str, table: &ChunkTable) -> bool {
+        if !self.manager.enabled() || !self.cache.enabled() || !self.manager.is_hot(name) {
+            return false;
+        }
+        let end = self.cfg.prefix_secs.min(table.total_duration());
+        self.cache.prefix_resident(name, table, Duration::ZERO, end)
+    }
+
+    /// Re-installs a deferred-admission stream during crash recovery.
+    /// The cache is empty after a restart, so the prefix-residency test
+    /// cannot re-pass; the stream is installed with zero disk shares
+    /// (buffer memory still checked) in state
+    /// [`CacheState::Prefix`], and its first serve miss walks the
+    /// ordinary drain path — a disk re-admission at that tick.
+    pub fn open_deferred_replicated(
+        &mut self,
+        name: &str,
+        table: ChunkTable,
+        extents: Vec<VolumeExtent>,
+        mirror: Option<Vec<VolumeExtent>>,
+    ) -> Result<StreamId, AdmissionError> {
+        let params = StreamParams::new(table.worst_rate(), table.max_chunk_size() as f64);
+        let mut entries = self.admit_entries();
+        entries.push((params, vec![0.0; self.cfg.volumes], 1));
+        self.admit_set(&entries)?;
+        self.manager.observe_open(name, &mut self.cache);
+        let id = self.install_stream(name, table, extents, mirror, None, params);
+        self.streams
+            .get_mut(&id.0)
+            .expect("installed above")
+            .cache_state = CacheState::Prefix;
+        self.cache.stats_mut().prefix_admitted_streams += 1;
+        Ok(id)
+    }
+
     /// Marks an installed stream cache-fed and registers it as a
     /// follower of its movie's window.
     fn attach_cached(&mut self, id: StreamId, need: u64, admitted: bool) {
@@ -774,10 +916,7 @@ impl CrasServer {
                 // No disk headroom for the orphaned follower: it stops
                 // where it is (the client may retry later, when other
                 // streams have closed).
-                let s = self.streams.get_mut(&sid).expect("no such stream");
-                s.clock.stop(now);
-                s.cache_state = CacheState::Admitted { reserved: 0 };
-                self.cache.stats_mut().cache_rejected_streams += 1;
+                self.park_stream(sid, now);
             }
         }
     }
@@ -885,6 +1024,12 @@ impl CrasServer {
     /// Panics if the stream does not exist.
     pub fn close(&mut self, id: StreamId) {
         let s = self.streams.remove(&id.0).expect("no such stream");
+        // A closing leader orphans its followers (they dissolve at the
+        // next tick); a closing follower leaves its join.
+        self.joins.remove(&id.0);
+        if let CacheState::Joined { leader } = s.cache_state {
+            self.leave_join(leader, id.0);
+        }
         // Orphan any in-flight batches; their completions become no-ops.
         self.pending.retain(|_, b| b.stream != id);
         self.done.retain(|b| b.stream != id);
@@ -901,9 +1046,19 @@ impl CrasServer {
 
     /// `crs_start`: starts pre-fetching; the logical clock begins after
     /// the configured initial delay. Returns the playback start time.
+    ///
+    /// With a nonzero join window, a fresh stream starting within the
+    /// window of a same-title stream whose playback has not yet begun
+    /// coalesces onto that leader's reads instead (batched join): its
+    /// clock anchors on the leader's begin, the leader's already-posted
+    /// chunks are backfilled, and later batches are multicast as they
+    /// post — zero disk commands of its own.
     pub fn start(&mut self, id: StreamId, now: Instant) -> Instant {
         let delay = self.cfg.interval * self.cfg.initial_delay_intervals as u64;
         let begin = now + delay;
+        if let Some(leader) = self.join_candidate(id, now) {
+            return self.join_stream(id, leader, now);
+        }
         let s = self.streams.get_mut(&id.0).expect("no such stream");
         s.clock.start(begin);
         // A cache-admitted stream holds no disk reservation: it must
@@ -932,12 +1087,234 @@ impl CrasServer {
         begin
     }
 
+    /// The stream a starting stream should join, if any: a same-title,
+    /// normal-rate leader whose playback begin is still in the future
+    /// (nothing consumed — the follower misses no frames) and within
+    /// the join window of the follower's natural begin. Ties go to the
+    /// lowest stream id so coalescing is order-independent.
+    fn join_candidate(&self, id: StreamId, now: Instant) -> Option<u32> {
+        if self.cfg.join_window == Duration::ZERO {
+            return None;
+        }
+        let s = self.stream(id);
+        // Only a fresh stream (position zero, nothing fetched) can ride
+        // a leader's reads frame for frame.
+        if s.prefetch_cursor > Duration::ZERO || s.clock.media_time(now) > Duration::ZERO {
+            return None;
+        }
+        let delay = self.cfg.interval * self.cfg.initial_delay_intervals as u64;
+        let natural = now + delay;
+        self.streams
+            .values()
+            .filter(|l| {
+                l.id != id
+                    && l.name == s.name
+                    && l.clock.is_running()
+                    && l.clock.rate() >= 1.0
+                    && l.clock.rate() <= 1.0
+                    && !matches!(l.cache_state, CacheState::Joined { .. })
+            })
+            .filter(|l| {
+                // The leader must be playing from the top and its begin
+                // must still be ahead, within the join window of ours.
+                l.clock.media_time(now) == Duration::ZERO
+                    && l.clock.anchor().is_some_and(|b| {
+                        b > now && natural.saturating_since(b) <= self.cfg.join_window
+                    })
+            })
+            .map(|l| l.id.0)
+            .min()
+    }
+
+    /// Coalesces a starting stream onto `leader`'s read stream: anchors
+    /// its clock on the leader's begin, backfills the chunks the leader
+    /// has already posted, and registers it for multicast of the rest.
+    fn join_stream(&mut self, id: StreamId, leader: u32, now: Instant) -> Instant {
+        // Any reservation held from the open path is superseded.
+        self.detach_cached(id);
+        let (begin, fetched_to) = {
+            let l = self.streams.get(&leader).expect("candidate exists");
+            (
+                l.clock.anchor().expect("candidate is running"),
+                l.prefetch_cursor,
+            )
+        };
+        // The leader's fetched range splits into posted chunks (already
+        // in its buffer — backfill them) and in-flight/unposted batches
+        // (they multicast at their own post time). The boundary is the
+        // lowest chunk index among its outstanding batches.
+        let unposted_lo = self
+            .pending
+            .values()
+            .filter(|b| b.stream.0 == leader)
+            .map(|b| b.chunk_lo)
+            .chain(
+                self.done
+                    .iter()
+                    .filter(|b| b.stream.0 == leader)
+                    .map(|b| b.chunk_lo),
+            )
+            .min();
+        let s = self.streams.get_mut(&id.0).expect("no such stream");
+        s.cache_state = CacheState::Joined { leader };
+        s.clock.start(begin);
+        let media_now = s.clock.media_time(now);
+        let mut cursor = Duration::ZERO;
+        if fetched_to > Duration::ZERO {
+            for c in s.table.chunks_in(Duration::ZERO, fetched_to) {
+                if unposted_lo.is_some_and(|lim| c.index >= lim) {
+                    break;
+                }
+                s.buffer.put(
+                    BufferedChunk {
+                        index: c.index,
+                        timestamp: c.timestamp,
+                        duration: c.duration,
+                        size: c.size,
+                        posted_at: now,
+                    },
+                    media_now,
+                );
+                cursor = c.timestamp + c.duration;
+            }
+        }
+        s.prefetch_cursor = cursor;
+        self.joins.entry(leader).or_default().push(id.0);
+        self.cache.stats_mut().joined_streams += 1;
+        begin
+    }
+
+    /// Removes `follower` from `leader`'s multicast list.
+    fn leave_join(&mut self, leader: u32, follower: u32) {
+        if let Some(v) = self.joins.get_mut(&leader) {
+            v.retain(|&f| f != follower);
+            if v.is_empty() {
+                self.joins.remove(&leader);
+            }
+        }
+    }
+
+    /// Dissolves a joined stream whose leader no longer multicasts to
+    /// it (stopped, sought, changed rate, parked, or closed). A fully-
+    /// delivered follower needs nothing; otherwise it must reserve a
+    /// disk share. Idempotent: a stream that already dissolved (or
+    /// closed) this tick is left alone.
+    fn dissolve_joined(&mut self, sid: u32, now: Instant) {
+        let Some(s) = self.streams.get_mut(&sid) else {
+            return;
+        };
+        if !matches!(s.cache_state, CacheState::Joined { .. }) {
+            return;
+        }
+        if s.prefetch_cursor >= s.table.total_duration() {
+            // Everything was delivered before the leader left: nothing
+            // left to read, no reservation needed.
+            s.cache_state = CacheState::Admitted { reserved: 0 };
+            return;
+        }
+        self.reserve_disk_share(sid, now);
+    }
+
+    /// Tries to secure a feed for a stream holding no reservation: disk
+    /// admission first, then the interval-cache window. Returns
+    /// `Some(true)` for a disk share, `Some(false)` for a cache window,
+    /// `None` when neither can take it (state restored to the zero-
+    /// share marker).
+    fn try_reserve_feed(&mut self, sid: u32) -> Option<bool> {
+        let id = StreamId(sid);
+        self.streams
+            .get_mut(&sid)
+            .expect("no such stream")
+            .cache_state = CacheState::Disk;
+        let entries = self.admit_entries();
+        if self.admit_set(&entries).is_ok() {
+            return Some(true);
+        }
+        let (name, params, table, from) = {
+            let s = self.stream(id);
+            (s.name.clone(), s.params, s.table.clone(), s.prefetch_cursor)
+        };
+        if let Some(need) = self.cache_candidate(&name, &table, params, from, Some(id)) {
+            self.attach_cached(id, need, true);
+            self.cache.stats_mut().cache_admitted_streams += 1;
+            return Some(false);
+        }
+        self.streams
+            .get_mut(&sid)
+            .expect("no such stream")
+            .cache_state = CacheState::Admitted { reserved: 0 };
+        None
+    }
+
+    /// Parks a stream that found no feed: the clock stops where it is
+    /// (the viewer rebuffers; [`CrasServer::resume`] retries later) and
+    /// any joined followers are orphaned — a parked leader fetches
+    /// nothing, so they must find feeds of their own, in this same tick.
+    fn park_stream(&mut self, sid: u32, now: Instant) {
+        if let Some(fs) = self.joins.remove(&sid) {
+            self.parked_orphans.extend(fs);
+        }
+        let s = self.streams.get_mut(&sid).expect("no such stream");
+        s.clock.stop(now);
+        s.cache_state = CacheState::Admitted { reserved: 0 };
+        let name = s.name.clone();
+        self.cache.stats_mut().cache_rejected_streams += 1;
+        self.pending_rejects.push(name);
+        self.pending_parks.push(sid);
+    }
+
+    /// Reserves a disk share for a stream that lost its zero-share feed
+    /// (drained prefix or dissolved join): disk admission first, then
+    /// the interval-cache window, else the stream is parked (clock
+    /// stopped) for the client to retry. Returns whether a *disk* share
+    /// was reserved.
+    fn reserve_disk_share(&mut self, sid: u32, now: Instant) -> bool {
+        match self.try_reserve_feed(sid) {
+            Some(disk) => disk,
+            None => {
+                // Parked: neither the spindles nor the cache can take
+                // it now.
+                self.park_stream(sid, now);
+                false
+            }
+        }
+    }
+
+    /// Retries admission for a parked stream (the client's `crs_start`
+    /// after a rebuffer): if the spindles or the cache can feed it now,
+    /// the clock restarts from the frozen position after the standard
+    /// initial delay. Returns `(begin, disk)` on success — `disk` is
+    /// true when a real disk share was reserved (the caller should
+    /// journal the promotion like any reserve-at-drain) — and `None`
+    /// when the stream is still unservable or was not parked.
+    pub fn resume(&mut self, id: StreamId, now: Instant) -> Option<(Instant, bool)> {
+        let s = self.streams.get(&id.0)?;
+        if s.clock.is_running() || !matches!(s.cache_state, CacheState::Admitted { reserved: 0 }) {
+            return None;
+        }
+        let disk = self.try_reserve_feed(id.0)?;
+        let delay = self.cfg.interval * self.cfg.initial_delay_intervals as u64;
+        let begin = now + delay;
+        self.streams
+            .get_mut(&id.0)
+            .expect("checked above")
+            .clock
+            .start(begin);
+        Some((begin, disk))
+    }
+
     /// `crs_stop`: stops the logical clock; pre-fetching ceases at the
     /// frozen position. A cache-fed stream's pins and reservation are
     /// released in this same call — a stopped client must not hold
     /// frames in memory indefinitely.
     pub fn stop(&mut self, id: StreamId, now: Instant) {
         self.detach_cached(id);
+        // A stopping leader orphans its followers (they dissolve at the
+        // next tick); a stopping follower leaves its join.
+        self.joins.remove(&id.0);
+        if let CacheState::Joined { leader } = self.stream(id).cache_state {
+            self.leave_join(leader, id.0);
+        }
         let s = self.streams.get_mut(&id.0).expect("no such stream");
         s.clock.stop(now);
         match s.cache_state {
@@ -945,7 +1322,12 @@ impl CrasServer {
             CacheState::Served { .. } => s.cache_state = CacheState::Disk,
             // No disk reservation: remember that a restart must either
             // re-attach to the window or pass disk admission.
-            CacheState::Admitted { .. } => s.cache_state = CacheState::Admitted { reserved: 0 },
+            CacheState::Admitted { .. } | CacheState::Joined { .. } => {
+                s.cache_state = CacheState::Admitted { reserved: 0 }
+            }
+            // Still feeding from its resident prefix; a restart resumes
+            // it and the drain path reserves a share when it runs out.
+            CacheState::Prefix => {}
             CacheState::Disk => {}
         }
     }
@@ -959,6 +1341,13 @@ impl CrasServer {
     /// cache-admitted).
     pub fn seek(&mut self, id: StreamId, now: Instant, to: Duration) {
         self.detach_cached(id);
+        // A seeking leader's reads no longer match its followers; a
+        // seeking follower leaves its join (the new position needs its
+        // own feed).
+        self.joins.remove(&id.0);
+        if let CacheState::Joined { leader } = self.stream(id).cache_state {
+            self.leave_join(leader, id.0);
+        }
         let s = self.streams.get_mut(&id.0).expect("no such stream");
         s.clock.seek(now, to);
         s.buffer.clear();
@@ -976,8 +1365,17 @@ impl CrasServer {
             (s.name.clone(), s.params, s.table.clone())
         };
         if let Some(need) = self.cache_candidate(&name, &table, params, to, Some(id)) {
-            // The window covers the new position: stay cache-fed.
-            self.attach_cached(id, need, matches!(state, CacheState::Admitted { .. }));
+            // The window covers the new position: stay cache-fed. Any
+            // zero-disk-share state (cache-admitted, prefix-deferred, or
+            // joined) must hold a cache reservation from here on.
+            self.attach_cached(
+                id,
+                need,
+                matches!(
+                    state,
+                    CacheState::Admitted { .. } | CacheState::Prefix | CacheState::Joined { .. }
+                ),
+            );
             return;
         }
         match state {
@@ -985,16 +1383,13 @@ impl CrasServer {
                 // Disk capacity was never released; just read from disk.
                 self.streams.get_mut(&id.0).expect("checked").cache_state = CacheState::Disk;
             }
-            CacheState::Admitted { .. } => {
+            CacheState::Admitted { .. } | CacheState::Prefix | CacheState::Joined { .. } => {
                 // Needs a disk reservation now: re-run the admission
                 // test with this stream's real shares.
                 self.streams.get_mut(&id.0).expect("checked").cache_state = CacheState::Disk;
                 let entries = self.admit_entries();
                 if self.admit_set(&entries).is_err() {
-                    let s = self.streams.get_mut(&id.0).expect("checked");
-                    s.clock.stop(now);
-                    s.cache_state = CacheState::Admitted { reserved: 0 };
-                    self.cache.stats_mut().cache_rejected_streams += 1;
+                    self.park_stream(id.0, now);
                 }
             }
             CacheState::Disk => {}
@@ -1032,6 +1427,13 @@ impl CrasServer {
             .collect();
         self.admit_set(&entries)?;
         self.detach_cached(id);
+        // A rate change also ends any join in either role: a leader's
+        // reads no longer match its followers, and a follower can no
+        // longer ride its leader's normal-rate reads.
+        self.joins.remove(&id.0);
+        if let CacheState::Joined { leader } = self.stream(id).cache_state {
+            self.leave_join(leader, id.0);
+        }
         let need = self.admissions[0].buffer_for(t, &base);
         let s = self.streams.get_mut(&id.0).expect("no such stream");
         s.cache_state = CacheState::Disk;
@@ -1118,6 +1520,38 @@ impl CrasServer {
                 let chunks = &s.table.chunks()[batch.chunk_lo as usize..=batch.chunk_hi as usize];
                 self.cache.insert_posted(&s.name, chunks);
             }
+            // Multicast: every follower joined to this stream receives
+            // the same chunks in its own buffer, at its own (identical)
+            // clock — one disk read feeds the whole batch of viewers.
+            let cast: Vec<u32> = self.joins.get(&batch.stream.0).cloned().unwrap_or_default();
+            for fid in cast {
+                let Some(f) = self.streams.get_mut(&fid) else {
+                    continue;
+                };
+                if !matches!(f.cache_state,
+                    CacheState::Joined { leader } if leader == batch.stream.0)
+                {
+                    continue;
+                }
+                let media_now = f.clock.media_time(now);
+                for i in batch.chunk_lo..=batch.chunk_hi {
+                    let c = *f.table.get(i).expect("batch chunk in table");
+                    f.buffer.put(
+                        BufferedChunk {
+                            index: c.index,
+                            timestamp: c.timestamp,
+                            duration: c.duration,
+                            size: c.size,
+                            posted_at: now,
+                        },
+                        media_now,
+                    );
+                    posted += 1;
+                }
+                if let Some(c) = f.table.get(batch.chunk_hi) {
+                    f.prefetch_cursor = f.prefetch_cursor.max(c.timestamp + c.duration);
+                }
+            }
         }
         self.stats.chunks_posted += posted as u64;
 
@@ -1133,11 +1567,22 @@ impl CrasServer {
         // cache-admitted.
         let mut cache_served = 0usize;
         let mut broken: Vec<u32> = Vec::new();
-        if self.cache.enabled() {
+        let mut orphaned: Vec<u32> = Vec::new();
+        let mut drained: Vec<u32> = Vec::new();
+        if self.cache.enabled() || self.cfg.join_window > Duration::ZERO {
             let stream_ids: Vec<u32> = self.streams.keys().copied().collect();
             for sid in stream_ids {
                 let s = self.streams.get_mut(&sid).expect("iterating keys");
                 if !s.cache_state.is_cached() || !s.clock.is_running() {
+                    continue;
+                }
+                if let CacheState::Joined { leader } = s.cache_state {
+                    // A live join is fed by phase-1 multicast. An
+                    // orphaned follower (its leader stopped matching)
+                    // must reserve a feed of its own.
+                    if !self.joins.get(&leader).is_some_and(|v| v.contains(&sid)) {
+                        orphaned.push(sid);
+                    }
                     continue;
                 }
                 let target = s.clock.media_time(horizon).min(s.table.total_duration());
@@ -1151,7 +1596,13 @@ impl CrasServer {
                 }
                 let lo = chunks.first().expect("non-empty").index;
                 let hi = chunks.last().expect("non-empty").index;
-                if self.cache.serve(&s.name, sid, chunks) {
+                let served = match s.cache_state {
+                    // A deferred stream reads its movie's resident
+                    // prefix; no follower registration, no window pins.
+                    CacheState::Prefix => self.cache.serve_resident(&s.name, chunks),
+                    _ => self.cache.serve(&s.name, sid, chunks),
+                };
+                if served {
                     s.prefetch_cursor = target;
                     self.done.push(FetchedBatch {
                         stream: StreamId(sid),
@@ -1161,6 +1612,10 @@ impl CrasServer {
                         from_cache: true,
                     });
                     cache_served += 1;
+                } else if matches!(s.cache_state, CacheState::Prefix) {
+                    // The prefix has drained (or was evicted out from
+                    // under the stream): reserve-at-drain happens now.
+                    drained.push(sid);
                 } else {
                     // Leader stopped, sought away, or the frame was
                     // evicted: the interval is broken. The cursor did
@@ -1171,6 +1626,71 @@ impl CrasServer {
             }
             for sid in &broken {
                 self.break_cached(*sid, now);
+            }
+            for sid in &orphaned {
+                self.dissolve_joined(*sid, now);
+            }
+        }
+        // Reserve-at-drain: each drained deferred stream claims its disk
+        // share now. Falling back to the cache window (or parking) keeps
+        // it off the spindles; only real disk reservations are journaled.
+        let mut deferred_reserved: Vec<u32> = Vec::new();
+        for sid in &drained {
+            self.cache.stats_mut().deferred_drained_streams += 1;
+            if self.reserve_disk_share(*sid, now) {
+                deferred_reserved.push(*sid);
+            }
+        }
+        // A leader that parked above (broken window, failed drain)
+        // orphaned its followers into `parked_orphans`; dissolve them
+        // in this same tick — the parked leader fetches nothing, so
+        // waiting for the next tick's orphan scan would open a one-
+        // interval delivery gap for every follower.
+        let mut cascade = std::mem::take(&mut self.parked_orphans);
+        while !cascade.is_empty() {
+            for sid in &cascade {
+                self.dissolve_joined(*sid, now);
+            }
+            orphaned.extend(cascade);
+            cascade = std::mem::take(&mut self.parked_orphans);
+        }
+        // A stream that fell back to the cache *window* mid-tick (its
+        // prefix drained or its join dissolved) was already passed over
+        // by the phase-1.5 serve loop. Feed it now: skipping this tick
+        // would post its next interval one full period late — a visible
+        // frame gap right at the prefix boundary. (The disk-reserving
+        // outcomes need nothing here; the plan loop below runs after
+        // this point and picks them up in this same tick.)
+        for sid in drained.iter().chain(orphaned.iter()).copied() {
+            let Some(s) = self.streams.get_mut(&sid) else {
+                continue;
+            };
+            if !s.cache_state.is_cached() || !s.clock.is_running() {
+                continue;
+            }
+            let target = s.clock.media_time(horizon).min(s.table.total_duration());
+            if target <= s.prefetch_cursor {
+                continue;
+            }
+            let chunks = s.table.chunks_in(s.prefetch_cursor, target);
+            if chunks.is_empty() {
+                s.prefetch_cursor = target;
+                continue;
+            }
+            let lo = chunks.first().expect("non-empty").index;
+            let hi = chunks.last().expect("non-empty").index;
+            if self.cache.serve(&s.name, sid, chunks) {
+                s.prefetch_cursor = target;
+                self.done.push(FetchedBatch {
+                    stream: StreamId(sid),
+                    chunk_lo: lo,
+                    chunk_hi: hi,
+                    completed_at: now,
+                    from_cache: true,
+                });
+                cache_served += 1;
+            } else {
+                self.break_cached(sid, now);
             }
         }
         let mut reqs: Vec<ReadReq> = Vec::new();
@@ -1407,6 +1927,9 @@ impl CrasServer {
             per_volume_calculated,
             degraded_streams,
             cache_served_streams: cache_served,
+            deferred_reserved,
+            cache_rejected_titles: std::mem::take(&mut self.pending_rejects),
+            parked_streams: std::mem::take(&mut self.pending_parks),
         }
     }
 
@@ -2497,6 +3020,163 @@ mod tests {
         let mut zeroed = cache_server(0, 8 << 20);
         assert_eq!(drive(&mut plain), drive(&mut zeroed));
         assert_eq!(*zeroed.cache().stats(), CacheStats::default());
+    }
+
+    fn prefix_server(prefix_ms: u64, hot_set: usize, buffer_budget: u64) -> CrasServer {
+        let mut cfg = ServerConfig::default();
+        cfg.cache_budget = 64 << 20;
+        cfg.buffer_budget = buffer_budget;
+        cfg.prefix_secs = ms(prefix_ms);
+        cfg.hot_set = hot_set;
+        CrasServer::new(DiskParams::paper_table4(), cfg)
+    }
+
+    /// One extra open/close of `name` so its open count outranks the
+    /// single-open filler titles in the hot-set ordering.
+    fn bump_popularity(srv: &mut CrasServer, name: &str) {
+        let (t, e) = movie_table(30.0);
+        let id = srv.open(name, t, e).unwrap();
+        srv.close(id);
+    }
+
+    #[test]
+    fn hot_prefix_open_defers_disk_share() {
+        let mut srv = prefix_server(1000, 1, 1 << 40);
+        bump_popularity(&mut srv, "pop");
+        let _leader = warm_leader(&mut srv, "pop", 6);
+        assert!(srv.cache_manager().is_hot("pop"));
+        // Exhaust the disk-time bound with cold titles.
+        let mut fillers = 0u32;
+        loop {
+            let (t, e) = movie_table(30.0);
+            if srv.open(&format!("f{fillers}"), t, e).is_err() {
+                break;
+            }
+            fillers += 1;
+        }
+        assert!(fillers > 0);
+        let charged = srv.disk_charged_streams();
+        // A new viewer of the hot title still gets in: its whole prefix
+        // is resident, so admission is deferred — zero disk shares.
+        let (t, e) = movie_table(30.0);
+        let viewer = srv.open("pop", t, e).expect("deferred admission");
+        assert!(matches!(srv.cache_state_of(viewer), CacheState::Prefix));
+        assert_eq!(srv.cache().stats().prefix_admitted_streams, 1);
+        assert_eq!(srv.disk_charged_streams(), charged);
+    }
+
+    #[test]
+    fn deferred_stream_reserves_disk_share_at_prefix_drain() {
+        let mut srv = prefix_server(1000, 1, 8 << 20);
+        bump_popularity(&mut srv, "pop");
+        let _leader = warm_leader(&mut srv, "pop", 6);
+        let (t, e) = movie_table(30.0);
+        let viewer = srv.open("pop", t, e).expect("deferred admission");
+        assert!(matches!(srv.cache_state_of(viewer), CacheState::Prefix));
+        srv.start(viewer, at(3100));
+        let mut reserved_tick = None;
+        for k in 6..20u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            if rep.deferred_reserved.contains(&viewer.0) {
+                reserved_tick = Some(k);
+            }
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+            assert!(!rep.overran);
+        }
+        // The prefix drained into a real disk reservation, journaled via
+        // the report, and the viewer kept playing from disk.
+        assert!(reserved_tick.is_some());
+        assert!(matches!(srv.cache_state_of(viewer), CacheState::Disk));
+        assert_eq!(srv.cache().stats().deferred_drained_streams, 1);
+        assert!(srv.cache().stats().prefix_hit_bytes > 0);
+        assert!(srv.stream_report(viewer).buffer.puts > 0);
+    }
+
+    fn join_server(window_ms: u64) -> CrasServer {
+        let mut cfg = ServerConfig::default();
+        cfg.join_window = ms(window_ms);
+        CrasServer::new(DiskParams::paper_table4(), cfg)
+    }
+
+    #[test]
+    fn batched_join_multicasts_one_read_stream() {
+        let mut srv = join_server(600);
+        let (t, e) = movie_table(10.0);
+        let a = srv.open("pop", t.clone(), e.clone()).unwrap();
+        let b = srv.open("pop", t, e).unwrap();
+        let begin_a = srv.start(a, at(0));
+        let begin_b = srv.start(b, at(100));
+        assert_eq!(begin_b, begin_a, "follower anchors on the leader's begin");
+        assert!(matches!(srv.cache_state_of(b), CacheState::Joined { leader } if leader == a.0));
+        assert_eq!(srv.cache().stats().joined_streams, 1);
+        let mut b_reqs = 0usize;
+        for k in 0..3u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            b_reqs += rep.reqs.iter().filter(|r| r.stream == b).count();
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+        }
+        // Both viewers hold frame 0, fed by one read stream.
+        assert_eq!(srv.get(a, Duration::ZERO).expect("leader frame").index, 0);
+        assert_eq!(srv.get(b, Duration::ZERO).expect("follower frame").index, 0);
+        for k in 3..12u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            b_reqs += rep.reqs.iter().filter(|r| r.stream == b).count();
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+            assert!(!rep.overran);
+        }
+        assert_eq!(b_reqs, 0, "the follower rides the leader's reads");
+        let (ra, rb) = (srv.stream_report(a), srv.stream_report(b));
+        assert!(rb.buffer.puts > 0 && rb.buffer.puts == ra.buffer.puts);
+    }
+
+    #[test]
+    fn leader_close_dissolves_join_to_disk() {
+        let mut srv = join_server(600);
+        let (t, e) = movie_table(10.0);
+        let a = srv.open("pop", t.clone(), e.clone()).unwrap();
+        let b = srv.open("pop", t, e).unwrap();
+        srv.start(a, at(0));
+        srv.start(b, at(100));
+        for k in 0..4u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+        }
+        srv.close(a);
+        let mut b_reqs = 0usize;
+        for k in 4..12u64 {
+            let rep = srv.interval_tick(at(k * 500));
+            b_reqs += rep.reqs.iter().filter(|r| r.stream == b).count();
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(k * 500 + 100));
+            }
+            assert!(!rep.overran);
+        }
+        // The orphaned follower reserved its own disk share and kept
+        // reading where the multicast left off.
+        assert!(matches!(srv.cache_state_of(b), CacheState::Disk));
+        assert!(b_reqs > 0, "dissolved follower reads from disk");
+        assert!(srv.stream_report(b).buffer.puts > 0);
+    }
+
+    #[test]
+    fn join_window_zero_never_joins() {
+        let mut srv = join_server(0);
+        let (t, e) = movie_table(10.0);
+        let a = srv.open("pop", t.clone(), e.clone()).unwrap();
+        let b = srv.open("pop", t, e).unwrap();
+        srv.start(a, at(0));
+        srv.start(b, at(100));
+        assert!(matches!(srv.cache_state_of(a), CacheState::Disk));
+        assert!(matches!(srv.cache_state_of(b), CacheState::Disk));
+        assert_eq!(srv.cache().stats().joined_streams, 0);
     }
 
     #[test]

@@ -36,6 +36,19 @@ pub enum CacheState {
         /// Cache bytes reserved for this stream's gap.
         reserved: u64,
     },
+    /// Deferred admission (DESIGN §16): opened against a memory-resident
+    /// hot-title prefix with zero disk shares. The disk share is
+    /// reserved only when the prefix drains — reserve-at-drain instead
+    /// of reject-at-open.
+    Prefix,
+    /// Coalesced onto another stream's reads (batched join, DESIGN
+    /// §16): the leader's fetched batches are multicast into this
+    /// stream's buffer, so it holds zero disk shares and plans no reads
+    /// of its own until the join dissolves.
+    Joined {
+        /// The stream whose reads feed this one.
+        leader: u32,
+    },
 }
 
 impl CacheState {
@@ -44,10 +57,12 @@ impl CacheState {
         !matches!(self, CacheState::Disk)
     }
 
-    /// The cache reservation held by this stream, if any.
+    /// The cache reservation held by this stream, if any. Prefix and
+    /// joined streams hold none: prefix frames are pinned by the cache
+    /// manager, not per-stream, and a joined stream reads nothing.
     pub fn reserved(self) -> u64 {
         match self {
-            CacheState::Disk => 0,
+            CacheState::Disk | CacheState::Prefix | CacheState::Joined { .. } => 0,
             CacheState::Served { reserved } | CacheState::Admitted { reserved } => reserved,
         }
     }
@@ -151,12 +166,15 @@ impl Stream {
 
     /// The per-volume rate shares the admission test should charge for
     /// this stream: its real shares normally, all-zero while the stream
-    /// is cache-*admitted* (it holds no disk reservation). Cache-*served*
-    /// streams keep their disk charge — serving them from memory is an
-    /// opportunistic saving, not an admission promise.
+    /// is cache-*admitted*, prefix-deferred, or joined (it holds no disk
+    /// reservation). Cache-*served* streams keep their disk charge —
+    /// serving them from memory is an opportunistic saving, not an
+    /// admission promise.
     pub fn admission_shares(&self) -> Vec<f64> {
         match self.cache_state {
-            CacheState::Admitted { .. } => vec![0.0; self.shares.len()],
+            CacheState::Admitted { .. } | CacheState::Prefix | CacheState::Joined { .. } => {
+                vec![0.0; self.shares.len()]
+            }
             _ => self.shares.clone(),
         }
     }

@@ -42,6 +42,26 @@ pub enum JournalRecord {
         /// Frame stride (1 = every frame).
         stride: u32,
     },
+    /// A player was admitted *deferred* (DESIGN §16): its movie's whole
+    /// prefix was memory-resident, so it holds zero disk shares until
+    /// the prefix drains. Recovery must replay it through the deferred
+    /// path — the cache is empty after a restart, so the ordinary
+    /// admission test could spuriously reject it.
+    DeferredAdmitted {
+        /// Client id the system assigned.
+        client: u32,
+        /// The movie it plays.
+        movie: String,
+        /// Frame stride (1 = every frame).
+        stride: u32,
+    },
+    /// A deferred player's prefix drained and its disk share was
+    /// reserved (reserve-at-drain). From here on it recovers exactly
+    /// like an ordinarily admitted stream.
+    DiskShareReserved {
+        /// The client.
+        client: u32,
+    },
     /// Playback began: the stream's logical clock was anchored so frame
     /// `k` of the stride sequence is due at `playback_start + ts(k)`.
     Started {

@@ -6,7 +6,7 @@
 //! what a timestamping benchmark would see) against the admission test's
 //! *calculated* time.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cras_core::{IntervalReport, ReadId};
 use cras_disk::Completed;
@@ -159,6 +159,19 @@ pub struct Metrics {
     /// Stream-intervals fed from the interval cache instead of disk
     /// (one count per cached stream per interval tick).
     pub cache_served_stream_intervals: u64,
+    /// Deferred-admission streams whose disk share was reserved at
+    /// prefix drain (reserve-at-drain successes).
+    pub deferred_reserved_streams: u64,
+    /// Streams parked by a failed cache/deferred re-admission, counted
+    /// per title — the per-title cost of the eviction policy. A
+    /// `BTreeMap` so every report (and the canonical JSON) is
+    /// deterministic.
+    pub cache_rejects_by_title: BTreeMap<String, u64>,
+    /// Streams parked (viewer rebuffering) by a failed cache/deferred
+    /// re-admission.
+    pub parked_streams: u64,
+    /// Parked streams whose retry found a feed and resumed playback.
+    pub resumed_streams: u64,
 }
 
 /// A shard's load and health snapshot, exported for cluster-level
@@ -217,6 +230,17 @@ impl Metrics {
             self.degraded_intervals += 1;
         }
         self.cache_served_stream_intervals += rep.cache_served_streams as u64;
+        // Consumed before the empty-interval early return below: a tick
+        // can reserve drained shares or park streams without issuing
+        // any reads of its own.
+        self.deferred_reserved_streams += rep.deferred_reserved.len() as u64;
+        for title in &rep.cache_rejected_titles {
+            *self
+                .cache_rejects_by_title
+                .entry(title.clone())
+                .or_insert(0) += 1;
+        }
+        self.parked_streams += rep.parked_streams.len() as u64;
         if rep.reqs.is_empty() {
             return;
         }
@@ -477,7 +501,8 @@ impl Metrics {
              \"overruns\":{},\"degraded_reads\":{},\"lost_reads\":{},\
              \"degraded_intervals\":{},\"volume_failed_at\":{},\"rebuild_started_at\":{},\
              \"rebuild_finished_at\":{},\"rebuild_bytes\":{},\
-             \"cache_served_stream_intervals\":{}}}",
+             \"cache_served_stream_intervals\":{},\"deferred_reserved_streams\":{},\
+             \"parked_streams\":{},\"resumed_streams\":{}",
             self.cras_read_bytes,
             self.cras_read_busy.as_nanos(),
             self.cras_write_bytes,
@@ -490,7 +515,18 @@ impl Metrics {
             opt_instant(self.rebuild_finished_at),
             self.rebuild_bytes,
             self.cache_served_stream_intervals,
+            self.deferred_reserved_streams,
+            self.parked_streams,
+            self.resumed_streams,
         ));
+        out.push_str(",\"cache_rejects_by_title\":{");
+        for (i, (title, n)) in self.cache_rejects_by_title.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{title:?}:{n}"));
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -520,6 +556,9 @@ mod tests {
             per_volume_calculated: vec![calc],
             degraded_streams: 0,
             cache_served_streams: 0,
+            deferred_reserved: Vec::new(),
+            cache_rejected_titles: Vec::new(),
+            parked_streams: Vec::new(),
         }
     }
 
@@ -608,6 +647,9 @@ mod tests {
             per_volume_calculated: vec![0.1, 0.2],
             degraded_streams: 0,
             cache_served_streams: 0,
+            deferred_reserved: Vec::new(),
+            cache_rejected_titles: Vec::new(),
+            parked_streams: Vec::new(),
         };
         m.on_interval(&rep, Instant::ZERO);
         assert_eq!(m.intervals().len(), 2, "one record per volume");
@@ -654,6 +696,9 @@ mod tests {
             per_volume_calculated: vec![0.1, 0.2],
             degraded_streams: 0,
             cache_served_streams: 0,
+            deferred_reserved: Vec::new(),
+            cache_rejected_titles: Vec::new(),
+            parked_streams: Vec::new(),
         };
         m.on_interval(&rep, Instant::ZERO);
         assert_eq!(m.interval_walls().len(), 1, "one wall per interval");

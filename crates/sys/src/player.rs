@@ -73,6 +73,11 @@ pub struct Player {
     pub polls_this_frame: u32,
     /// Whether playback has finished.
     pub done: bool,
+    /// Whether the viewer is paused (rebuffering) because its stream
+    /// was parked by a failed re-admission. A paused player absorbs
+    /// queued frame/poll events without rescheduling; resuming the
+    /// stream schedules a fresh frame event.
+    pub paused: bool,
     /// Measurements.
     pub stats: PlayerStats,
 }
@@ -99,6 +104,7 @@ impl Player {
             tid,
             polls_this_frame: 0,
             done: false,
+            paused: false,
             stats: PlayerStats::default(),
         }
     }

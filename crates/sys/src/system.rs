@@ -24,8 +24,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 use cras_core::{
-    on_volume, AdmissionError, CrasServer, ParityGeometry, ParityState, PlacementPolicy, ReadId,
-    ReadReq, StreamId, VolumeExtent, PARITY_STRIPE_BYTES,
+    on_volume, AdmissionError, CacheState, CrasServer, ParityGeometry, ParityState,
+    PlacementPolicy, ReadId, ReadReq, StreamId, VolumeExtent, PARITY_STRIPE_BYTES,
 };
 use cras_disk::{Completed, DiskDevice, DiskRequest, VolumeId, VolumeSet};
 use cras_media::{Movie, StreamProfile};
@@ -862,13 +862,47 @@ impl System {
     }
 
     /// Adds a player that consumes a movie through CRAS (`crs_open`).
-    /// The admission is journaled so crash recovery can re-open it.
+    /// The admission is journaled so crash recovery can re-open it; a
+    /// deferred (prefix-resident) admission gets its own record so the
+    /// replay uses the deferred path — the cache is empty after a crash
+    /// and the ordinary test could spuriously reject the stream.
     pub fn add_cras_player(
         &mut self,
         movie: &Movie,
         stride: u32,
     ) -> Result<ClientId, AdmissionError> {
         let stream = self.state.open_cras_stream(movie)?;
+        Ok(self.install_cras_player(movie, stride, stream))
+    }
+
+    /// Recovery replay of a journaled deferred admission: re-opens the
+    /// stream with zero disk shares (buffer memory still checked), in
+    /// [`CacheState::Prefix`]. Parity-placed movies have no deferred
+    /// open; they fall back to the ordinary admission test.
+    fn add_cras_player_deferred(
+        &mut self,
+        movie: &Movie,
+        stride: u32,
+    ) -> Result<ClientId, AdmissionError> {
+        if self.state.movie_parity_state(movie).is_some() {
+            return self.add_cras_player(movie, stride);
+        }
+        let extents = self.state.movie_extents(movie);
+        let mirror = self.state.movie_mirror_extents(movie);
+        let stream = self.state.cras.open_deferred_replicated(
+            &movie.name,
+            movie.table.clone(),
+            extents,
+            mirror,
+        )?;
+        Ok(self.install_cras_player(movie, stride, stream))
+    }
+
+    /// Player bookkeeping shared by the ordinary and deferred admission
+    /// paths: allocates the client, creates its decode thread, and
+    /// journals the admission under the record matching the stream's
+    /// cache state.
+    fn install_cras_player(&mut self, movie: &Movie, stride: u32, stream: StreamId) -> ClientId {
         let id = self.state.alloc_client();
         let tid = self.cpu.create(
             &format!("player{}", id.0),
@@ -884,15 +918,21 @@ impl System {
                 tid,
             ),
         );
-        self.journal.append(
-            self.engine.now(),
+        let rec = if matches!(self.state.cras.cache_state_of(stream), CacheState::Prefix) {
+            JournalRecord::DeferredAdmitted {
+                client: id.0,
+                movie: movie.name.clone(),
+                stride,
+            }
+        } else {
             JournalRecord::Admitted {
                 client: id.0,
                 movie: movie.name.clone(),
                 stride,
-            },
-        );
-        Ok(id)
+            }
+        };
+        self.journal.append(self.engine.now(), rec);
+        id
     }
 
     /// Adds a player that reads the movie through the Unix file system.
@@ -1041,6 +1081,60 @@ impl System {
         }
         self.journal
             .append(now, JournalRecord::Stopped { client: client.0 });
+    }
+
+    /// Ends a viewer session for good: CRAS players `crs_close` their
+    /// stream, which releases the admission shares *and* the stream
+    /// slot (unlike [`System::stop_playback`], after which the stopped
+    /// stream still occupies the table and counts against any
+    /// stream-count cap). The player record stays for its stats but is
+    /// marked done, so queued poll/decode events retire harmlessly.
+    /// Journaled as a stop, so crash recovery skips the stream.
+    pub fn close_playback(&mut self, client: ClientId) {
+        let now = self.now();
+        let Some(mode) = self.state.players.get(&client.0).map(|p| p.mode) else {
+            return;
+        };
+        if let PlayerMode::Cras { stream } = mode {
+            self.state.cras.close(stream);
+        }
+        if let Some(p) = self.state.players.get_mut(&client.0) {
+            p.done = true;
+        }
+        self.journal
+            .append(now, JournalRecord::Stopped { client: client.0 });
+    }
+
+    /// Retries admission for a parked (rebuffering) viewer: the stream
+    /// re-runs the feed ladder (disk share, then cache window) and, on
+    /// success, playback resumes from the frozen position after the
+    /// standard initial delay. A resumed disk share is journaled like
+    /// any reserve-at-drain promotion. Returns whether the viewer
+    /// resumed; a viewer that is not paused (or is done) returns false.
+    pub fn retry_parked(&mut self, client: ClientId) -> bool {
+        let now = self.now();
+        let Some(p) = self.state.players.get(&client.0) else {
+            return false;
+        };
+        if p.done || !p.paused {
+            return false;
+        }
+        let PlayerMode::Cras { stream } = p.mode else {
+            return false;
+        };
+        let Some((begin, disk)) = self.state.cras.resume(stream, now) else {
+            return false;
+        };
+        let p = self.state.players.get_mut(&client.0).expect("checked");
+        p.paused = false;
+        p.polls_this_frame = 0;
+        self.engine.schedule(begin, Event::PlayerFrame(client));
+        if disk {
+            self.journal
+                .append(now, JournalRecord::DiskShareReserved { client: client.0 });
+        }
+        self.metrics.resumed_streams += 1;
+        true
     }
 
     /// Runs the event loop until `t` (events after `t` stay queued).
@@ -1371,6 +1465,7 @@ impl System {
         let mut sys = System::new(cfg);
         let mut movies: BTreeMap<String, Movie> = BTreeMap::new();
         let mut admitted: Vec<(u32, String, u32)> = Vec::new();
+        let mut deferred: BTreeSet<u32> = BTreeSet::new();
         let mut started: BTreeMap<u32, Instant> = BTreeMap::new();
         let mut stopped: BTreeSet<u32> = BTreeSet::new();
         let mut failed: BTreeSet<u32> = BTreeSet::new();
@@ -1391,6 +1486,19 @@ impl System {
                     stride,
                 } => {
                     admitted.push((*client, movie.clone(), *stride));
+                }
+                JournalRecord::DeferredAdmitted {
+                    client,
+                    movie,
+                    stride,
+                } => {
+                    admitted.push((*client, movie.clone(), *stride));
+                    deferred.insert(*client);
+                }
+                JournalRecord::DiskShareReserved { client } => {
+                    // The prefix drained before the crash: the stream
+                    // recovers as an ordinary disk admission.
+                    deferred.remove(client);
                 }
                 JournalRecord::Started {
                     client,
@@ -1429,9 +1537,13 @@ impl System {
             let m = movies
                 .get(movie)
                 .expect("journal order: recorded before admitted");
-            let new_id = sys
-                .add_cras_player(m, *stride)
-                .expect("recovery re-admission failed; config mismatch?");
+            let new_id = if deferred.contains(old_id) {
+                sys.add_cras_player_deferred(m, *stride)
+                    .expect("recovery deferred re-admission failed; config mismatch?")
+            } else {
+                sys.add_cras_player(m, *stride)
+                    .expect("recovery re-admission failed; config mismatch?")
+            };
             remap.insert(*old_id, new_id.0);
         }
         for (&old_id, &new_id) in &remap {
@@ -1770,6 +1882,30 @@ impl SysState {
                     )
                 });
                 self.metrics.on_interval(&rep, now);
+                // A parked stream's viewer pauses (rebuffers) instead
+                // of burning its poll budget against a frozen clock;
+                // the gateway may retry admission for it later via
+                // `System::resume_playback`.
+                for sid in &rep.parked_streams {
+                    let paused = self.players.values_mut().find(
+                        |p| matches!(p.mode, PlayerMode::Cras { stream } if stream.0 == *sid),
+                    );
+                    if let Some(p) = paused {
+                        p.paused = true;
+                    }
+                }
+                // A drained deferred stream now holds a real disk share:
+                // journal the promotion so crash recovery re-admits it
+                // as an ordinary disk stream from here on.
+                for sid in &rep.deferred_reserved {
+                    let client = self.players.values().find_map(|p| match p.mode {
+                        PlayerMode::Cras { stream } if stream.0 == *sid => Some(p.id.0),
+                        _ => None,
+                    });
+                    if let Some(client) = client {
+                        acts.push(Action::Journal(JournalRecord::DiskShareReserved { client }));
+                    }
+                }
                 match self.issue {
                     IssueMode::Pipelined => {
                         // Hand every spindle its whole batch at tick
@@ -2080,7 +2216,10 @@ impl SysState {
         let Some(player) = self.players.get(&client.0) else {
             return;
         };
-        if player.done {
+        if player.done || player.paused {
+            // A paused (rebuffering) viewer absorbs queued frame/poll
+            // events without rescheduling; `resume_playback` restarts
+            // the schedule with a fresh event.
             return;
         }
         let k = player.next_frame;

@@ -19,6 +19,7 @@
 //! | [`parity_failover`] | rotating parity: volume loss, reconstruction, capacity vs mirroring |
 //! | [`cache_sharing`] | interval cache: Zipf arrivals, cache-aware admission |
 //! | [`cluster_scaling`] | sharded cluster: Zipf catalog, replica routing, whole-shard kill |
+//! | [`catalog_scaling`] | §16 cache manager: prefix residency, batched joins, fixed-spindle viewer scaling |
 //! | [`interval_overlap`] | pipelined vs serial cross-volume interval issue |
 //! | [`measured_capacity`] | admitted load validated by simulation |
 //! | [`deploy`] | Figure 5 deployment-configuration cost ablation |
@@ -42,6 +43,7 @@ pub mod buffer_ablation;
 pub mod cache_sharing;
 pub mod capacity;
 pub mod capacity_scaling;
+pub mod catalog_scaling;
 pub mod cluster_scaling;
 pub mod deploy;
 pub mod disk_sched;

@@ -47,6 +47,66 @@ fn run_shuffled(shuffle_seed: u64) -> (String, u64, Vec<(u64, u64)>) {
     )
 }
 
+/// Five same-title viewers started at the same instant coalesce onto
+/// one leader through the DESIGN §16 batched-join window. Which stream
+/// leads and which follow — and every downstream effect of that choice
+/// — must not depend on the delivery order of the same-instant events,
+/// only on stream identity.
+fn run_joined_shuffled(shuffle_seed: u64) -> (String, u64, u64, Vec<(u64, u64)>) {
+    let mut cfg = SysConfig::default();
+    cfg.seed = 0xF03;
+    cfg.server.cache_budget = 64 << 20;
+    cfg.server.join_window = Duration::from_secs(1);
+    let mut sys = System::new(cfg);
+    let m = sys.record_movie("hit.mov", StreamProfile::mpeg1(), 4.0);
+    let clients: Vec<_> = (0..5)
+        .map(|_| sys.add_cras_player(&m, 1).expect("admission"))
+        .collect();
+    for &c in &clients {
+        sys.start_playback(c);
+    }
+    let mut rng = Rng::new(shuffle_seed);
+    sys.run_until_shuffled(Instant::ZERO + Duration::from_secs(8), &mut rng);
+    let players: Vec<(u64, u64)> = clients
+        .iter()
+        .map(|c| {
+            let p = &sys.players[&c.0];
+            assert!(p.done, "player {} never finished", c.0);
+            (p.stats.frames_shown, p.stats.frames_dropped)
+        })
+        .collect();
+    (
+        sys.metrics.canonical_json(),
+        sys.engine.dispatched(),
+        sys.cras.cache().stats().joined_streams,
+        players,
+    )
+}
+
+#[test]
+fn join_window_coalescing_is_order_independent() {
+    let reference = run_joined_shuffled(0);
+    assert!(reference.2 > 0, "degenerate scenario: nothing joined");
+    assert!(
+        reference
+            .3
+            .iter()
+            .all(|&(shown, dropped)| shown > 0 && dropped == 0),
+        "degenerate scenario: {:?}",
+        reference.3
+    );
+    for seed in 1..6u64 {
+        let run = run_joined_shuffled(seed);
+        assert_eq!(
+            run.0, reference.0,
+            "seed {seed}: metrics diverged under a different delivery order"
+        );
+        assert_eq!(run.1, reference.1, "seed {seed}: event counts diverged");
+        assert_eq!(run.2, reference.2, "seed {seed}: join counts diverged");
+        assert_eq!(run.3, reference.3, "seed {seed}: player stats diverged");
+    }
+}
+
 #[test]
 fn shuffled_delivery_order_is_unobservable() {
     let reference = run_shuffled(0);

@@ -851,6 +851,39 @@ fn follower_departure_never_leaks_pins() {
     }
 }
 
+/// DESIGN §16: with a zero cache budget the popularity machinery —
+/// hot-set tracking, prefix residency, deferred admission — must be
+/// completely inert. A full system run with the manager switched on
+/// but no memory to pin stays bit-identical to the default (uncached)
+/// configuration: same canonical metrics, same event count.
+#[test]
+fn zero_cache_budget_is_bit_identical_to_uncached() {
+    let run = |manager_on: bool| {
+        let mut cfg = SysConfig {
+            seed: 0x0CAC,
+            ..SysConfig::default()
+        };
+        if manager_on {
+            cfg.server.cache_budget = 0;
+            cfg.server.prefix_secs = Duration::from_secs(5);
+            cfg.server.hot_set = 4;
+        }
+        let mut sys = System::new(cfg);
+        let a = sys.record_movie("a.mov", StreamProfile::mpeg1(), 6.0);
+        let b = sys.record_movie("b.mov", StreamProfile::mpeg1(), 6.0);
+        let clients: Vec<_> = [&a, &a, &b]
+            .iter()
+            .map(|m| sys.add_cras_player(m, 1).expect("admission"))
+            .collect();
+        for c in clients {
+            sys.start_playback(c);
+        }
+        sys.run_for(Duration::from_secs(10));
+        (sys.metrics.canonical_json(), sys.engine.dispatched())
+    };
+    assert_eq!(run(false), run(true));
+}
+
 /// Deterministic RNG forks never correlate with their parent stream.
 #[test]
 fn rng_forks_are_decorrelated() {
