@@ -9,7 +9,7 @@
 //! being rewritten — warn-only, like `sim_speed -- --check`: drift
 //! prints a `WARN` line but never fails the build.
 
-use cras_bench::{check_bench, check_mode, quick_mode, write_bench, write_result};
+use cras_bench::{check_bench, check_mode, quick_mode, strict_mode, write_bench, write_result};
 use cras_sim::Duration;
 use cras_workload as wl;
 
@@ -18,6 +18,8 @@ use cras_workload as wl;
 struct Emitter {
     quick: bool,
     check: bool,
+    strict: bool,
+    drifted: Vec<&'static str>,
     started: std::time::Instant,
     last: std::time::Instant,
     steps: Vec<(&'static str, f64)>,
@@ -29,6 +31,8 @@ impl Emitter {
         Emitter {
             quick: quick_mode(),
             check: check_mode(),
+            strict: strict_mode(),
+            drifted: Vec::new(),
             started: now,
             last: now,
             steps: Vec::new(),
@@ -43,7 +47,9 @@ impl Emitter {
         self.steps.push((name, self.last.elapsed().as_secs_f64()));
         self.last = std::time::Instant::now();
         if self.check {
-            check_bench(name, json, self.quick);
+            if !check_bench(name, json, self.quick) {
+                self.drifted.push(name);
+            }
         } else {
             write_result(name, json);
             write_bench(name, json, self.quick);
@@ -52,7 +58,9 @@ impl Emitter {
 
     /// Emits the per-step timing artifact. Timings are the noisiest
     /// numbers in the suite, so under `--check` they get the same
-    /// warn-only treatment as everything else.
+    /// warn-only treatment as everything else (they never feed the
+    /// `--strict` exit code). With `--check --strict`, any *workload*
+    /// artifact that drifted past tolerance exits nonzero.
     fn finish(self) {
         let mut json = String::from("{\"steps\":[");
         for (i, (name, secs)) in self.steps.iter().enumerate() {
@@ -67,6 +75,10 @@ impl Emitter {
         ));
         if self.check {
             check_bench("workloads", &json, self.quick);
+            if self.strict && !self.drifted.is_empty() {
+                println!("STRICT: drift in {}", self.drifted.join(", "));
+                std::process::exit(1);
+            }
         } else {
             write_bench("workloads", &json, self.quick);
         }
@@ -161,6 +173,15 @@ fn main() {
     let (pf_t, pf_f, _) = wl::parity_failover::sweep(fo_counts, 4, secs(10, 20), 0x9417);
     em.emit("parity_failover", &pf_t.render(), &pf_t.to_json());
     em.emit("parity_failover_rebuild", &pf_f.render(), &pf_f.to_json());
+
+    let (sr_t, sr_f, sr_outs) =
+        wl::steered_reads::contrast(if quick { 3 } else { 4 }, 4, 3, secs(8, 16), 0x57E3);
+    em.emit(
+        "steered_reads",
+        &sr_t.render(),
+        &wl::steered_reads::points_json(&sr_outs),
+    );
+    println!("{}", sr_f.render());
 
     let cache_budgets: &[u64] = if quick {
         &[0, 64 << 20]

@@ -1,0 +1,61 @@
+//! Regenerates the coded-read steering experiment (DESIGN §17): parity
+//! streams over one band, one spindle skewed by pinned `cat` traffic
+//! and retry stalls, played with steering off then on.
+//!
+//! ```text
+//! cargo run --release -p cras-bench --bin steered_reads [-- --quick] [-- --check [--strict]]
+//! ```
+//!
+//! With `--check`, the run is compared against the committed
+//! `BENCH_steered_reads.json` at the repo root — warn-only, so a
+//! regression shows up in the log the day it lands without gating
+//! noisy CI machines. Adding `--strict` turns drift past ±20% into a
+//! nonzero exit for local pre-merge runs.
+
+use cras_bench::{check_bench, check_mode, quick_mode, strict_mode, write_bench};
+use cras_sim::Duration;
+use cras_workload::steered_reads::{contrast, points_json};
+
+fn main() {
+    let quick = quick_mode();
+    let (streams, measure) = if quick {
+        (3, Duration::from_secs(8))
+    } else {
+        (4, Duration::from_secs(16))
+    };
+    let (t, f, outs) = contrast(streams, 4, 3, measure, 0x57E3);
+    println!("{}", t.render());
+    println!("{}", f.render());
+
+    let json = points_json(&outs);
+    if check_mode() {
+        if !check_bench("steered_reads", &json, quick) && strict_mode() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // The experiment's acceptance bar, enforced on regeneration.
+    let [direct, steered] = outs.as_slice() else {
+        panic!("expected two outcomes, got {outs:?}");
+    };
+    for o in [direct, steered] {
+        assert_eq!(o.dropped, 0, "dropped frames: {o:?}");
+        assert_eq!(o.lost_reads, 0, "reads lost with no failure: {o:?}");
+    }
+    assert!(
+        steered.steered_stream_intervals > 0,
+        "hot spindle never bypassed: {steered:?}"
+    );
+    assert!(
+        steered.tail_span < direct.tail_span,
+        "steered p95 {:.4}s not below direct {:.4}s",
+        steered.tail_span,
+        direct.tail_span
+    );
+    assert_eq!(
+        direct.delivered, steered.delivered,
+        "steering altered delivered frames/bytes"
+    );
+    write_bench("steered_reads", &json, quick);
+}

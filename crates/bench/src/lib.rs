@@ -38,6 +38,14 @@ pub fn check_mode() -> bool {
     std::env::args().any(|a| a == "--check")
 }
 
+/// Returns true when `--strict` was passed alongside `--check`: drift
+/// past tolerance should exit nonzero instead of merely warning. CI
+/// stays warn-only; `--strict` is for local pre-merge runs and
+/// trajectory tooling that wants a hard signal.
+pub fn strict_mode() -> bool {
+    std::env::args().any(|a| a == "--strict")
+}
+
 /// Writes a perf-trajectory artifact: `BENCH_<name>.json` at the repo
 /// root (where trajectory tooling looks) and a copy under `results/`.
 /// The payload is wrapped as `{"quick":…,"data":…}` so a `--check` run
@@ -82,25 +90,29 @@ fn numeric_tokens(json: &str) -> Vec<f64> {
     out
 }
 
-/// Warn-only comparison of a freshly generated artifact against the
-/// committed `BENCH_<name>.json` baseline: numeric tokens are compared
-/// pairwise and the worst relative drift is reported. Never fails the
-/// run — CI machines are too noisy for a hard gate; the check exists so
-/// a regression shows up in the log the day it lands.
-pub fn check_bench(name: &str, json_now: &str, quick: bool) {
+/// Comparison of a freshly generated artifact against the committed
+/// `BENCH_<name>.json` baseline: numeric tokens are compared pairwise
+/// and the worst relative drift is reported. Warn-only by default — CI
+/// machines are too noisy for a hard gate; the check exists so a
+/// regression shows up in the log the day it lands. Returns `false`
+/// when the comparison found drift past tolerance or a shape change,
+/// so `--strict` callers (see [`strict_mode`]) can turn the warning
+/// into a nonzero exit; an absent baseline or a sweep-mode mismatch
+/// returns `true` (nothing to compare against is not a regression).
+pub fn check_bench(name: &str, json_now: &str, quick: bool) -> bool {
     const TOLERANCE: f64 = 0.20;
     let file = format!("BENCH_{name}.json");
     let baseline = match fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
             println!("WARN: {name}: no committed {file} to check against ({e})");
-            return;
+            return true;
         }
     };
     let mode = format!("{{\"quick\":{quick},");
     if !baseline.starts_with(&mode) {
         println!("WARN: {name}: baseline was generated in a different sweep mode; skipping");
-        return;
+        return true;
     }
     let data = &baseline[mode.len()..];
     let base = numeric_tokens(data);
@@ -111,7 +123,7 @@ pub fn check_bench(name: &str, json_now: &str, quick: bool) {
             now.len(),
             base.len()
         );
-        return;
+        return false;
     }
     let worst = base
         .iter()
@@ -124,8 +136,10 @@ pub fn check_bench(name: &str, json_now: &str, quick: bool) {
             worst * 100.0,
             TOLERANCE * 100.0
         );
+        false
     } else {
         println!("OK:   {name}: worst field drift {:+.1}%", worst * 100.0);
+        true
     }
 }
 

@@ -366,12 +366,8 @@ impl Cluster {
         if !info.replicas.iter().any(|&s| self.shards[s as usize].alive) {
             return Err(OpenError::AllReplicasDown);
         }
-        let cands = self.route_candidates(title, info);
-        if cands.is_empty() {
-            return Err(OpenError::AtCapacity);
-        }
         let mut last = None;
-        for s in cands {
+        for s in self.route_candidates(title, info) {
             let movie = self.titles[title].movies[&s].clone();
             let sh = &mut self.shards[s as usize];
             match sh.sys.add_cras_player(&movie, 1) {
@@ -382,7 +378,15 @@ impl Cluster {
                 Err(e) => last = Some(e),
             }
         }
-        Err(OpenError::Rejected(last.expect("candidates were nonempty")))
+        // The typed error is guaranteed by construction: an empty
+        // candidate list (every live replica excluded by the stream
+        // cap) is `AtCapacity`, a non-empty one whose every admission
+        // failed carries the last admission error. No unwrap — a list
+        // that turns out empty can never panic the gateway.
+        Err(match last {
+            Some(e) => OpenError::Rejected(e),
+            None => OpenError::AtCapacity,
+        })
     }
 
     /// Opens a viewer session for `title`, routing to the least-loaded
@@ -860,6 +864,29 @@ mod tests {
         assert!(s.lost && !s.queued);
         assert_eq!(cl.retry_stats().expired, 1);
         assert_eq!(cl.pending_opens(), 0);
+    }
+
+    #[test]
+    fn open_with_every_live_replica_at_cap_is_a_typed_error() {
+        // Regression: with no retry window, an open whose every live
+        // replica is excluded by the stream cap must come back as
+        // `Err(AtCapacity)` — the route must never panic on an empty
+        // candidate list.
+        let mut base = SysConfig {
+            seed: 0x9E9,
+            ..SysConfig::default()
+        };
+        base.server.volumes = 2;
+        let mut cfg = ClusterConfig::new(3, base);
+        cfg.hot_titles = 2;
+        cfg.stream_cap = Some(1);
+        let mut cl = Cluster::new(cfg);
+        cl.add_title("cap.mov", &StreamProfile::mpeg1(), 30.0, 0);
+        let _a = cl.open("cap.mov").expect("admitted");
+        let _b = cl.open("cap.mov").expect("admitted");
+        assert_eq!(cl.open("cap.mov"), Err(OpenError::AtCapacity));
+        // The cluster stays serviceable afterwards.
+        cl.run_for(Duration::from_secs(1));
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub use fifo::FifoBuffer;
 pub use placement::{
     on_volume, volume_shares, ParityGeometry, PlacementPolicy, VolumeExtent, PARITY_STRIPE_BYTES,
 };
-pub use server::{CrasServer, IntervalReport, ReadId, ReadReq, ServerConfig, ServerStats};
+pub use server::{
+    CrasServer, IntervalReport, ReadId, ReadReq, ServerConfig, ServerStats, VolumeLoad,
+};
 pub use stream::{CacheState, DiskRun, ParityState, Stream, StreamId, VolumeRun};
 pub use tdbuffer::{BufferStats, BufferedChunk, TimeDrivenBuffer};
 pub use writer::{ParityEncoder, ParityUnit, Recorder, WriteId, WriteReq};

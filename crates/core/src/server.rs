@@ -103,6 +103,21 @@ pub struct ServerConfig {
     pub join_window: Duration,
     /// Which victim the interval cache evicts when the budget is tight.
     pub cache_evict: EvictPolicy,
+    /// Coded-read steering (DESIGN §17): when a parity stream's direct
+    /// data read lands on a live but *loaded* spindle, the planner may
+    /// serve the range as the `g−1` reconstruction fan-out across the
+    /// band's other members instead — any `g−1` of `g` suffice — so a
+    /// transiently hot spindle is bypassed rather than bottlenecking
+    /// the interval. The per-spindle parity admission charge (two
+    /// commands, `2/g` shares) already covers the fan-out, so steering
+    /// can never oversubscribe a volume.
+    pub steer_reads: bool,
+    /// Hysteresis margin for the steering decision, bytes: the fan-out
+    /// is chosen only when its projected bottleneck undercuts the
+    /// direct read's by more than this. Keeps an evenly loaded system
+    /// on the cheap direct path (reconstruction is strictly more total
+    /// work) and stops flapping near the break-even point.
+    pub steer_margin_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -123,8 +138,26 @@ impl Default for ServerConfig {
             hot_set: 0,
             join_window: Duration::ZERO,
             cache_evict: EvictPolicy::OldestFirst,
+            steer_reads: true,
+            steer_margin_bytes: 64 * 1024,
         }
     }
+}
+
+/// Externally observed load of one spindle, fed by the orchestrator
+/// just before each tick ([`CrasServer::set_volume_loads`]): the part
+/// of the steering signal the planner cannot see from its own
+/// bookkeeping — the device's outstanding queue (rebuild traffic,
+/// Unix-server background I/O) and how far the spindle's recent
+/// intervals ran behind their calculated I/O time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct VolumeLoad {
+    /// Commands outstanding on the device: queued in either class plus
+    /// any in-flight operation.
+    pub queued: usize,
+    /// Recent mean completion lag of this volume's intervals (actual
+    /// span minus calculated I/O time, clamped at zero), seconds.
+    pub lag: f64,
 }
 
 /// Identifies one disk read issued by the server.
@@ -171,6 +204,15 @@ pub struct IntervalReport {
     /// Mirrored streams forced onto their mirror replica this interval
     /// because the primary's volume is failed (degraded mode).
     pub degraded_streams: usize,
+    /// Parity streams that had at least one direct read steered to a
+    /// `g−1` reconstruction fan-out this interval because the home
+    /// spindle was loaded (coded-read steering, DESIGN §17).
+    pub steered_streams: usize,
+    /// Streams whose batch was dropped at plan time this interval
+    /// because no live replica could serve it (every copy's volume is
+    /// failed). Counted in [`ServerStats::lost_reads`] too; surfaced
+    /// here so the orchestrator can trace the drop.
+    pub lost_streams: usize,
     /// Streams whose interval was served entirely from the interval
     /// cache (they issued zero disk commands this tick).
     pub cache_served_streams: usize,
@@ -268,8 +310,13 @@ pub struct ServerStats {
     /// Reads re-issued against a surviving replica after a failure.
     pub degraded_reads: u64,
     /// Failed reads with no surviving replica (data lost; the batch is
-    /// dropped rather than posted).
+    /// dropped rather than posted). Includes batches dropped at plan
+    /// time because every replica's volume was down.
     pub lost_reads: u64,
+    /// Direct parity reads replaced by a `g−1` reconstruction fan-out
+    /// because the home spindle was loaded (coded-read steering; counts
+    /// the *direct reads bypassed*, not the fan-out commands).
+    pub steered_reads: u64,
 }
 
 struct PendingBatch {
@@ -341,6 +388,15 @@ pub struct CrasServer {
     next_stream: u32,
     next_place: u32,
     pending: HashMap<u64, PendingBatch>,
+    /// Per-stream count of batches in `pending` (stream id → batches in
+    /// flight), maintained on submit/complete/discard so the per-stream
+    /// backlog cap is O(1) per stream instead of a rescan of every
+    /// pending batch per stream per interval. Entries vanish at zero.
+    outstanding: HashMap<u32, usize>,
+    /// External per-volume load (device queue depth, completion lag)
+    /// fed by the orchestrator before each tick; all-idle when nothing
+    /// feeds it, which reduces steering to the planned-bytes signal.
+    ext_load: Vec<VolumeLoad>,
     read_info: HashMap<u64, ReadInfo>,
     done: Vec<FetchedBatch>,
     next_read: u64,
@@ -398,6 +454,8 @@ impl CrasServer {
             next_stream: 0,
             next_place: 0,
             pending: HashMap::new(),
+            outstanding: HashMap::new(),
+            ext_load: vec![VolumeLoad::default(); cfg.volumes],
             read_info: HashMap::new(),
             done: Vec::new(),
             next_read: 0,
@@ -466,6 +524,28 @@ impl CrasServer {
     /// Statistics so far.
     pub fn stats(&self) -> ServerStats {
         self.stats
+    }
+
+    /// Feeds the external half of the per-spindle load signal used by
+    /// read steering (DESIGN §17), normally once per interval just
+    /// before [`CrasServer::interval_tick`]. Entries beyond the volume
+    /// count are ignored; volumes without an entry are treated as idle.
+    pub fn set_volume_loads(&mut self, loads: &[VolumeLoad]) {
+        for (v, l) in self.ext_load.iter_mut().enumerate() {
+            *l = loads.get(v).copied().unwrap_or_default();
+        }
+    }
+
+    /// Drops one outstanding-batch count for a stream (its batch
+    /// completed or was discarded). The entry vanishes at zero so the
+    /// map stays bounded by the number of backlogged streams.
+    fn dec_outstanding(&mut self, sid: u32) {
+        if let Some(n) = self.outstanding.get_mut(&sid) {
+            *n -= 1;
+            if *n == 0 {
+                self.outstanding.remove(&sid);
+            }
+        }
     }
 
     /// Number of open streams.
@@ -1032,6 +1112,7 @@ impl CrasServer {
         }
         // Orphan any in-flight batches; their completions become no-ops.
         self.pending.retain(|_, b| b.stream != id);
+        self.outstanding.remove(&id.0);
         self.done.retain(|b| b.stream != id);
         if self.cache.enabled() {
             // Release this stream's pins and reservation now, and drop
@@ -1356,6 +1437,7 @@ impl CrasServer {
         // Pre-seek fetches would post chunks the clock has abandoned
         // (possibly colliding with the refetched range): drop them.
         self.pending.retain(|_, b| b.stream != id);
+        self.outstanding.remove(&id.0);
         self.done.retain(|b| b.stream != id);
         if !state.is_cached() {
             return;
@@ -1695,22 +1777,30 @@ impl CrasServer {
         }
         let mut reqs: Vec<ReadReq> = Vec::new();
         let mut active: Vec<Vec<StreamParams>> = vec![Vec::new(); self.cfg.volumes];
-        // Bytes planned per volume so far this interval — the read
-        // steering signal for mirrored streams.
+        // Bytes planned per volume so far this interval — the planner's
+        // own half of the unified read-steering signal.
         let mut planned = vec![0u64; self.cfg.volumes];
+        // The external half, converted to bytes once per tick: each
+        // outstanding device command is charged at one full read, and
+        // recent completion lag at the spindle's transfer rate.
+        let ext_bytes: Vec<f64> = (0..self.cfg.volumes)
+            .map(|v| {
+                let ext = self.ext_load[v];
+                ext.queued as f64 * self.cfg.max_read_bytes as f64
+                    + ext.lag.max(0.0) * self.admissions[v].disk_params().transfer_rate
+            })
+            .collect();
         let mut degraded_streams = 0usize;
+        let mut steered_streams = 0usize;
+        let mut lost_streams = 0usize;
         let stream_ids: Vec<u32> = self.streams.keys().copied().collect();
         for sid in stream_ids {
-            let outstanding = self
-                .pending
-                .values()
-                .filter(|b| b.stream == StreamId(sid))
-                .count();
-            if outstanding >= self.cfg.max_outstanding_batches {
+            if self.outstanding.get(&sid).copied().unwrap_or(0) >= self.cfg.max_outstanding_batches
+            {
                 // The disk is behind for this stream; do not pile on.
                 continue;
             }
-            let (runs, recon, lo, hi, params, active_shares, degraded) = {
+            let (runs, recon, lo, hi, params, active_shares, degraded, steered) = {
                 let s = self.streams.get_mut(&sid).expect("iterating keys");
                 if !s.clock.is_running() {
                     continue;
@@ -1734,6 +1824,10 @@ impl CrasServer {
                 let byte_lo = chunks.first().expect("non-empty").file_offset;
                 let last = chunks.last().expect("non-empty");
                 let byte_hi = last.file_offset + last.size as u64;
+                // The unified per-spindle load signal, bytes: what this
+                // tick has already planned on the volume plus the
+                // externally observed device queue and completion lag.
+                let load = |v: usize| planned[v] as f64 + ext_bytes[v];
                 // Pick the replica to read from. Without a mirror this
                 // is the primary map, exactly the pre-redundancy path.
                 let mut map_idx = 0usize;
@@ -1746,12 +1840,20 @@ impl CrasServer {
                     map_idx = match (p_ok, m_ok) {
                         (true, false) => 0,
                         (false, true) => 1,
-                        // Both live: steer to the spindle with fewer
-                        // bytes planned this interval (ties favor the
-                        // primary). Both dead: issue to the primary and
-                        // let the error path drop the batch.
-                        (true, true) => usize::from(planned[hm.index()] < planned[hp.index()]),
-                        (false, false) => 0,
+                        // Both live: steer to the spindle the unified
+                        // load signal says is cheaper (ties favor the
+                        // primary).
+                        (true, true) => usize::from(load(hm.index()) < load(hp.index())),
+                        (false, false) => {
+                            // Both replicas dead: nothing can serve the
+                            // batch. Drop it at plan time as a lost
+                            // read — issuing to the dead primary would
+                            // just let the error path eat the batch one
+                            // read at a time, invisibly.
+                            self.stats.lost_reads += 1;
+                            lost_streams += 1;
+                            continue;
+                        }
                     };
                     degraded = map_idx == 1 && !p_ok;
                 }
@@ -1771,6 +1873,7 @@ impl CrasServer {
                 // band has lost a second volume is unreconstructible and
                 // is dropped here.
                 let mut recon: Vec<crate::stream::VolumeRun> = Vec::new();
+                let mut steered = false;
                 if let Some(ps) = &s.parity {
                     if runs.iter().any(|(_, r)| self.failed[r.volume.index()]) {
                         degraded = true;
@@ -1797,8 +1900,54 @@ impl CrasServer {
                             }
                         }
                         runs = kept;
-                        recon = Stream::split_runs(recon, self.cfg.max_read_bytes);
                     }
+                    // Coded-read steering (DESIGN §17): a run whose home
+                    // spindle is live but *loaded* may instead be served
+                    // as the g-1 reconstruction fan-out over the band's
+                    // other members — any g-1 of g suffice — when the
+                    // fan-out's projected bottleneck undercuts the
+                    // direct read's by more than the hysteresis margin.
+                    // Fan-out bytes join `planned` below, so later
+                    // streams in this tick see their cost.
+                    if self.cfg.steer_reads {
+                        let margin = self.cfg.steer_margin_bytes.max(1) as f64;
+                        let mut kept = Vec::with_capacity(runs.len());
+                        for (logical, r) in runs {
+                            let bytes = r.nblocks as u64 * 512;
+                            let direct_peak = load(r.volume.index()) + bytes as f64;
+                            let fanout = Stream::steer_recon_runs(
+                                &s.extents,
+                                ps,
+                                logical,
+                                logical + bytes,
+                                r.volume,
+                                &self.failed,
+                            )
+                            .and_then(|rs| {
+                                let mut fan = vec![0u64; self.cfg.volumes];
+                                for fr in &rs {
+                                    fan[fr.volume.index()] += fr.nblocks as u64 * 512;
+                                }
+                                let peak = fan
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, b)| **b > 0)
+                                    .map(|(v, b)| load(v) + *b as f64)
+                                    .fold(0.0f64, f64::max);
+                                (peak + margin < direct_peak).then_some(rs)
+                            });
+                            match fanout {
+                                Some(rs) => {
+                                    self.stats.steered_reads += 1;
+                                    steered = true;
+                                    recon.extend(rs);
+                                }
+                                None => kept.push((logical, r)),
+                            }
+                        }
+                        runs = kept;
+                    }
+                    recon = Stream::split_runs(recon, self.cfg.max_read_bytes);
                 }
                 // A mirrored stream's whole load lands on the chosen
                 // replica's volume this interval; non-mirrored streams
@@ -1810,10 +1959,22 @@ impl CrasServer {
                 } else {
                     s.shares.clone()
                 };
-                (runs, recon, lo, hi, s.params, active_shares, degraded)
+                (
+                    runs,
+                    recon,
+                    lo,
+                    hi,
+                    s.params,
+                    active_shares,
+                    degraded,
+                    steered,
+                )
             };
             if degraded {
                 degraded_streams += 1;
+            }
+            if steered {
+                steered_streams += 1;
             }
             for (_, r) in &runs {
                 planned[r.volume.index()] += r.nblocks as u64 * 512;
@@ -1833,6 +1994,7 @@ impl CrasServer {
             }
             let batch_id = self.next_batch;
             self.next_batch += 1;
+            *self.outstanding.entry(sid).or_insert(0) += 1;
             self.pending.insert(
                 batch_id,
                 PendingBatch {
@@ -1926,6 +2088,8 @@ impl CrasServer {
             calculated_io_time: calculated,
             per_volume_calculated,
             degraded_streams,
+            steered_streams,
+            lost_streams,
             cache_served_streams: cache_served,
             deferred_reserved,
             cache_rejected_titles: std::mem::take(&mut self.pending_rejects),
@@ -1946,6 +2110,7 @@ impl CrasServer {
             return None;
         }
         let batch = self.pending.remove(&info.batch).expect("present above");
+        self.dec_outstanding(batch.stream.0);
         let result = (batch.stream, batch.issued_at);
         self.done.push(FetchedBatch {
             stream: batch.stream,
@@ -2061,6 +2226,7 @@ impl CrasServer {
                 batch.remaining -= 1;
                 if batch.remaining == 0 {
                     self.pending.remove(&info.batch);
+                    self.dec_outstanding(sid.0);
                 }
                 Vec::new()
             }
@@ -2654,6 +2820,79 @@ mod tests {
         let rep3 = srv.interval_tick(at(1500));
         assert!(rep3.reqs.iter().all(|r| r.volume == VolumeId(1)));
         assert_eq!(rep3.degraded_streams, 1);
+    }
+
+    #[test]
+    fn hot_primary_steers_mirrored_reads_to_the_mirror() {
+        // Mirrored steering rides the same unified load signal as the
+        // parity path: a deep reported queue on the primary flips the
+        // whole interval's reads onto the replica.
+        let mut srv = multi_server(2, 8 << 20);
+        let (t, pri, mir) = mirrored_movie(0, 1, 10.0);
+        let id = srv.open_replicated("m", t, pri, Some(mir)).unwrap();
+        srv.start(id, at(0));
+        let mut loads = vec![VolumeLoad::default(); 2];
+        loads[0] = VolumeLoad {
+            queued: 50,
+            lag: 0.0,
+        };
+        srv.set_volume_loads(&loads);
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(!rep.reqs.is_empty());
+        assert!(rep.reqs.iter().all(|r| r.volume == VolumeId(1)));
+        assert_eq!(rep.degraded_streams, 0);
+    }
+
+    #[test]
+    fn mirrored_stream_with_both_replicas_dead_drops_at_plan_time() {
+        // Before the fix this planned reads against the dead primary
+        // and the batch silently rotted in `pending`. Now the plan
+        // pass drops it, counts it, and reports it.
+        let mut srv = multi_server(2, 8 << 20);
+        let (t, pri, mir) = mirrored_movie(0, 1, 10.0);
+        let id = srv.open_replicated("m", t, pri, Some(mir)).unwrap();
+        srv.start(id, at(0));
+        srv.set_volume_failed(VolumeId(0), true);
+        srv.set_volume_failed(VolumeId(1), true);
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(rep.reqs.is_empty(), "no read may be issued to dead volumes");
+        assert_eq!(rep.lost_streams, 1);
+        assert_eq!(srv.stats().lost_reads, 1);
+        // Nothing is stuck: the next tick drops again instead of
+        // tripping the outstanding-batch cap.
+        let rep2 = srv.interval_tick(at(1000));
+        assert!(rep2.reqs.is_empty());
+        assert_eq!(rep2.lost_streams, 1);
+        assert!(!rep2.overran);
+    }
+
+    #[test]
+    fn outstanding_batch_cap_pauses_and_resumes_planning() {
+        // The per-stream counter must mirror `pending` exactly: two
+        // unfinished batches stall the stream, one completion revives
+        // it, and close clears the count.
+        let mut srv = server();
+        let (t, e) = movie_table(10.0);
+        let id = srv.open("m", t, e).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        let rep1 = srv.interval_tick(at(500));
+        assert!(!rep1.reqs.is_empty());
+        let rep2 = srv.interval_tick(at(1000));
+        assert!(!rep2.reqs.is_empty());
+        // Two batches outstanding (cap): the stream is skipped.
+        let rep3 = srv.interval_tick(at(1500));
+        assert!(rep3.reqs.is_empty(), "stream at cap must not plan");
+        // Completing the first batch frees a slot.
+        for r in &rep1.reqs {
+            srv.io_done(r.id, at(1600));
+        }
+        let rep4 = srv.interval_tick(at(2000));
+        assert!(!rep4.reqs.is_empty(), "completion must resume planning");
+        srv.close(id);
+        assert!(srv.interval_tick(at(2500)).reqs.is_empty());
     }
 
     #[test]
@@ -3350,6 +3589,112 @@ mod tests {
             posted |= srv.io_done(r.id, at(700)).is_some();
         }
         assert!(posted, "batch must complete from surviving reads");
+    }
+
+    #[test]
+    fn unloaded_parity_server_never_steers() {
+        // With no external load and balanced plans, the margin keeps
+        // every read on its home spindle: a fan-out costs ~the same
+        // bytes on g−1 volumes, so it can never beat direct + margin.
+        let mut srv = multi_server(4, 1 << 30);
+        let (t, e, ps) = parity_movie(4, 0, 10.0, 9);
+        let id = srv.open_parity("p", t, e, ps).unwrap();
+        srv.start(id, at(0));
+        srv.interval_tick(at(0));
+        for i in 1..6u64 {
+            let rep = srv.interval_tick(at(500 * i));
+            assert_eq!(rep.steered_streams, 0, "tick {i} steered");
+            for r in &rep.reqs {
+                srv.io_done(r.id, at(500 * i + 100));
+            }
+        }
+        assert_eq!(srv.stats().steered_reads, 0);
+    }
+
+    #[test]
+    fn hot_spindle_steers_parity_reads_around_it() {
+        let mut srv = multi_server(4, 1 << 30);
+        let (t, e, ps) = parity_movie(4, 0, 10.0, 9);
+        let id = srv.open_parity("p", t, e, ps).unwrap();
+        srv.start(id, at(0));
+        // Volume 1 holds data of the first stripe rows (row 0's parity
+        // sits on volume 0). Report a deep queue on it: every direct
+        // read homed there must be bypassed via the g−1 fan-out, and
+        // no fan-out may route *into* the hot spindle either.
+        let mut loads = vec![VolumeLoad::default(); 4];
+        loads[1] = VolumeLoad {
+            queued: 1000,
+            lag: 0.0,
+        };
+        srv.set_volume_loads(&loads);
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(!rep.reqs.is_empty());
+        assert_eq!(rep.steered_streams, 1);
+        assert!(srv.stats().steered_reads > 0);
+        assert!(
+            rep.reqs.iter().all(|r| r.volume != VolumeId(1)),
+            "no read may land on the hot volume"
+        );
+        assert_eq!(rep.degraded_streams, 0, "steering is not a failure path");
+        assert_eq!(srv.stats().lost_reads, 0);
+        // The batch still posts once every read (direct + fan-out)
+        // completes: steering never changes what gets delivered.
+        let mut posted = false;
+        for r in &rep.reqs {
+            posted |= srv.io_done(r.id, at(700)).is_some();
+        }
+        assert!(posted, "steered batch must complete");
+        // Clearing the load stops further steering.
+        srv.set_volume_loads(&[VolumeLoad::default(); 4]);
+        let before = srv.stats().steered_reads;
+        let rep = srv.interval_tick(at(1000));
+        assert_eq!(rep.steered_streams, 0);
+        assert_eq!(srv.stats().steered_reads, before);
+    }
+
+    #[test]
+    fn steering_disabled_keeps_reads_on_the_hot_home_spindle() {
+        let mut cfg = ServerConfig::default();
+        cfg.volumes = 4;
+        cfg.buffer_budget = 1 << 30;
+        cfg.steer_reads = false;
+        let mut srv = CrasServer::new(DiskParams::paper_table4(), cfg);
+        let (t, e, ps) = parity_movie(4, 0, 10.0, 9);
+        let id = srv.open_parity("p", t, e, ps).unwrap();
+        srv.start(id, at(0));
+        let mut loads = vec![VolumeLoad::default(); 4];
+        loads[1] = VolumeLoad {
+            queued: 1000,
+            lag: 0.0,
+        };
+        srv.set_volume_loads(&loads);
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert!(rep.reqs.iter().any(|r| r.volume == VolumeId(1)));
+        assert_eq!(rep.steered_streams, 0);
+        assert_eq!(srv.stats().steered_reads, 0);
+    }
+
+    #[test]
+    fn completion_lag_alone_can_steer() {
+        // The unified signal folds per-volume completion lag in at the
+        // spindle's transfer rate: a spindle that has been finishing
+        // its batches late gets bypassed even with an empty queue.
+        let mut srv = multi_server(4, 1 << 30);
+        let (t, e, ps) = parity_movie(4, 0, 10.0, 9);
+        let id = srv.open_parity("p", t, e, ps).unwrap();
+        srv.start(id, at(0));
+        let mut loads = vec![VolumeLoad::default(); 4];
+        loads[1] = VolumeLoad {
+            queued: 0,
+            lag: 2.0,
+        };
+        srv.set_volume_loads(&loads);
+        srv.interval_tick(at(0));
+        let rep = srv.interval_tick(at(500));
+        assert_eq!(rep.steered_streams, 1);
+        assert!(rep.reqs.iter().all(|r| r.volume != VolumeId(1)));
     }
 
     #[test]

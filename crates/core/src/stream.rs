@@ -388,6 +388,27 @@ impl Stream {
         }
         Some(out)
     }
+
+    /// Coded-read steering variant of [`Stream::parity_recon_runs`]:
+    /// plans the `g-1` fan-out that serves `[lo, hi)` *without
+    /// touching* `avoid`, a volume that is live but loaded (DESIGN
+    /// §17). The maths are identical to the degraded path — any `g-1`
+    /// members of a parity band reconstruct the remaining one — only
+    /// the reason for the exclusion differs, so this delegates; it
+    /// exists to keep call sites honest about whether a bypass is a
+    /// failure response or a scheduling choice. Returns `None` when
+    /// the fan-out would itself need `avoid` or a failed volume, in
+    /// which case the caller must keep the direct read.
+    pub fn steer_recon_runs(
+        extents: &[VolumeExtent],
+        parity: &ParityState,
+        lo: u64,
+        hi: u64,
+        avoid: VolumeId,
+        failed: &[bool],
+    ) -> Option<Vec<VolumeRun>> {
+        Stream::parity_recon_runs(extents, parity, lo, hi, avoid, failed)
+    }
 }
 
 #[cfg(test)]
@@ -693,6 +714,62 @@ mod tests {
                 "trial {trial}: g={group} total={total} unit={k} range={rel_lo}..{rel_hi}"
             );
         }
+    }
+
+    #[test]
+    fn steered_reads_deliver_bytes_identical_to_the_direct_read() {
+        // Property test for coded-read steering: with every volume
+        // healthy, a fan-out that avoids the home spindle must XOR
+        // back to exactly the bytes a direct read would have served.
+        let mut rng = Rng::new(0x57EE);
+        for trial in 0..60 {
+            let group = rng.range_inclusive(2, 5) as u32;
+            let sb = crate::placement::PARITY_STRIPE_BYTES;
+            let total = rng.range_inclusive(1, 4 * (group as u64 - 1)) * sb
+                - if rng.chance(0.5) {
+                    rng.below(sb - 1) + 1
+                } else {
+                    0
+                };
+            let movie: Vec<u8> = (0..total).map(|_| rng.below(256) as u8).collect();
+            let (extents, ps, disks) = synthetic_parity(group, total, Some(&movie));
+            let geom = ps.geom;
+            let k = rng.below(geom.data_units());
+            let home = geom.data_volume(k);
+            let len = geom.unit_len(k);
+            let rel_lo = (rng.below(len) / 512) * 512; // block-aligned
+            let rel_hi = len.min(rel_lo + 512 + (rng.below(len) / 512) * 512);
+            let (lo, hi) = (k * sb + rel_lo, k * sb + rel_hi);
+            let healthy = vec![false; group as usize];
+            let runs = Stream::steer_recon_runs(&extents, &ps, lo, hi, home, &healthy)
+                .expect("healthy band must always offer a fan-out");
+            assert!(runs.iter().all(|r| r.volume != home), "trial {trial}");
+            let span = (rel_hi - rel_lo) as usize;
+            let mut acc = vec![0u8; span];
+            for r in &runs {
+                let at = (r.block * 512) as usize;
+                let buf = &disks[r.volume.index()][at..at + r.nblocks as usize * 512];
+                cras_disk::xor_into(&mut acc, &buf[..span.min(buf.len())]);
+            }
+            assert_eq!(
+                &acc[..],
+                &movie[lo as usize..hi as usize],
+                "trial {trial}: g={group} total={total} unit={k} range={rel_lo}..{rel_hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn steering_declines_when_the_fanout_would_hit_a_failed_volume() {
+        // A dead sibling makes the g−1 fan-out unreconstructible; the
+        // planner must keep the direct read instead.
+        let (extents, ps, _) = synthetic_parity(4, 20 * 64 * 1024, None);
+        let k = 0u64;
+        let home = ps.geom.data_volume(k);
+        let mut failed = vec![false; 4];
+        let other = (0..4).find(|&v| VolumeId(v) != home).unwrap();
+        failed[other as usize] = true;
+        assert!(Stream::steer_recon_runs(&extents, &ps, 0, 4096, home, &failed).is_none());
     }
 
     #[test]

@@ -240,6 +240,13 @@ impl<T> DiskDevice<T> {
         (self.rt_queue.len(), self.normal_queue.len())
     }
 
+    /// Total commands outstanding on the device: queued in either class
+    /// plus any in-flight operation — the device-side half of the
+    /// read-steering load signal.
+    pub fn outstanding(&self) -> usize {
+        self.rt_queue.len() + self.normal_queue.len() + usize::from(self.inflight.is_some())
+    }
+
     /// Submits a request. If the device is idle the operation starts
     /// immediately and its completion time is returned; otherwise the
     /// request waits in its class queue and `None` is returned.

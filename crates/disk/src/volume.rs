@@ -189,6 +189,14 @@ impl<T> VolumeSet<T> {
         self.disks.iter().any(|d| d.is_busy())
     }
 
+    /// Per-volume outstanding command counts (queued in either class
+    /// plus any in-flight operation), indexed by volume id — the
+    /// device-side half of the read-steering load signal
+    /// ([`DiskDevice::outstanding`]).
+    pub fn outstanding_depths(&self) -> Vec<usize> {
+        self.disks.iter().map(|d| d.outstanding()).collect()
+    }
+
     /// Marks a volume permanently down: its in-flight operation fails
     /// and all further operations are answered with fast error returns.
     ///

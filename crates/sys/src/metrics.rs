@@ -148,6 +148,16 @@ pub struct Metrics {
     /// Intervals in which at least one stream read from its mirror
     /// because the primary volume was down.
     pub degraded_intervals: u64,
+    /// Intervals in which at least one parity stream's direct read was
+    /// steered to a `g−1` reconstruction fan-out (coded-read steering,
+    /// DESIGN §17).
+    pub steered_intervals: u64,
+    /// Stream-intervals steered (one count per steered stream per
+    /// interval tick).
+    pub steered_stream_intervals: u64,
+    /// Stream batches dropped at plan time because no live replica
+    /// could serve them (every copy's volume down).
+    pub plan_lost_streams: u64,
     /// When a volume failure was declared (first one, if several).
     pub volume_failed_at: Option<Instant>,
     /// When the rebuild started copying.
@@ -229,6 +239,11 @@ impl Metrics {
         if rep.degraded_streams > 0 {
             self.degraded_intervals += 1;
         }
+        if rep.steered_streams > 0 {
+            self.steered_intervals += 1;
+        }
+        self.steered_stream_intervals += rep.steered_streams as u64;
+        self.plan_lost_streams += rep.lost_streams as u64;
         self.cache_served_stream_intervals += rep.cache_served_streams as u64;
         // Consumed before the empty-interval early return below: a tick
         // can reserve drained shares or park streams without issuing
@@ -399,6 +414,42 @@ impl Metrics {
             / spans.len() as f64
     }
 
+    /// Per-volume recent completion lag: for each of `volumes` volumes,
+    /// the mean over its last `window` *completed* [`IntervalIo`]
+    /// records of `span − calculated`, clamped at zero (seconds). A
+    /// volume with no completed records — or one that has been keeping
+    /// up — reports 0.0. This is the feedback half of the read-steering
+    /// load signal: a spindle whose intervals keep finishing behind
+    /// their admission bound is carrying load the planner cannot see
+    /// (background I/O, rebuild traffic) and is worth bypassing.
+    pub fn recent_volume_lag(&self, volumes: usize, window: usize) -> Vec<f64> {
+        let mut sums = vec![0.0f64; volumes];
+        let mut counts = vec![0usize; volumes];
+        if window == 0 {
+            return sums;
+        }
+        for rec in self.intervals.iter().rev() {
+            let v = rec.volume as usize;
+            if v >= volumes || counts[v] >= window {
+                continue;
+            }
+            let Some(span) = rec.span() else {
+                continue;
+            };
+            sums[v] += (span - rec.calculated).max(0.0);
+            counts[v] += 1;
+            if counts.iter().all(|&c| c >= window) {
+                break;
+            }
+        }
+        for (s, c) in sums.iter_mut().zip(&counts) {
+            if *c > 0 {
+                *s /= *c as f64;
+            }
+        }
+        sums
+    }
+
     /// Rebuild copy time, once the rebuild has finished.
     pub fn rebuild_time(&self) -> Option<Duration> {
         match (self.rebuild_started_at, self.rebuild_finished_at) {
@@ -499,7 +550,9 @@ impl Metrics {
         out.push_str(&format!(
             "],\"cras_read_bytes\":{},\"cras_read_busy_ns\":{},\"cras_write_bytes\":{},\
              \"overruns\":{},\"degraded_reads\":{},\"lost_reads\":{},\
-             \"degraded_intervals\":{},\"volume_failed_at\":{},\"rebuild_started_at\":{},\
+             \"degraded_intervals\":{},\"steered_intervals\":{},\
+             \"steered_stream_intervals\":{},\"plan_lost_streams\":{},\
+             \"volume_failed_at\":{},\"rebuild_started_at\":{},\
              \"rebuild_finished_at\":{},\"rebuild_bytes\":{},\
              \"cache_served_stream_intervals\":{},\"deferred_reserved_streams\":{},\
              \"parked_streams\":{},\"resumed_streams\":{}",
@@ -510,6 +563,9 @@ impl Metrics {
             self.degraded_reads,
             self.lost_reads,
             self.degraded_intervals,
+            self.steered_intervals,
+            self.steered_stream_intervals,
+            self.plan_lost_streams,
             opt_instant(self.volume_failed_at),
             opt_instant(self.rebuild_started_at),
             opt_instant(self.rebuild_finished_at),
@@ -555,6 +611,8 @@ mod tests {
             calculated_io_time: calc,
             per_volume_calculated: vec![calc],
             degraded_streams: 0,
+            steered_streams: 0,
+            lost_streams: 0,
             cache_served_streams: 0,
             deferred_reserved: Vec::new(),
             cache_rejected_titles: Vec::new(),
@@ -646,6 +704,8 @@ mod tests {
             calculated_io_time: 0.2,
             per_volume_calculated: vec![0.1, 0.2],
             degraded_streams: 0,
+            steered_streams: 0,
+            lost_streams: 0,
             cache_served_streams: 0,
             deferred_reserved: Vec::new(),
             cache_rejected_titles: Vec::new(),
@@ -695,6 +755,8 @@ mod tests {
             calculated_io_time: 0.2,
             per_volume_calculated: vec![0.1, 0.2],
             degraded_streams: 0,
+            steered_streams: 0,
+            lost_streams: 0,
             cache_served_streams: 0,
             deferred_reserved: Vec::new(),
             cache_rejected_titles: Vec::new(),

@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 use cras_core::{
     on_volume, AdmissionError, CacheState, CrasServer, ParityGeometry, ParityState,
-    PlacementPolicy, ReadId, ReadReq, StreamId, VolumeExtent, PARITY_STRIPE_BYTES,
+    PlacementPolicy, ReadId, ReadReq, StreamId, VolumeExtent, VolumeLoad, PARITY_STRIPE_BYTES,
 };
 use cras_disk::{Completed, DiskDevice, DiskRequest, VolumeId, VolumeSet};
 use cras_media::{Movie, StreamProfile};
@@ -52,6 +52,10 @@ const REBUILD_SLACK_WINDOW: usize = 8;
 /// Fraction of the configured rebuild rate the load-aware pacing never
 /// drops below, so a saturated system still makes rebuild progress.
 const REBUILD_RATE_FLOOR: f64 = 0.25;
+
+/// Completed per-volume interval records the read-steering load signal
+/// averages its completion-lag estimate over (per volume).
+const STEER_LAG_WINDOW: usize = 4;
 
 /// Owner of a Unix-server request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -984,6 +988,34 @@ impl SysState {
         id
     }
 
+    /// Adds a paced background reader over a fresh file allocated
+    /// directly on volume `vol` — skewed load for steering experiments,
+    /// where the movies themselves span a whole parity band and
+    /// [`SysState::add_bg_reader`] (which derives the volume from the
+    /// movie's placement) cannot pin the noise to one spindle. The
+    /// contiguous file means each `read_size` call reaches the disk as
+    /// one non-preemptible transfer, so large sizes model bulk traffic
+    /// that stalls real-time reads behind it.
+    pub fn add_bg_reader_on(
+        &mut self,
+        vol: u32,
+        name: &str,
+        size: u64,
+        read_size: u64,
+        pause: Duration,
+    ) -> ClientId {
+        let ino = self.fs[vol as usize].create(name).expect("bg file");
+        self.fs[vol as usize]
+            .append(ino, size)
+            .expect("bg file allocation");
+        let id = self.alloc_client();
+        let mut bg = BgReader::new(id, ino, size, read_size);
+        bg.vol = vol;
+        bg.pause = pause;
+        self.bgs.insert(id.0, bg);
+        id
+    }
+
     /// Adds an editor appending `write_size` bytes every `period` to a
     /// fresh file on volume 0 (delayed writes drained by the syncer).
     pub fn add_bg_writer(&mut self, name: &str, write_size: u64, period: Duration) -> ClientId {
@@ -1642,6 +1674,25 @@ impl System {
                     self.engine.schedule(at, Event::CpuSlice(t));
                 }
                 if let Some(done) = out.completed {
+                    // A scheduler tick consumes the per-spindle load
+                    // snapshot (device queue depths + recent completion
+                    // lag) for coded-read steering. Substrate state is
+                    // executor-owned, so it is sampled here — like disk
+                    // completions — and handed to the pure transition
+                    // through the server's setter.
+                    if matches!(self.state.tags.resolve(done.tag), CpuTag::CrasSched) {
+                        let depths = self.disks.outstanding_depths();
+                        let lags = self
+                            .state
+                            .metrics
+                            .recent_volume_lag(depths.len(), STEER_LAG_WINDOW);
+                        let loads: Vec<VolumeLoad> = depths
+                            .into_iter()
+                            .zip(lags)
+                            .map(|(queued, lag)| VolumeLoad { queued, lag })
+                            .collect();
+                        self.state.cras.set_volume_loads(&loads);
+                    }
                     self.state.on_cpu_done(done.tag, now, &mut acts);
                 }
             }
@@ -1881,6 +1932,22 @@ impl SysState {
                         rep.posted_chunks
                     )
                 });
+                if rep.steered_streams > 0 {
+                    self.trace_with("cras", acts, || {
+                        format!(
+                            "tick {}: {} stream(s) steered to parity fan-out",
+                            rep.index, rep.steered_streams
+                        )
+                    });
+                }
+                if rep.lost_streams > 0 {
+                    self.trace_with("cras", acts, || {
+                        format!(
+                            "tick {}: {} stream batch(es) dropped, no live replica",
+                            rep.index, rep.lost_streams
+                        )
+                    });
+                }
                 self.metrics.on_interval(&rep, now);
                 // A parked stream's viewer pauses (rebuffers) instead
                 // of burning its poll budget against a frozen clock;

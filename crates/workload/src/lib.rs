@@ -17,6 +17,7 @@
 //! | [`faults`] | transient-fault injection vs the deadline manager |
 //! | [`failover`] | mirrored placement: volume loss, degraded reads, rebuild |
 //! | [`parity_failover`] | rotating parity: volume loss, reconstruction, capacity vs mirroring |
+//! | [`steered_reads`] | §17 coded-read steering: g−1 fan-out around a hot spindle |
 //! | [`cache_sharing`] | interval cache: Zipf arrivals, cache-aware admission |
 //! | [`cluster_scaling`] | sharded cluster: Zipf catalog, replica routing, whole-shard kill |
 //! | [`catalog_scaling`] | §16 cache manager: prefix residency, batched joins, fixed-spindle viewer scaling |
@@ -62,6 +63,7 @@ pub mod parity_failover;
 pub mod qos;
 pub mod result;
 pub mod runner;
+pub mod steered_reads;
 pub mod vbr;
 
 pub use result::{Figure, KvTable, Series};
