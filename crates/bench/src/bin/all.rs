@@ -183,6 +183,18 @@ fn main() {
     );
     println!("{}", sr_f.render());
 
+    let net_p = wl::net_delivery::NetParams {
+        measure: secs(12, 30),
+        ..wl::net_delivery::NetParams::default()
+    };
+    let (net_t, net_f, net_outs) = wl::net_delivery::suite(&net_p);
+    em.emit(
+        "net_delivery",
+        &net_t.render(),
+        &wl::net_delivery::points_json(&net_outs),
+    );
+    println!("{}", net_f.render());
+
     let cache_budgets: &[u64] = if quick {
         &[0, 64 << 20]
     } else {

@@ -1,0 +1,82 @@
+//! Regenerates the NPS-style delivery experiment (DESIGN §18): a
+//! joined audience plus solo titles on one shared 10 Mbps Ethernet,
+//! run as unicast, multicast, slow-client backpressure, and a
+//! deterministic loss sweep with NAK-driven retransmission.
+//!
+//! ```text
+//! cargo run --release -p cras-bench --bin net_delivery [-- --quick] [-- --check [--strict]]
+//! ```
+//!
+//! With `--check`, the run is compared against the committed
+//! `BENCH_net_delivery.json` at the repo root — warn-only, so a
+//! regression shows up in the log the day it lands without gating
+//! noisy CI machines. Adding `--strict` turns drift past ±20% into a
+//! nonzero exit for local pre-merge runs.
+
+use cras_bench::{check_bench, check_mode, quick_mode, strict_mode, write_bench};
+use cras_sim::Duration;
+use cras_workload::net_delivery::{points_json, suite, NetParams};
+
+fn main() {
+    let quick = quick_mode();
+    let p = NetParams {
+        measure: if quick {
+            Duration::from_secs(12)
+        } else {
+            Duration::from_secs(30)
+        },
+        ..NetParams::default()
+    };
+    let (t, f, outs) = suite(&p);
+    println!("{}", t.render());
+    println!("{}", f.render());
+
+    let json = points_json(&outs);
+    if check_mode() {
+        if !check_bench("net_delivery", &json, quick) && strict_mode() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // The experiment's acceptance bar, enforced on regeneration.
+    let [uni, multi, slow, clean, loss1, loss4] = outs.as_slice() else {
+        panic!("expected six outcomes, got {} modes", outs.len());
+    };
+    assert!(
+        uni.late > 0,
+        "oversubscribed unicast never missed a deadline: {uni:?}"
+    );
+    assert!(
+        multi.link_bytes < uni.link_bytes,
+        "multicast did not cut wire bytes: {} vs {}",
+        multi.link_bytes,
+        uni.link_bytes
+    );
+    assert_eq!(
+        multi.late, 0,
+        "multicast added late frames on an uncontended wire: {multi:?}"
+    );
+    let sc = slow.slow_client.expect("slow mode has a slow client");
+    for s in &slow.per_session {
+        if s.client == sc {
+            assert!(s.parks > 0, "slow drain never parked: {s:?}");
+        } else {
+            assert_eq!(s.parks, 0, "victim session parked: {s:?}");
+            assert_eq!(s.late, 0, "victim session went late: {s:?}");
+        }
+    }
+    assert_eq!(clean.naks, 0, "zero-probability injector NAKed: {clean:?}");
+    assert_eq!(clean.late, 0);
+    for o in [loss1, loss4] {
+        assert!(o.retransmits > 0, "loss never repaired: {o:?}");
+        assert!(
+            o.late * 50 <= o.played,
+            "{}: late {} of {} played — retransmission is not repairing",
+            o.mode,
+            o.late,
+            o.played
+        );
+    }
+    write_bench("net_delivery", &json, quick);
+}

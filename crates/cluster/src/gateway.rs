@@ -333,8 +333,11 @@ impl Cluster {
     /// shard can admit the open deferred (zero disk shares) and batch
     /// it onto an in-flight read stream, so concentrating a hot title's
     /// viewers there is cheaper than spreading them. The remaining
-    /// order is fewest admitted streams, then most recent slack, then
-    /// shard id.
+    /// order is least recent volume lag (a shard whose disks are
+    /// already missing deadlines is a worse host than one with more
+    /// streams but healthy volumes — open counts alone can't see
+    /// that), then fewest admitted streams, then most recent slack,
+    /// then shard id.
     fn route_candidates(&self, title: &str, info: &TitleInfo) -> Vec<u32> {
         let prefix_on = self.cfg.base.server.prefix_secs > Duration::ZERO;
         let mut cands: Vec<u32> = info
@@ -353,6 +356,7 @@ impl Cluster {
             let la: ShardLoad = self.shards[a as usize].sys.load_signal();
             let lb: ShardLoad = self.shards[b as usize].sys.load_signal();
             pb.cmp(&pa)
+                .then(la.recent_lag.total_cmp(&lb.recent_lag))
                 .then(la.streams.cmp(&lb.streams))
                 .then(lb.recent_slack.total_cmp(&la.recent_slack))
                 .then(a.cmp(&b))
@@ -804,6 +808,73 @@ mod tests {
             shards.iter().all(|&s| s == shards[0]),
             "opens spread away from the prefix holder: {shards:?}"
         );
+    }
+
+    #[test]
+    fn opens_avoid_the_replica_with_recent_volume_lag() {
+        use cras_core::{IntervalReport, ReadId, ReadReq, StreamId};
+        use cras_disk::{Completed, DiskRequest, ServiceBreakdown, VolumeId};
+        use cras_sys::DiskTag;
+
+        let mut cl = small_cluster(Stepping::Lockstep);
+        cl.add_title("hot.mov", &StreamProfile::mpeg1(), 30.0, 0);
+        let before = {
+            let info = cl.titles.get("hot.mov").unwrap();
+            cl.route_candidates("hot.mov", info)
+        };
+        assert_eq!(before.len(), 2, "hot title has two live replicas");
+
+        // Feed the preferred replica a completed interval that ran far
+        // behind its calculated I/O time: its volume-lag signal rises
+        // while its stream count stays zero — the signal open counts
+        // cannot see.
+        let rid = ReadId(900_000);
+        let rep = IntervalReport {
+            index: 0,
+            reqs: vec![ReadReq {
+                id: rid,
+                stream: StreamId(0),
+                volume: VolumeId(0),
+                block: 0,
+                nblocks: 8,
+            }],
+            posted_chunks: 0,
+            overran: false,
+            calculated_io_time: 0.001,
+            per_volume_calculated: vec![0.001, 0.0],
+            degraded_streams: 0,
+            steered_streams: 0,
+            lost_streams: 0,
+            cache_served_streams: 0,
+            deferred_reserved: Vec::new(),
+            cache_rejected_titles: Vec::new(),
+            parked_streams: Vec::new(),
+        };
+        let m = &mut cl.shards[before[0] as usize].sys.metrics;
+        m.on_interval(&rep, Instant::ZERO);
+        m.on_cras_read_done(
+            rid,
+            &Completed {
+                req: DiskRequest::rt_read(0, 8, DiskTag::Cras(rid)),
+                submitted_at: Instant::ZERO,
+                started_at: Instant::ZERO,
+                finished_at: Instant::ZERO + Duration::from_millis(200),
+                breakdown: ServiceBreakdown::default(),
+                failed: false,
+            },
+        );
+
+        let after = {
+            let info = cl.titles.get("hot.mov").unwrap();
+            cl.route_candidates("hot.mov", info)
+        };
+        assert_eq!(
+            after,
+            vec![before[1], before[0]],
+            "the lagging replica must sort behind the healthy one"
+        );
+        let sid = cl.open("hot.mov").expect("admitted");
+        assert_eq!(cl.session(sid).unwrap().shard, before[1]);
     }
 
     #[test]

@@ -1361,6 +1361,30 @@ impl CrasServer {
         }
     }
 
+    /// Parks a *running* stream on the caller's initiative (delivery
+    /// backpressure, DESIGN §18): the clock freezes where it is and the
+    /// stream sheds whatever feed it held — cache pins and reservation,
+    /// join membership (followers of a parked leader are orphaned into
+    /// this tick's re-feed pass), and its disk share, which the
+    /// recomputed admission set releases because a parked stream scores
+    /// zero shares. [`CrasServer::resume`] restarts it later through
+    /// the ordinary feed ladder. Returns false (leaving the stream
+    /// untouched) when the stream does not exist or its clock is
+    /// already stopped — an already-parked or never-started stream has
+    /// nothing to shed.
+    pub fn park(&mut self, id: StreamId, now: Instant) -> bool {
+        match self.streams.get(&id.0) {
+            Some(s) if s.clock.is_running() => {}
+            _ => return false,
+        }
+        self.detach_cached(id);
+        if let CacheState::Joined { leader } = self.stream(id).cache_state {
+            self.leave_join(leader, id.0);
+        }
+        self.park_stream(id.0, now);
+        true
+    }
+
     /// Retries admission for a parked stream (the client's `crs_start`
     /// after a rebuffer): if the spindles or the cache can feed it now,
     /// the clock restarts from the frozen position after the standard

@@ -96,6 +96,38 @@ pub enum JournalRecord {
         /// Caller-chosen sequence number.
         seq: u32,
     },
+    /// A delivery link was added (DESIGN §18). Replay re-creates the
+    /// links in order, so indices survive recovery. Fault injectors are
+    /// harness-level and deliberately not journaled, like the disk
+    /// injectors.
+    NetLink {
+        /// Bandwidth in bytes/second.
+        bandwidth: f64,
+        /// Propagation delay in nanoseconds.
+        latency_ns: u64,
+        /// Per-packet overhead in nanoseconds.
+        per_packet_ns: u64,
+    },
+    /// A delivery session was attached for `client` on `link`.
+    NetSession {
+        /// The client.
+        client: u32,
+        /// Link index.
+        link: u32,
+        /// Startup playout delay in nanoseconds.
+        playout_delay_ns: u64,
+        /// Park the feeding stream above this buffer level.
+        high_watermark: u64,
+        /// Resume it below this level.
+        low_watermark: u64,
+        /// Client consumption scale (1.0 = nominal).
+        drain_scale: f64,
+    },
+    /// Multicast fan-out was switched on or off.
+    NetMulticast {
+        /// The new setting.
+        on: bool,
+    },
 }
 
 /// Append-only transition journal.

@@ -16,7 +16,10 @@
 //! * [`metrics`] — per-interval admission-accuracy accounting.
 //! * [`tags`] — the global event enum and routing tags.
 //! * [`net`] — a minimal NPS-like network link for the distributed
-//!   (Figure 11) configuration.
+//!   (Figure 11) configuration. The full delivery subsystem (paced
+//!   links, playout sessions, multicast, loss/retransmit) lives in the
+//!   `cras-net` crate and plugs into [`system::SysState`] as the `net`
+//!   field (DESIGN §18).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

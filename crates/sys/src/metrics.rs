@@ -182,6 +182,10 @@ pub struct Metrics {
     pub parked_streams: u64,
     /// Parked streams whose retry found a feed and resumed playback.
     pub resumed_streams: u64,
+    /// Streams parked by delivery backpressure (DESIGN §18): the
+    /// client's playout buffer crossed its high watermark, so the
+    /// feeding stream released its feed until the buffer drained.
+    pub net_parks: u64,
 }
 
 /// A shard's load and health snapshot, exported for cluster-level
@@ -194,6 +198,18 @@ pub struct ShardLoad {
     /// Spare fraction of recent interval walls (1.0 = idle, 0.0 = the
     /// interval time is fully consumed) — [`Metrics::recent_slack`].
     pub recent_slack: f64,
+    /// Worst per-volume recent completion lag in seconds
+    /// ([`Metrics::recent_volume_lag`], max over volumes): how far
+    /// behind its admission bound the shard's busiest spindle has been
+    /// finishing. 0.0 when every volume keeps up. A direct measurement
+    /// of overload, where the stream count is only a proxy for it.
+    pub recent_lag: f64,
+    /// Bytes waiting in the shard's delivery link send queues (0
+    /// without a delivery subsystem).
+    pub uplink_queued_bytes: u64,
+    /// Frames that missed their playout deadline across the shard's
+    /// delivery sessions (0 without a delivery subsystem).
+    pub uplink_late_frames: u64,
     /// Volumes configured in this shard.
     pub volumes: usize,
     /// Volumes currently failed and not yet rebuilt.
@@ -555,7 +571,7 @@ impl Metrics {
              \"volume_failed_at\":{},\"rebuild_started_at\":{},\
              \"rebuild_finished_at\":{},\"rebuild_bytes\":{},\
              \"cache_served_stream_intervals\":{},\"deferred_reserved_streams\":{},\
-             \"parked_streams\":{},\"resumed_streams\":{}",
+             \"parked_streams\":{},\"resumed_streams\":{},\"net_parks\":{}",
             self.cras_read_bytes,
             self.cras_read_busy.as_nanos(),
             self.cras_write_bytes,
@@ -574,6 +590,7 @@ impl Metrics {
             self.deferred_reserved_streams,
             self.parked_streams,
             self.resumed_streams,
+            self.net_parks,
         ));
         out.push_str(",\"cache_rejects_by_title\":{");
         for (i, (title, n)) in self.cache_rejects_by_title.iter().enumerate() {

@@ -23,6 +23,9 @@ pub struct Link {
     per_packet: Duration,
     /// When the transmitter becomes free.
     busy_until: Instant,
+    /// When the first transmission started (for throughput over the
+    /// observed span).
+    first_start: Option<Instant>,
     /// Bytes accepted.
     bytes_sent: u64,
     /// Packets accepted.
@@ -45,6 +48,7 @@ impl Link {
             latency,
             per_packet,
             busy_until: Instant::ZERO,
+            first_start: None,
             bytes_sent: 0,
             packets: 0,
             queued: Duration::ZERO,
@@ -93,17 +97,29 @@ impl Link {
         let serialization = Duration::from_secs_f64(bytes as f64 / self.bandwidth);
         let done_sending = start + self.per_packet + serialization;
         self.busy_until = done_sending;
+        if self.first_start.is_none() {
+            self.first_start = Some(start);
+        }
         self.bytes_sent += bytes;
         self.packets += 1;
         done_sending + self.latency
     }
 
-    /// Achieved throughput over an observation window.
-    pub fn throughput(&self, window: Duration) -> f64 {
-        if window.is_zero() {
+    /// Achieved throughput in bytes/second over the observed transmit
+    /// span — first serialization start to last serialization end.
+    /// Dividing lifetime byte counts by an arbitrary caller-chosen
+    /// window under- or over-states the rate whenever the window and
+    /// the transmissions do not line up; the observed span is the only
+    /// window the link itself can vouch for. Zero before any packet.
+    pub fn throughput(&self) -> f64 {
+        let Some(first) = self.first_start else {
+            return 0.0;
+        };
+        let span = self.busy_until.since(first);
+        if span.is_zero() {
             0.0
         } else {
-            self.bytes_sent as f64 / window.as_secs_f64()
+            self.bytes_sent as f64 / span.as_secs_f64()
         }
     }
 }
@@ -171,5 +187,22 @@ mod tests {
     fn empty_packet_panics() {
         let mut l = Link::ethernet_10mbps();
         l.transmit(at(0), 0);
+    }
+
+    #[test]
+    fn throughput_covers_the_observed_span_not_a_caller_window() {
+        let mut l = Link::new(1_000_000.0, ms(0), ms(0));
+        assert_eq!(l.throughput(), 0.0);
+        // Two 10 000 B packets, the second after a long idle gap: the
+        // span runs from the first start (5 ms) to the second's end
+        // (1010 ms), so the rate reflects the idle time in between —
+        // and is unaffected by however long the run sits idle *after*
+        // the last packet (the old window-argument form diluted the
+        // rate by trailing idle time).
+        l.transmit(at(5), 10_000);
+        l.transmit(at(1_000), 10_000);
+        let span = Duration::from_millis(1_005).as_secs_f64();
+        let want = 20_000.0 / span;
+        assert!((l.throughput() - want).abs() < 1e-6, "{}", l.throughput());
     }
 }

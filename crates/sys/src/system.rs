@@ -29,6 +29,7 @@ use cras_core::{
 };
 use cras_disk::{Completed, DiskDevice, DiskRequest, VolumeId, VolumeSet};
 use cras_media::{Movie, StreamProfile};
+use cras_net::{LinkParams, NetDelivery, NetEffect, NetFaults, SessionCfg};
 use cras_rtmach::port::{FullPolicy, Port};
 use cras_rtmach::{Cpu, SchedPolicy, ThreadId};
 use cras_sim::trace::Trace;
@@ -196,6 +197,13 @@ pub struct SysState {
     pub writers: BTreeMap<u32, BgWriter>,
     /// Measurements.
     pub metrics: Metrics,
+    /// The NPS-style delivery subsystem (DESIGN §18): paced links,
+    /// per-client playout sessions, multicast fan-out, loss/retransmit.
+    /// Empty (no links, no sessions) unless the run attaches sessions
+    /// through [`System::net_attach`]; a frame decode with no session
+    /// bypasses delivery entirely, so existing experiments are
+    /// unchanged.
+    pub net: NetDelivery,
     /// Post-mortem event trace (disabled by default; enable with
     /// `sys.trace.set_enabled(true)`). The ring is part of the state;
     /// handlers emit [`Action::Trace`] records (only while enabled) and
@@ -352,6 +360,7 @@ impl System {
                 bgs: BTreeMap::new(),
                 writers: BTreeMap::new(),
                 metrics: Metrics::new(),
+                net: NetDelivery::new(),
                 trace: Trace::new(4096),
                 fs,
                 placements: BTreeMap::new(),
@@ -1080,6 +1089,9 @@ impl System {
             .get_mut(&client.0)
             .expect("checked above")
             .playback_start = start;
+        // A join formed by `start` is visible to delivery right away,
+        // so the leader's very first packet already carries the member.
+        self.state.net_sync_join(client);
         let due0 = self
             .players
             .get(&client.0)
@@ -1167,6 +1179,56 @@ impl System {
         }
         self.metrics.resumed_streams += 1;
         true
+    }
+
+    // ----- delivery subsystem setup (DESIGN §18) -----------------------
+
+    /// Adds a delivery link and returns its index. Journaled, so crash
+    /// recovery re-creates links in order and indices stay stable.
+    pub fn net_add_link(&mut self, params: LinkParams) -> u32 {
+        let id = self.state.net.add_link(params);
+        self.journal.append(
+            self.now(),
+            JournalRecord::NetLink {
+                bandwidth: params.bandwidth,
+                latency_ns: params.latency.as_nanos(),
+                per_packet_ns: params.per_packet.as_nanos(),
+            },
+        );
+        id
+    }
+
+    /// Attaches a delivery session for `client` on `link`: every frame
+    /// the client decodes from here on travels the paced link into a
+    /// bounded playout buffer. Journaled for recovery.
+    pub fn net_attach(&mut self, client: ClientId, link: u32, cfg: SessionCfg) {
+        self.state.net.attach(client.0, link, cfg);
+        self.journal.append(
+            self.now(),
+            JournalRecord::NetSession {
+                client: client.0,
+                link,
+                playout_delay_ns: cfg.playout_delay.as_nanos(),
+                high_watermark: cfg.high_watermark,
+                low_watermark: cfg.low_watermark,
+                drain_scale: cfg.drain_scale,
+            },
+        );
+    }
+
+    /// Switches multicast fan-out for joined groups on or off.
+    /// Journaled for recovery.
+    pub fn net_set_multicast(&mut self, on: bool) {
+        self.state.net.set_multicast(on);
+        self.journal
+            .append(self.now(), JournalRecord::NetMulticast { on });
+    }
+
+    /// Installs (or clears) a deterministic fault injector on a link.
+    /// Harness-level and deliberately *not* journaled, like the disk
+    /// fault injectors.
+    pub fn net_set_link_faults(&mut self, link: u32, faults: Option<NetFaults>) {
+        self.state.net.set_link_faults(link, faults);
     }
 
     /// Runs the event loop until `t` (events after `t` stay queued).
@@ -1277,6 +1339,13 @@ impl System {
             recent_slack: self
                 .metrics
                 .recent_slack(self.cfg.server.interval, REBUILD_SLACK_WINDOW),
+            recent_lag: self
+                .metrics
+                .recent_volume_lag(volumes, STEER_LAG_WINDOW)
+                .into_iter()
+                .fold(0.0, f64::max),
+            uplink_queued_bytes: self.net.queued_bytes_total(),
+            uplink_late_frames: self.net.late_frames_total(),
             volumes,
             volumes_down,
         }
@@ -1502,6 +1571,9 @@ impl System {
         let mut stopped: BTreeSet<u32> = BTreeSet::new();
         let mut failed: BTreeSet<u32> = BTreeSet::new();
         let mut rebuilding: BTreeSet<u32> = BTreeSet::new();
+        let mut net_links: Vec<LinkParams> = Vec::new();
+        let mut net_multicast: Option<bool> = None;
+        let mut net_sessions: Vec<(u32, u32, SessionCfg)> = Vec::new();
         for (_, rec) in journal.entries() {
             match rec {
                 JournalRecord::Recorded {
@@ -1553,6 +1625,33 @@ impl System {
                     rebuilding.remove(vol);
                 }
                 JournalRecord::Checkpoint { .. } => {}
+                JournalRecord::NetLink {
+                    bandwidth,
+                    latency_ns,
+                    per_packet_ns,
+                } => net_links.push(LinkParams {
+                    bandwidth: *bandwidth,
+                    latency: Duration::from_nanos(*latency_ns),
+                    per_packet: Duration::from_nanos(*per_packet_ns),
+                }),
+                JournalRecord::NetMulticast { on } => net_multicast = Some(*on),
+                JournalRecord::NetSession {
+                    client,
+                    link,
+                    playout_delay_ns,
+                    high_watermark,
+                    low_watermark,
+                    drain_scale,
+                } => net_sessions.push((
+                    *client,
+                    *link,
+                    SessionCfg {
+                        playout_delay: Duration::from_nanos(*playout_delay_ns),
+                        high_watermark: *high_watermark,
+                        low_watermark: *low_watermark,
+                        drain_scale: *drain_scale,
+                    },
+                )),
             }
         }
         // Restart at the crash instant: recording consumes no simulated
@@ -1587,6 +1686,22 @@ impl System {
             if failed.contains(vol) {
                 sys.try_attach_replacement(*vol)
                     .expect("recovery rebuild re-attach failed");
+            }
+        }
+        // Delivery subsystem: links come back in journal order (indices
+        // stable); surviving streams get fresh sessions under their new
+        // client ids — a fresh session, like a fresh stream clock, means
+        // the client rebuffers from the resume point with zero carried
+        // counters.
+        for params in net_links {
+            sys.net_add_link(params);
+        }
+        if let Some(on) = net_multicast {
+            sys.net_set_multicast(on);
+        }
+        for (old_id, link, cfg) in net_sessions {
+            if let Some(&new_id) = remap.get(&old_id) {
+                sys.net_attach(ClientId(new_id), link, cfg);
             }
         }
         (sys, remap)
@@ -1712,6 +1827,11 @@ impl System {
             Event::Sync => self.state.on_sync(now, &mut acts),
             Event::RebuildStep(gen) => self.state.on_rebuild_step(gen, now, &mut acts),
             Event::Checkpoint(seq) => self.state.on_checkpoint(seq, &mut acts),
+            Event::NetLinkFree(link) => self.state.on_net_link_free(link, now, &mut acts),
+            Event::NetArrive { link, pkt } => self.state.on_net_arrive(link, pkt, now, &mut acts),
+            Event::NetNak(c, ord) => self.state.on_net_nak(c, ord, now, &mut acts),
+            Event::NetPlayout(c, ord) => self.state.on_net_playout(c, ord, now, &mut acts),
+            Event::NetRetry(c) => self.state.net_resume(c, now, &mut acts),
         }
         self.apply(&mut acts, now);
         self.actions = acts;
@@ -2378,6 +2498,206 @@ impl SysState {
                 at,
                 ev: Event::PlayerFrame(client),
             });
+        }
+        if self.net.has_session(client.0) {
+            self.net_deliver_frame(client, frame, now, acts);
+        }
+    }
+
+    // ----- delivery subsystem transitions (DESIGN §18) ----------------
+
+    /// Aligns `client`'s multicast membership with the cache manager's
+    /// join state, resolving the leader stream to its client. Called at
+    /// playback start (so the group exists before the leader's first
+    /// transmission — no startup NAK repair) and again on every decode
+    /// (joins dissolve when a member parks or seeks away).
+    fn net_sync_join(&mut self, client: ClientId) {
+        if !self.net.has_session(client.0) {
+            return;
+        }
+        let Some(p) = self.players.get(&client.0) else {
+            return;
+        };
+        let leader_client = match p.mode {
+            PlayerMode::Cras { stream } => match self.cras.cache_state_of(stream) {
+                CacheState::Joined { leader } => self
+                    .players
+                    .iter()
+                    .find(
+                        |(_, q)| matches!(q.mode, PlayerMode::Cras { stream: s } if s.0 == leader),
+                    )
+                    .map(|(&cid, _)| cid),
+                _ => None,
+            },
+            PlayerMode::Ufs { .. } => None,
+        };
+        self.net.sync_membership(client.0, leader_client);
+    }
+
+    /// Hands a decoded frame to the delivery subsystem: aligns multicast
+    /// membership with the cache manager's join state, then transmits
+    /// (or, for a group member, registers the frame against the
+    /// leader's shared packet).
+    fn net_deliver_frame(
+        &mut self,
+        client: ClientId,
+        frame: u32,
+        now: Instant,
+        acts: &mut Vec<Action>,
+    ) {
+        let Some(p) = self.players.get(&client.0) else {
+            return;
+        };
+        let Some(chunk) = p.table.get(frame).copied() else {
+            return;
+        };
+        self.net_sync_join(client);
+        let mut fx = Vec::new();
+        self.net.send_frame(
+            client.0,
+            frame,
+            chunk.size as u64,
+            chunk.timestamp,
+            now,
+            &mut fx,
+        );
+        self.apply_net_effects(fx, now, acts);
+    }
+
+    fn on_net_link_free(&mut self, link: u32, now: Instant, acts: &mut Vec<Action>) {
+        let mut fx = Vec::new();
+        self.net.on_link_free(link, now, &mut fx);
+        self.apply_net_effects(fx, now, acts);
+    }
+
+    fn on_net_arrive(&mut self, link: u32, pkt: u64, now: Instant, acts: &mut Vec<Action>) {
+        let mut fx = Vec::new();
+        self.net.on_arrive(link, pkt, now, &mut fx);
+        self.apply_net_effects(fx, now, acts);
+    }
+
+    fn on_net_nak(&mut self, client: ClientId, ord: u32, now: Instant, acts: &mut Vec<Action>) {
+        let mut fx = Vec::new();
+        self.net.on_nak(client.0, ord, now, &mut fx);
+        self.apply_net_effects(fx, now, acts);
+    }
+
+    fn on_net_playout(&mut self, client: ClientId, ord: u32, now: Instant, acts: &mut Vec<Action>) {
+        let mut fx = Vec::new();
+        self.net.on_playout(client.0, ord, now, &mut fx);
+        self.apply_net_effects(fx, now, acts);
+    }
+
+    /// Maps the delivery machine's requested effects onto the §14 action
+    /// seam: timers become scheduled events, park/resume requests run
+    /// their stream-layer transitions inline (they emit further actions
+    /// but never further net effects, so this does not recurse).
+    fn apply_net_effects(&mut self, fx: Vec<NetEffect>, now: Instant, acts: &mut Vec<Action>) {
+        for e in fx {
+            match e {
+                NetEffect::LinkFree { at, link } => acts.push(Action::Schedule {
+                    at,
+                    ev: Event::NetLinkFree(link),
+                }),
+                NetEffect::Arrive { at, link, pkt } => acts.push(Action::Schedule {
+                    at,
+                    ev: Event::NetArrive { link, pkt },
+                }),
+                NetEffect::Nak { at, session, ord } => acts.push(Action::Schedule {
+                    at,
+                    ev: Event::NetNak(ClientId(session), ord),
+                }),
+                NetEffect::Playout { at, session, ord } => acts.push(Action::Schedule {
+                    at,
+                    ev: Event::NetPlayout(ClientId(session), ord),
+                }),
+                NetEffect::Park { session } => self.net_park(ClientId(session), now, acts),
+                NetEffect::Resume { session } => self.net_resume(ClientId(session), now, acts),
+            }
+        }
+    }
+
+    /// Credit exhausted: the client's playout buffer crossed its high
+    /// watermark, so park the feeding stream — it sheds its cache pins
+    /// and disk share until the client drains. A stream some other
+    /// machinery already parked simply rides along (the net-side resume
+    /// will retry it like any rebuffer).
+    fn net_park(&mut self, client: ClientId, now: Instant, acts: &mut Vec<Action>) {
+        let Some(p) = self.players.get(&client.0) else {
+            self.net.mark_resumed(client.0);
+            return;
+        };
+        let PlayerMode::Cras { stream } = p.mode else {
+            self.net.mark_resumed(client.0);
+            return;
+        };
+        if p.done {
+            self.net.mark_resumed(client.0);
+            return;
+        }
+        if p.paused {
+            return;
+        }
+        if self.cras.park(stream, now) {
+            self.players.get_mut(&client.0).expect("checked").paused = true;
+            self.metrics.net_parks += 1;
+            self.trace_with("net", acts, || {
+                format!("client {} parked by delivery backpressure", client.0)
+            });
+        } else {
+            self.net.mark_resumed(client.0);
+        }
+    }
+
+    /// Credit restored: the buffer drained below the low watermark, so
+    /// resume the feeding stream through the ordinary feed ladder. When
+    /// the ladder has no capacity yet the attempt re-arms on a timer —
+    /// a fully drained session generates no more playout events, so the
+    /// chain cannot re-trigger the resume by itself.
+    fn net_resume(&mut self, client: ClientId, now: Instant, acts: &mut Vec<Action>) {
+        if !self.net.is_parked(client.0) {
+            self.net.mark_resumed(client.0);
+            return;
+        }
+        let Some(p) = self.players.get(&client.0) else {
+            self.net.mark_resumed(client.0);
+            return;
+        };
+        if p.done {
+            self.net.mark_resumed(client.0);
+            return;
+        }
+        if !p.paused {
+            // Something else (a gateway failover, the workload's retry
+            // loop) already resumed the stream.
+            self.net.mark_resumed(client.0);
+            return;
+        }
+        let PlayerMode::Cras { stream } = p.mode else {
+            self.net.mark_resumed(client.0);
+            return;
+        };
+        match self.cras.resume(stream, now) {
+            Some((begin, disk)) => {
+                let p = self.players.get_mut(&client.0).expect("checked");
+                p.paused = false;
+                p.polls_this_frame = 0;
+                acts.push(Action::Schedule {
+                    at: begin,
+                    ev: Event::PlayerFrame(client),
+                });
+                if disk {
+                    acts.push(Action::Journal(JournalRecord::DiskShareReserved {
+                        client: client.0,
+                    }));
+                }
+                self.metrics.resumed_streams += 1;
+                self.net.mark_resumed(client.0);
+            }
+            None => acts.push(Action::Schedule {
+                at: now + self.cfg.server.interval,
+                ev: Event::NetRetry(client),
+            }),
         }
     }
 

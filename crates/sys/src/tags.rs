@@ -35,6 +35,22 @@ pub enum Event {
     /// Experiment-driver checkpoint marker; the handler stamps a
     /// [`crate::journal::JournalRecord::Checkpoint`] into the journal.
     Checkpoint(u32),
+    /// A delivery link's transmitter finished serializing a packet.
+    NetLinkFree(u32),
+    /// A copy of delivery packet `pkt` reaches the clients on `link`.
+    NetArrive {
+        /// Link index.
+        link: u32,
+        /// Packet id.
+        pkt: u64,
+    },
+    /// A client's NAK for send ordinal `ord` lands server-side.
+    NetNak(ClientId, u32),
+    /// A delivery session plays (or declares late) send ordinal `ord`.
+    NetPlayout(ClientId, u32),
+    /// A net-parked stream retries its resume (earlier attempt found no
+    /// disk or cache capacity).
+    NetRetry(ClientId),
 }
 
 impl Event {
@@ -59,6 +75,14 @@ impl Event {
             Event::Sync => (7, 0),
             Event::RebuildStep(gen) => (8, gen),
             Event::Checkpoint(seq) => (9, seq as u64),
+            Event::NetLinkFree(link) => (10, link as u64),
+            // Packet ids are globally unique; a duplicated delivery is
+            // two *identical* events, so swapping them is a no-op and
+            // the order stays total in the sense the fuzzer needs.
+            Event::NetArrive { pkt, .. } => (11, pkt),
+            Event::NetNak(c, ord) => (12, ((c.0 as u64) << 32) | ord as u64),
+            Event::NetPlayout(c, ord) => (13, ((c.0 as u64) << 32) | ord as u64),
+            Event::NetRetry(c) => (14, c.0 as u64),
         }
     }
 }

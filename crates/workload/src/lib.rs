@@ -18,6 +18,7 @@
 //! | [`failover`] | mirrored placement: volume loss, degraded reads, rebuild |
 //! | [`parity_failover`] | rotating parity: volume loss, reconstruction, capacity vs mirroring |
 //! | [`steered_reads`] | §17 coded-read steering: g−1 fan-out around a hot spindle |
+//! | [`net_delivery`] | §18 NPS delivery: pacing, playout buffers, multicast, loss/retransmit |
 //! | [`cache_sharing`] | interval cache: Zipf arrivals, cache-aware admission |
 //! | [`cluster_scaling`] | sharded cluster: Zipf catalog, replica routing, whole-shard kill |
 //! | [`catalog_scaling`] | §16 cache manager: prefix residency, batched joins, fixed-spindle viewer scaling |
@@ -59,6 +60,7 @@ pub mod frag;
 pub mod interval_overlap;
 pub mod measured_capacity;
 pub mod multi;
+pub mod net_delivery;
 pub mod parity_failover;
 pub mod qos;
 pub mod result;

@@ -49,7 +49,7 @@ fn main() {
     );
     println!(
         "network throughput:     {:.2} Mbps of 10",
-        link.throughput(Duration::from_secs(20)) * 8.0 / 1e6
+        link.throughput() * 8.0 / 1e6
     );
     println!(
         "remote frame delay:     mean {:.2} ms, max {:.2} ms",

@@ -12,6 +12,8 @@
 //! * [`media`] — chunk tables, stream profiles, movie recording.
 //! * [`core`] — CRAS itself: admission control, interval scheduler,
 //!   time-driven shared buffers, the `crs_*` API.
+//! * [`net`] — the NPS-style delivery subsystem (paced links, playout
+//!   sessions, multicast fan-out, loss/retransmit).
 //! * [`sys`] — the orchestrated system (disk + CPU + UFS + CRAS +
 //!   applications).
 //! * [`cluster`] — the sharded multi-system gateway (consistent-hash
@@ -27,6 +29,7 @@ pub use cras_cluster as cluster;
 pub use cras_core as core;
 pub use cras_disk as disk;
 pub use cras_media as media;
+pub use cras_net as net;
 pub use cras_rtmach as rtmach;
 pub use cras_sim as sim;
 pub use cras_sys as sys;
